@@ -1,0 +1,32 @@
+//! Whole-simulator throughput: how fast the DES advances a full 8-node
+//! monitored cluster (simulated seconds per wall second matter for the
+//! long Fig. 9–11 sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::SimDur;
+
+fn bench_cluster_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster/advance_10_sim_seconds");
+    group.sample_size(20);
+    for n in [2usize, 8] {
+        group.bench_function(format!("{n}_nodes"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = ClusterSim::new(ClusterConfig::new(n));
+                    sim.start();
+                    sim
+                },
+                |mut sim| {
+                    sim.run_for(SimDur::from_secs(10));
+                    sim
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_advance);
+criterion_main!(benches);

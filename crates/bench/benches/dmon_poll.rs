@@ -1,0 +1,56 @@
+//! d-mon polling-iteration cost (wall time of the simulator itself, not
+//! the modeled cost — that is Figs. 6–8).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dproc::calib::Calib;
+use dproc::dmon::DMon;
+use dproc::modules::standard_modules;
+use kecho::Directory;
+use simcore::{SimDur, SimTime};
+use simnet::NodeId;
+use simos::host::{Host, HostConfig};
+
+fn setup(n_subs: usize) -> (DMon, Host, Directory, kecho::ChannelId, kecho::ChannelId) {
+    let names: Vec<String> = (0..=n_subs).map(|i| format!("node{i}")).collect();
+    let dmon = DMon::new(
+        NodeId(0),
+        names,
+        standard_modules(),
+        SimDur::from_secs(1),
+    );
+    let host = Host::new("node0", NodeId(0), &HostConfig::testbed());
+    let mut dir = Directory::default();
+    let mon = dir.open("mon");
+    let ctl = dir.open("ctl");
+    for i in 0..=n_subs {
+        dir.subscribe(mon, NodeId(i));
+        dir.subscribe(ctl, NodeId(i));
+    }
+    (dmon, host, dir, mon, ctl)
+}
+
+fn bench_poll(c: &mut Criterion) {
+    let calib = Calib::default();
+    let mut group = c.benchmark_group("dmon/poll_iteration");
+    for subs in [1usize, 7] {
+        let (mut dmon, mut host, dir, mon, ctl) = setup(subs);
+        let mut t = 1u64;
+        group.bench_function(format!("{subs}_subscribers"), |b| {
+            b.iter(|| {
+                t += 1;
+                dmon.poll(
+                    &mut host,
+                    &dir,
+                    mon,
+                    ctl,
+                    SimTime::from_millis(black_box(t)),
+                    &calib,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_poll);
+criterion_main!(benches);

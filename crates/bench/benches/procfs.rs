@@ -1,0 +1,55 @@
+//! ProcFs microbenchmarks: the read/write paths every `/proc/cluster`
+//! access goes through.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simos::ProcFs;
+
+fn populated() -> ProcFs {
+    let mut fs = ProcFs::new();
+    for node in 0..8 {
+        for metric in ["cpu", "mem", "disk", "net", "pmc"] {
+            fs.set(&format!("cluster/node{node}/{metric}"), "value 1.0 ts 0")
+                .unwrap();
+        }
+        fs.set(&format!("cluster/node{node}/control"), "").unwrap();
+    }
+    fs
+}
+
+fn bench_read(c: &mut Criterion) {
+    let fs = populated();
+    c.bench_function("procfs/read_deep_path", |b| {
+        b.iter(|| fs.read(black_box("cluster/node5/cpu")).unwrap())
+    });
+}
+
+fn bench_set(c: &mut Criterion) {
+    let mut fs = populated();
+    c.bench_function("procfs/set_existing", |b| {
+        b.iter(|| {
+            fs.set(black_box("cluster/node5/cpu"), black_box("value 2.0 ts 1"))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_list(c: &mut Criterion) {
+    let fs = populated();
+    c.bench_function("procfs/list_cluster", |b| {
+        b.iter(|| fs.list(black_box("cluster")).unwrap())
+    });
+}
+
+fn bench_control_write(c: &mut Criterion) {
+    let mut fs = populated();
+    c.bench_function("procfs/control_write_and_drain", |b| {
+        b.iter(|| {
+            fs.write(black_box("cluster/node3/control"), black_box("period cpu 2"))
+                .unwrap();
+            fs.drain_writes()
+        })
+    });
+}
+
+criterion_group!(benches, bench_read, bench_set, bench_list, bench_control_write);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Wire-codec microbenchmarks: encode/decode of the event sizes the
+//! paper's microbenchmarks exercise (small ~90 B and ~5 KB events).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kecho::wire::{decode_event, encode_event};
+use kecho::{Event, MonRecord, MonitoringPayload};
+use simnet::NodeId;
+
+fn event(records: usize, pad: u32) -> Event {
+    Event::monitoring(
+        1,
+        99,
+        NodeId(2),
+        MonitoringPayload {
+            origin: NodeId(2),
+            records: (0..records)
+                .map(|i| MonRecord {
+                    metric_id: i as u32,
+                    value: i as f64 * 1.5,
+                    last_value_sent: i as f64,
+                    timestamp: 123.456,
+                })
+                .collect(),
+            pad_bytes: pad,
+            ext_names: Vec::new(),
+        },
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let small = event(5, 0);
+    let large = event(5, 4900);
+    let mut group = c.benchmark_group("wire/encode");
+    group.bench_function("small_event", |b| b.iter(|| encode_event(black_box(&small))));
+    group.bench_function("5kb_event", |b| b.iter(|| encode_event(black_box(&large))));
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let small = encode_event(&event(5, 0));
+    let large = encode_event(&event(5, 4900));
+    let mut group = c.benchmark_group("wire/decode");
+    group.bench_function("small_event", |b| {
+        b.iter(|| decode_event(black_box(small.clone())).unwrap())
+    });
+    group.bench_function("5kb_event", |b| {
+        b.iter(|| decode_event(black_box(large.clone())).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,455 @@
+//! `dproc-shell` — an interactive (and scriptable) console for driving a
+//! simulated dproc cluster: create nodes, advance time, read `/proc`,
+//! write control files, launch workloads, crash nodes.
+//!
+//! ```text
+//! cargo run --release -p dproc-bench --bin dproc_shell
+//! dproc> cluster 3 alan maui etna
+//! dproc> run 5
+//! dproc> cat maui cluster/alan/cpu
+//! dproc> ctl alan etna period cpu 2
+//! dproc> linpack etna 4
+//! dproc> run 60
+//! dproc> stats
+//! ```
+//!
+//! Commands also stream from stdin, so sessions are scriptable:
+//! `printf 'cluster 2\nrun 10\nstats\n' | cargo run ... --bin dproc_shell`.
+
+use std::io::{self, BufRead, Write};
+
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::SimDur;
+use simnet::NodeId;
+
+/// One parsed shell command.
+#[derive(Debug, Clone, PartialEq)]
+enum Cmd {
+    Cluster { n: usize, names: Vec<String> },
+    Run { seconds: f64 },
+    Cat { node: String, path: String },
+    Ls { node: String, path: Option<String> },
+    Tree { node: String },
+    Ctl { node: String, target: String, text: String },
+    Linpack { node: String, threads: usize },
+    Iperf { from: String, to: String, mbps: f64 },
+    Kill { node: String },
+    Stats,
+    Latency,
+    Help,
+    Quit,
+    Nothing,
+}
+
+fn parse(line: &str) -> Result<Cmd, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(Cmd::Nothing);
+    }
+    let mut parts = line.split_whitespace();
+    let head = parts.next().expect("non-empty line");
+    let rest: Vec<&str> = parts.collect();
+    match head {
+        "cluster" => {
+            let n: usize = rest
+                .first()
+                .ok_or("usage: cluster <n> [names...]")?
+                .parse()
+                .map_err(|_| "cluster size must be a number".to_string())?;
+            if n == 0 {
+                return Err("cluster needs at least one node".into());
+            }
+            let names: Vec<String> = rest[1..].iter().map(|s| s.to_string()).collect();
+            if !names.is_empty() && names.len() != n {
+                return Err(format!("expected {n} names, got {}", names.len()));
+            }
+            Ok(Cmd::Cluster { n, names })
+        }
+        "run" => {
+            let seconds: f64 = rest
+                .first()
+                .ok_or("usage: run <seconds>")?
+                .parse()
+                .map_err(|_| "run takes a number of seconds".to_string())?;
+            if seconds <= 0.0 {
+                return Err("run duration must be positive".into());
+            }
+            Ok(Cmd::Run { seconds })
+        }
+        "cat" => match rest[..] {
+            [node, path] => Ok(Cmd::Cat {
+                node: node.into(),
+                path: path.into(),
+            }),
+            _ => Err("usage: cat <node> <path>".into()),
+        },
+        "ls" => match rest[..] {
+            [node] => Ok(Cmd::Ls {
+                node: node.into(),
+                path: None,
+            }),
+            [node, path] => Ok(Cmd::Ls {
+                node: node.into(),
+                path: Some(path.into()),
+            }),
+            _ => Err("usage: ls <node> [path]".into()),
+        },
+        "tree" => match rest[..] {
+            [node] => Ok(Cmd::Tree { node: node.into() }),
+            _ => Err("usage: tree <node>".into()),
+        },
+        "ctl" => {
+            if rest.len() < 3 {
+                return Err("usage: ctl <node> <target> <control command...>".into());
+            }
+            Ok(Cmd::Ctl {
+                node: rest[0].into(),
+                target: rest[1].into(),
+                text: rest[2..].join(" "),
+            })
+        }
+        "linpack" => match rest[..] {
+            [node, threads] => Ok(Cmd::Linpack {
+                node: node.into(),
+                threads: threads
+                    .parse()
+                    .map_err(|_| "thread count must be a number".to_string())?,
+            }),
+            _ => Err("usage: linpack <node> <threads>".into()),
+        },
+        "iperf" => match rest[..] {
+            [from, to, mbps] => Ok(Cmd::Iperf {
+                from: from.into(),
+                to: to.into(),
+                mbps: mbps
+                    .parse()
+                    .map_err(|_| "rate must be a number of Mbps".to_string())?,
+            }),
+            _ => Err("usage: iperf <from> <to> <mbps>".into()),
+        },
+        "kill" => match rest[..] {
+            [node] => Ok(Cmd::Kill { node: node.into() }),
+            _ => Err("usage: kill <node>".into()),
+        },
+        "stats" => Ok(Cmd::Stats),
+        "latency" => Ok(Cmd::Latency),
+        "help" | "?" => Ok(Cmd::Help),
+        "quit" | "exit" | "q" => Ok(Cmd::Quit),
+        other => Err(format!("unknown command `{other}` (try `help`)")),
+    }
+}
+
+const HELP: &str = "\
+cluster <n> [names...]      create an n-node monitored cluster
+run <seconds>               advance simulated time
+cat <node> <path>           read a /proc entry on a node
+ls <node> [path]            list a /proc directory
+tree <node>                 render a node's whole /proc tree
+ctl <node> <target> <cmd>   write a control command (period/delta/above/
+                            below/range/and/clear/window/filter/nofilter)
+linpack <node> <threads>    start linpack threads on a node
+iperf <from> <to> <mbps>    start a UDP flood between nodes
+kill <node>                 crash a node
+stats                       per-node d-mon counters
+latency                     monitoring latency summary
+quit                        leave";
+
+struct Shell {
+    sim: Option<ClusterSim>,
+}
+
+impl Shell {
+    fn new() -> Self {
+        Shell { sim: None }
+    }
+
+    fn node(&self, name: &str) -> Result<NodeId, String> {
+        let sim = self.sim.as_ref().ok_or("no cluster yet (try `cluster 3`)")?;
+        sim.world()
+            .node_by_name(name)
+            .or_else(|| name.parse::<usize>().ok().filter(|&i| i < sim.world().len()).map(NodeId))
+            .ok_or_else(|| format!("unknown node `{name}`"))
+    }
+
+    /// Execute one command. `Ok(None)` means quit; `Err` is a user error
+    /// to report (the shell keeps running).
+    fn exec(&mut self, cmd: Cmd) -> Result<Option<String>, String> {
+        self.exec_inner(cmd).map(|out| out.map(|s| s.to_string()))
+    }
+
+    fn exec_inner(&mut self, cmd: Cmd) -> Result<Option<String>, String> {
+        match cmd {
+            Cmd::Nothing => Ok(Some(String::new())),
+            Cmd::Help => Ok(Some(HELP.to_string())),
+            Cmd::Quit => Ok(None),
+            Cmd::Cluster { n, names } => {
+                let cfg = if names.is_empty() {
+                    ClusterConfig::new(n)
+                } else {
+                    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                    ClusterConfig::named(&refs)
+                };
+                let mut sim = ClusterSim::new(cfg);
+                sim.start();
+                let names: Vec<String> =
+                    sim.world().hosts.iter().map(|h| h.name.clone()).collect();
+                self.sim = Some(sim);
+                Ok(Some(format!("cluster up: {}", names.join(", "))))
+            }
+            Cmd::Run { seconds } => match &mut self.sim {
+                Some(sim) => {
+                    sim.run_for(SimDur::from_secs_f64(seconds));
+                    Ok(Some(format!("t = {}", sim.now())))
+                }
+                None => Err("no cluster yet".into()),
+            },
+            Cmd::Cat { node, path } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_ref().expect("checked");
+                match sim.world().hosts[id.0].proc.read(&path) {
+                    Ok(content) => Ok(Some(content.to_string())),
+                    Err(e) => Err(format!("cat: {e}")),
+                }
+            }
+            Cmd::Ls { node, path } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_ref().expect("checked");
+                let fs = &sim.world().hosts[id.0].proc;
+                let entries = match path {
+                    Some(p) => fs.list(&p).map_err(|e| format!("ls: {e}"))?,
+                    None => fs.list_root(),
+                };
+                Ok(Some(entries.join("\n")))
+            }
+            Cmd::Tree { node } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_ref().expect("checked");
+                Ok(Some(sim.world().hosts[id.0].proc.render_tree()))
+            }
+            Cmd::Ctl { node, target, text } => {
+                let id = self.node(&node)?;
+                // Validate locally so typos surface immediately.
+                if let Err(e) = dproc::control::parse_control(&text) {
+                    return Err(format!("ctl: {e}"));
+                }
+                let sim = self.sim.as_mut().expect("checked");
+                sim.write_control(id, &target, &text);
+                Ok(Some(format!("queued for {target} (applies at its next poll)")))
+            }
+            Cmd::Linpack { node, threads } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_mut().expect("checked");
+                sim.start_linpack(id, threads);
+                Ok(Some(format!("{threads} linpack thread(s) running on {node}")))
+            }
+            Cmd::Iperf { from, to, mbps } => {
+                let f = self.node(&from)?;
+                let t = self.node(&to)?;
+                let sim = self.sim.as_mut().expect("checked");
+                sim.start_iperf(f, t, mbps * 1e6);
+                Ok(Some(format!("flooding {from} -> {to} at {mbps} Mbps")))
+            }
+            Cmd::Kill { node } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_mut().expect("checked");
+                sim.world_mut().kill_node(id);
+                Ok(Some(format!("{node} is down")))
+            }
+            Cmd::Stats => match &self.sim {
+                Some(sim) => {
+                    let mut out = String::new();
+                    out.push_str("node           sent    recv  ctl  filters_err  alive\n");
+                    let w = sim.world();
+                    for i in 0..w.len() {
+                        let d = &w.dmons[i];
+                        out.push_str(&format!(
+                            "{:<12} {:>6} {:>7} {:>4} {:>12} {:>6}\n",
+                            w.hosts[i].name,
+                            d.stats.events_sent,
+                            d.stats.events_received,
+                            d.stats.control_handled,
+                            d.stats.filter_errors,
+                            w.is_alive(NodeId(i)),
+                        ));
+                    }
+                    Ok(Some(out))
+                }
+                None => Err("no cluster yet".into()),
+            },
+            Cmd::Latency => match &self.sim {
+                Some(sim) => {
+                    let s = &sim.world().mon_latency_us;
+                    if s.is_empty() {
+                        Ok(Some("no monitoring deliveries yet".into()))
+                    } else {
+                        Ok(Some(format!(
+                            "monitoring latency: mean {:.0} us, p50 {:.0}, p99 {:.0}, max {:.0} ({} events)",
+                            s.mean(),
+                            s.percentile(50.0),
+                            s.percentile(99.0),
+                            s.max(),
+                            s.len()
+                        )))
+                    }
+                }
+                None => Err("no cluster yet".into()),
+            },
+        }
+    }
+}
+
+fn main() {
+    let stdin = io::stdin();
+    let interactive = atty_stdin();
+    let mut shell = Shell::new();
+    if interactive {
+        println!("dproc shell — `help` lists commands");
+    }
+    loop {
+        if interactive {
+            print!("dproc> ");
+            let _ = io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        match parse(&line) {
+            Ok(cmd) => match shell.exec(cmd) {
+                Ok(Some(out)) => {
+                    if !out.is_empty() {
+                        println!("{out}");
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+/// Crude interactivity check without extra dependencies: scripted runs
+/// set `DPROC_SHELL_BATCH=1` or just pipe stdin (we can't portably detect
+/// a tty without libc, so default to non-interactive when the var is set).
+fn atty_stdin() -> bool {
+    std::env::var("DPROC_SHELL_BATCH").is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_the_documented_grammar() {
+        assert_eq!(
+            parse("cluster 3 a b c").unwrap(),
+            Cmd::Cluster {
+                n: 3,
+                names: vec!["a".into(), "b".into(), "c".into()]
+            }
+        );
+        assert_eq!(parse("run 5").unwrap(), Cmd::Run { seconds: 5.0 });
+        assert_eq!(
+            parse("cat maui cluster/alan/cpu").unwrap(),
+            Cmd::Cat {
+                node: "maui".into(),
+                path: "cluster/alan/cpu".into()
+            }
+        );
+        assert_eq!(
+            parse("ctl alan etna period cpu 2").unwrap(),
+            Cmd::Ctl {
+                node: "alan".into(),
+                target: "etna".into(),
+                text: "period cpu 2".into()
+            }
+        );
+        assert_eq!(parse("  # comment").unwrap(), Cmd::Nothing);
+        assert_eq!(parse("").unwrap(), Cmd::Nothing);
+        assert_eq!(parse("quit").unwrap(), Cmd::Quit);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "cluster",
+            "cluster x",
+            "cluster 0",
+            "cluster 2 onlyone",
+            "run",
+            "run -3",
+            "cat onlynode",
+            "ctl node target",
+            "linpack node many",
+            "iperf a b fast",
+            "frobnicate",
+        ] {
+            assert!(parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn scripted_session_works_end_to_end() {
+        let mut shell = Shell::new();
+        let script = [
+            "cluster 3 alan maui etna",
+            "run 5",
+            "linpack etna 2",
+            "run 65",
+            "ctl alan etna period cpu 2",
+            "run 5",
+            "stats",
+            "latency",
+        ];
+        let mut outputs = Vec::new();
+        for line in script {
+            let out = shell
+                .exec(parse(line).unwrap())
+                .expect("no error")
+                .expect("no quit");
+            outputs.push(out);
+        }
+        assert!(outputs[0].contains("alan, maui, etna"));
+        // After 70 s, maui can read etna's load through /proc.
+        let out = shell
+            .exec(parse("cat maui cluster/etna/cpu").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(out.starts_with("cpu "), "{out}");
+        assert!(outputs[6].contains("alan"));
+        assert!(outputs[7].contains("monitoring latency"));
+        // The control write installed a policy at etna.
+        let sim = shell.sim.as_ref().unwrap();
+        assert!(sim.world().dmons[2].policy_for(NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn numeric_node_names_resolve() {
+        let mut shell = Shell::new();
+        shell.exec(parse("cluster 2").unwrap()).unwrap();
+        shell.exec(parse("run 3").unwrap()).unwrap();
+        let out = shell.exec(parse("ls 0 cluster").unwrap()).unwrap().unwrap();
+        assert!(out.contains("node0") && out.contains("node1"));
+    }
+
+    #[test]
+    fn bad_control_text_reports_without_breaking() {
+        let mut shell = Shell::new();
+        shell.exec(parse("cluster 2").unwrap()).unwrap();
+        let err = shell
+            .exec(parse("ctl node0 node1 gibberish here").unwrap())
+            .unwrap_err();
+        assert!(err.contains("ctl:"), "{err}");
+        // Shell still alive after a user error.
+        assert!(shell
+            .exec(parse("run 1").unwrap())
+            .unwrap()
+            .unwrap()
+            .contains("t ="));
+        // Unknown node is also a recoverable error.
+        assert!(shell.exec(parse("cat nosuch loadavg").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 10: frame latency vs. Iperf network perturbation
+//! with ~3 MB events.
+fn main() {
+    print!("{}", dproc_bench::harness::fig10_data(60).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: frame latency vs. combined CPU+network
+//! perturbation for dynamic filters driven by CPU-only, network-only,
+//! and hybrid (CPU+net+disk) monitoring.
+fn main() {
+    print!("{}", dproc_bench::harness::fig11_data(60).render());
+}

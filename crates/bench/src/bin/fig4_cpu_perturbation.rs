@@ -1,0 +1,5 @@
+//! Regenerates Figure 4: linpack Mflops on one node vs. cluster size,
+//! under update periods of 1 s / 2 s and the 15% differential filter.
+fn main() {
+    print!("{}", dproc_bench::harness::fig4_data().render());
+}

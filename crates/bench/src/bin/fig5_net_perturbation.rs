@@ -1,0 +1,5 @@
+//! Regenerates Figure 5: Iperf-style available bandwidth between two
+//! nodes vs. cluster size, under the three monitoring configurations.
+fn main() {
+    print!("{}", dproc_bench::harness::fig5_data().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6: per-polling-iteration event submission overhead
+//! (microseconds) vs. cluster size, with 50-100 B monitoring events.
+fn main() {
+    print!("{}", dproc_bench::harness::fig6_data().render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7: per-iteration submission overhead with ~5 KB
+//! monitoring events.
+fn main() {
+    print!("{}", dproc_bench::harness::fig7_data().render());
+}

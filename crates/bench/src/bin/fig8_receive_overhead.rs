@@ -1,0 +1,5 @@
+//! Regenerates Figure 8: per-polling-iteration overhead of receiving
+//! incoming monitoring events.
+fn main() {
+    print!("{}", dproc_bench::harness::fig8_data().render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9(a): SmartPointer frame latency over time as
+//! linpack threads accumulate at the client (no / static / dynamic
+//! filters). Paper-length run: 10 segments of 200 s.
+fn main() {
+    print!("{}", dproc_bench::harness::fig9a_data(200, 9).render());
+}

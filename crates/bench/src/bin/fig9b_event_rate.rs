@@ -1,0 +1,5 @@
+//! Regenerates Figure 9(b): events/sec processed at the client vs. the
+//! number of linpack threads.
+fn main() {
+    print!("{}", dproc_bench::harness::fig9b_data(200, 9).render());
+}

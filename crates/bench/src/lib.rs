@@ -1,0 +1,9 @@
+//! `dproc-bench` — the figure-regeneration harness.
+//!
+//! One binary per evaluation figure of the paper (`fig4_cpu_perturbation`
+//! … `fig11_hybrid`), a `run_all` binary producing the complete
+//! EXPERIMENTS.md input, and an `ablation_topology` binary for the
+//! peer-to-peer vs. central-collector design comparison. Criterion
+//! microbenchmarks live under `benches/`.
+
+pub mod harness;

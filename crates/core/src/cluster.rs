@@ -1,0 +1,800 @@
+//! The runnable cluster: N simulated hosts with one d-mon each, wired
+//! through KECho channels over the switched network, driven by the
+//! discrete-event loop.
+//!
+//! This is the composition layer: it owns the [`simcore::Sim`] event
+//! queue, schedules each d-mon's polling iterations, turns planned sends
+//! into network transfers, charges CPU costs to the hosts' schedulers, and
+//! delivers events into the receiving d-mons. Applications (the figure
+//! harness, SmartPointer) drive everything through [`ClusterSim`].
+
+use simcore::{Repeat, Sim, SimDur, SimTime};
+use simnet::link::{BytesWindow, LinkSpec};
+use simnet::traffic::FlowTable;
+use simnet::{ConnId, Delivery, Network, NodeId};
+use simos::cpu::TaskState;
+use simos::host::{Host, HostConfig};
+use simos::workload::Linpack;
+use simos::TaskId;
+
+use kecho::{ChannelId, Directory, Event, EventKind, Hop, Topology};
+
+use crate::calib::Calib;
+use crate::dmon::DMon;
+use crate::modules::standard_modules;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node hostnames; length = cluster size.
+    pub names: Vec<String>,
+    /// Per-node host hardware (same length as `names`).
+    pub host_cfgs: Vec<HostConfig>,
+    /// d-mon polling period (the paper compares 1 s and 2 s).
+    pub poll_period: SimDur,
+    /// Link parameters (defaults to the paper's Fast Ethernet).
+    pub link: LinkSpec,
+    /// Channel routing topology.
+    pub topology: Topology,
+    /// Cost model.
+    pub calib: Calib,
+    /// Extra payload bytes per monitoring event (Fig. 7 uses ~5 KB).
+    pub event_pad: u32,
+    /// Per-node offset of the first poll, avoiding phase-locked polling.
+    pub stagger: SimDur,
+    /// Subscribe every node to both channels at start (the normal dproc
+    /// deployment).
+    pub auto_subscribe: bool,
+}
+
+impl ClusterConfig {
+    /// `n` nodes named `node0..`, testbed hardware, 1 s polling.
+    pub fn new(n: usize) -> Self {
+        let names = (0..n).map(|i| format!("node{i}")).collect();
+        Self::with_names(names)
+    }
+
+    /// Nodes with explicit names.
+    pub fn named(names: &[&str]) -> Self {
+        Self::with_names(names.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn with_names(names: Vec<String>) -> Self {
+        let n = names.len();
+        ClusterConfig {
+            names,
+            host_cfgs: vec![HostConfig::testbed(); n],
+            poll_period: SimDur::from_secs(1),
+            link: LinkSpec::fast_ethernet(),
+            topology: Topology::PeerToPeer,
+            calib: Calib::default(),
+            event_pad: 0,
+            stagger: SimDur::from_millis(1),
+            auto_subscribe: true,
+        }
+    }
+
+    /// Set the polling period.
+    pub fn poll_period(mut self, p: SimDur) -> Self {
+        self.poll_period = p;
+        self
+    }
+
+    /// Set the per-event pad bytes.
+    pub fn event_pad(mut self, pad: u32) -> Self {
+        self.event_pad = pad;
+        self
+    }
+
+    /// Set the topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Override one node's hardware.
+    pub fn host_cfg(mut self, node: usize, cfg: HostConfig) -> Self {
+        self.host_cfgs[node] = cfg;
+        self
+    }
+
+    /// Override the calibration constants.
+    pub fn calib(mut self, calib: Calib) -> Self {
+        self.calib = calib;
+        self
+    }
+}
+
+/// The mutable world state the event loop drives.
+pub struct ClusterWorld {
+    /// The switched network.
+    pub net: Network,
+    /// Background flows (Iperf perturbation).
+    pub flows: FlowTable,
+    /// One host per node.
+    pub hosts: Vec<Host>,
+    /// One d-mon per node.
+    pub dmons: Vec<DMon>,
+    /// One linpack workload handle per node.
+    pub linpacks: Vec<Linpack>,
+    /// The channel directory.
+    pub dir: Directory,
+    /// The monitoring channel.
+    pub mon_chan: ChannelId,
+    /// The control channel.
+    pub ctl_chan: ChannelId,
+    /// The cost model.
+    pub calib: Calib,
+    /// End-to-end monitoring-event latencies (µs).
+    pub mon_latency_us: simcore::stats::Sampler,
+    /// Lifetime count of delivered monitoring events.
+    pub mon_delivered: u64,
+    /// Lifetime count of delivered control events.
+    pub ctl_delivered: u64,
+    /// Per-node d-mon service task (kernel thread).
+    svc_tasks: Vec<TaskId>,
+    /// Per-node queue of pending CPU charges: the kernel thread is a
+    /// serial server, so concurrent charges queue rather than overlap
+    /// (overlapping them would under-account the stolen CPU).
+    svc_pending: Vec<std::collections::VecDeque<SimDur>>,
+    /// Whether each node's service task is currently draining a charge.
+    svc_busy: Vec<bool>,
+    /// Liveness per node; dead nodes neither poll nor receive (models
+    /// crash failures for the fault-tolerance comparison).
+    alive: Vec<bool>,
+    /// Per-node events handled (sent + received) in a sliding 1 s window —
+    /// feeds the Iperf probe's interference model.
+    event_meter: Vec<BytesWindow>,
+    /// Endpoints and rate of each started flood, so stopping one can also
+    /// clear the hosts' NIC-level background observation.
+    flow_meta: std::collections::HashMap<simnet::FlowId, (NodeId, NodeId, f64)>,
+}
+
+impl ClusterWorld {
+    /// Cluster size.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Node id by hostname.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.hosts.iter().position(|h| h.name == name).map(NodeId)
+    }
+
+    /// Events per second (sent + received) a node handled recently.
+    pub fn event_rate(&mut self, node: NodeId, now: SimTime) -> f64 {
+        self.event_meter[node.0].bytes(now) as f64
+            / self.event_meter[node.0].window().as_secs_f64()
+    }
+
+    /// Charge CPU time to a node's d-mon kernel thread. Charges drain
+    /// serially: the service task is runnable while work is pending, so
+    /// compute workloads (linpack) lose exactly the charged CPU time.
+    pub fn charge_cpu(&mut self, sim: &mut Sim<ClusterWorld>, node: NodeId, cost: SimDur) {
+        if cost.is_zero() {
+            return;
+        }
+        let i = node.0;
+        self.svc_pending[i].push_back(cost);
+        if !self.svc_busy[i] {
+            self.svc_drain(sim, i);
+        }
+    }
+
+    fn svc_drain(&mut self, sim: &mut Sim<ClusterWorld>, i: usize) {
+        let now = sim.now();
+        let task = self.svc_tasks[i];
+        let Some(cost) = self.svc_pending[i].pop_front() else {
+            if self.svc_busy[i] {
+                self.svc_busy[i] = false;
+                self.hosts[i].cpu.set_state(now, task, TaskState::Sleeping);
+            }
+            return;
+        };
+        let host = &mut self.hosts[i];
+        host.cpu.advance(now);
+        if !self.svc_busy[i] {
+            self.svc_busy[i] = true;
+            host.cpu.set_state(now, task, TaskState::Runnable);
+        }
+        let wall = SimDur::from_secs_f64(cost.as_secs_f64() / self.hosts[i].cpu.share());
+        sim.schedule_in(wall, move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+            w.svc_drain(sim, i);
+        });
+    }
+
+    /// Send an event over the network and schedule its delivery. In the
+    /// central-concentrator topology, leaf-to-leaf hops detour via the
+    /// hub, which relays them onward at delivery time.
+    pub fn transmit(
+        &mut self,
+        sim: &mut Sim<ClusterWorld>,
+        mut hop: Hop,
+        ev: Event,
+        bytes: usize,
+    ) {
+        if let Topology::Central(hub) = self.dir.topology() {
+            if hop.from != hub && hop.to != hub {
+                hop = Hop {
+                    from: hop.from,
+                    to: hub,
+                };
+            }
+        }
+        if !self.alive[hop.from.0] {
+            return;
+        }
+        let now = sim.now();
+        self.event_meter[hop.from.0].record(now, 1);
+        self.hosts[hop.from.0].on_net_bytes(bytes as u64);
+        let delivery: Delivery = self.net.send(now, hop.from, hop.to, bytes);
+        let sent_at = now;
+        let queued = delivery.queued;
+        sim.schedule_at(delivery.deliver_at, move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+            w.deliver(sim, hop, ev, bytes, sent_at, queued);
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        sim: &mut Sim<ClusterWorld>,
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        sent_at: SimTime,
+        queued: SimDur,
+    ) {
+        let now = sim.now();
+        let to = hop.to;
+        if !self.alive[to.0] {
+            return; // delivered into a dead NIC: lost
+        }
+        let one_way = now.since(sent_at);
+        self.event_meter[to.0].record(now, 1);
+        self.hosts[to.0].on_net_bytes(bytes as u64);
+
+        // Central-concentrator transit: a hub receiving an event addressed
+        // elsewhere relays it onward instead of consuming it.
+        if let Topology::Central(hub) = self.dir.topology() {
+            if to == hub {
+                if let Some(target) = ev.target {
+                    if target != hub {
+                        let relay_cost =
+                            self.calib.receive_cost(bytes) + self.calib.submit_cost(bytes)
+                                + self.calib.kernel_path_recv
+                                + self.calib.kernel_path_send;
+                        self.charge_cpu(sim, hub, relay_cost);
+                        // Relay directly (not via transmit) so the final
+                        // delivery keeps the original send time and the
+                        // latency sampler sees true end-to-end latency.
+                        self.event_meter[hub.0].record(now, 1);
+                        let relay_hop = Hop {
+                            from: hub,
+                            to: target,
+                        };
+                        let delivery = self.net.send(now, hub, target, bytes);
+                        let relay_queued = delivery.queued;
+                        sim.schedule_at(
+                            delivery.deliver_at,
+                            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+                                w.deliver(sim, relay_hop, ev, bytes, sent_at, relay_queued);
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Kernel connection tracking on the receiving host.
+        let conn = ConnId {
+            local: to,
+            remote: ev.sender,
+            proto: simnet::conn::Proto::Tcp,
+            tag: ev.channel,
+        };
+        self.hosts[to.0].conns.open(conn, now);
+        self.hosts[to.0]
+            .conns
+            .record_delivery(conn, now, bytes as u64, one_way);
+        // Heavy queueing means the transport retransmitted: NET MON's
+        // per-connection counters should show congestion.
+        if queued > self.calib.rto {
+            self.hosts[to.0].conns.record_retransmission(conn);
+        }
+
+        match ev.kind {
+            EventKind::Monitoring => {
+                self.mon_delivered += 1;
+                self.mon_latency_us.add(one_way.as_micros_f64());
+                let calib = self.calib.clone();
+                let handler = {
+                    let (dmon, host) = Self::dmon_host(&mut self.dmons, &mut self.hosts, to.0);
+                    dmon.on_event(host, &ev, bytes, now, &calib)
+                };
+                self.charge_cpu(sim, to, handler + self.calib.kernel_path_recv);
+
+                // Central-concentrator topology: the hub relays.
+                if let Topology::Central(hub) = self.dir.topology() {
+                    if to == hub {
+                        if let Some(origin) = ev.as_monitoring().map(|m| m.origin) {
+                            if origin != hub {
+                                let chan = ChannelId(ev.channel);
+                                let hops = self.dir.plan_forward(chan, origin);
+                                for fwd in hops {
+                                    let relay_cost =
+                                        self.calib.submit_cost(bytes) + self.calib.kernel_path_send;
+                                    self.charge_cpu(sim, hub, relay_cost);
+                                    self.transmit(sim, fwd, ev.clone(), bytes);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            EventKind::Control => {
+                self.ctl_delivered += 1;
+                if let Some(msg) = ev.as_control() {
+                    let calib = self.calib.clone();
+                    let cost = self.dmons[to.0].on_control(ev.sender, msg, &calib);
+                    self.charge_cpu(sim, to, cost + self.calib.kernel_path_recv);
+                }
+            }
+        }
+    }
+
+    fn dmon_host<'a>(
+        dmons: &'a mut [DMon],
+        hosts: &'a mut [Host],
+        i: usize,
+    ) -> (&'a mut DMon, &'a mut Host) {
+        (&mut dmons[i], &mut hosts[i])
+    }
+
+    /// Crash a node: it stops polling, sending, and receiving. Other
+    /// nodes' d-mons keep running — with peer-to-peer channels the rest of
+    /// the cluster keeps exchanging monitoring data; with a central
+    /// collector, losing the hub silences everyone (the paper's fault-
+    /// tolerance argument).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.alive[node.0] = false;
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0]
+    }
+
+    /// Run one d-mon polling iteration for node `i`. No-op on dead nodes.
+    pub fn poll_node(&mut self, sim: &mut Sim<ClusterWorld>, i: usize) {
+        if !self.alive[i] {
+            return;
+        }
+        let now = sim.now();
+        let calib = self.calib.clone();
+        let mon = self.mon_chan;
+        let ctl = self.ctl_chan;
+        let outcome = {
+            let dir = &self.dir;
+            // Split borrows: dmons[i] and hosts[i] are distinct fields.
+            let dmon = &mut self.dmons[i];
+            let host = &mut self.hosts[i];
+            dmon.poll(host, dir, mon, ctl, now, &calib)
+        };
+        self.charge_cpu(sim, NodeId(i), outcome.cpu_cost);
+        for (hop, ev, bytes) in outcome.sends {
+            self.transmit(sim, hop, ev, bytes);
+        }
+    }
+}
+
+/// The cluster simulation: world + event loop + convenience API.
+pub struct ClusterSim {
+    sim: Sim<ClusterWorld>,
+    world: ClusterWorld,
+    poll_period: SimDur,
+    stagger: SimDur,
+    started: bool,
+}
+
+impl ClusterSim {
+    /// Build a cluster from a configuration. Channels are opened and (by
+    /// default) every node subscribes to both.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let n = cfg.names.len();
+        assert!(n > 0, "cluster needs at least one node");
+        assert_eq!(cfg.host_cfgs.len(), n, "one host config per node");
+        let net = Network::new(n, cfg.link);
+        let mut dir = Directory::new(cfg.topology);
+        let mon_chan = dir.open("dproc-monitoring");
+        let ctl_chan = dir.open("dproc-control");
+        let mut hosts = Vec::with_capacity(n);
+        let mut dmons = Vec::with_capacity(n);
+        let mut svc_tasks = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut host = Host::new(cfg.names[i].clone(), NodeId(i), &cfg.host_cfgs[i]);
+            host.link_capacity_bps = cfg.link.bandwidth_bps;
+            let svc = host.cpu.spawn_service(SimTime::ZERO, "d-mon");
+            svc_tasks.push(svc);
+            hosts.push(host);
+            let mut dmon = DMon::new(
+                NodeId(i),
+                cfg.names.clone(),
+                standard_modules(),
+                cfg.poll_period,
+            );
+            dmon.set_event_pad(cfg.event_pad);
+            dmons.push(dmon);
+            if cfg.auto_subscribe {
+                dir.subscribe(mon_chan, NodeId(i));
+                dir.subscribe(ctl_chan, NodeId(i));
+            }
+        }
+        let world = ClusterWorld {
+            net,
+            flows: FlowTable::new(),
+            hosts,
+            dmons,
+            linpacks: (0..n).map(|_| Linpack::new()).collect(),
+            dir,
+            mon_chan,
+            ctl_chan,
+            calib: cfg.calib.clone(),
+            mon_latency_us: simcore::stats::Sampler::new(),
+            mon_delivered: 0,
+            ctl_delivered: 0,
+            svc_tasks,
+            svc_pending: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            svc_busy: vec![false; n],
+            alive: vec![true; n],
+            event_meter: (0..n)
+                .map(|_| BytesWindow::new(SimDur::from_secs(1)))
+                .collect(),
+            flow_meta: std::collections::HashMap::new(),
+        };
+        ClusterSim {
+            sim: Sim::new(),
+            world,
+            poll_period: cfg.poll_period,
+            stagger: cfg.stagger,
+            started: false,
+        }
+    }
+
+    /// Schedule the periodic d-mon polls. Idempotent.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let n = self.world.len();
+        for i in 0..n {
+            let first = SimTime::ZERO + self.poll_period + self.stagger * (i as u64);
+            self.sim.schedule_periodic(
+                first,
+                self.poll_period,
+                move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+                    w.poll_node(sim, i);
+                    Repeat::Continue
+                },
+            );
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Run the event loop until `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(&mut self.world, t);
+    }
+
+    /// Run the event loop for `d` from now.
+    pub fn run_for(&mut self, d: SimDur) {
+        self.sim.run_for(&mut self.world, d);
+    }
+
+    /// Immutable world access.
+    pub fn world(&self) -> &ClusterWorld {
+        &self.world
+    }
+
+    /// Mutable world access (between runs).
+    pub fn world_mut(&mut self) -> &mut ClusterWorld {
+        &mut self.world
+    }
+
+    /// Both world and scheduler, for app layers that transmit directly.
+    pub fn parts(&mut self) -> (&mut ClusterWorld, &mut Sim<ClusterWorld>) {
+        (&mut self.world, &mut self.sim)
+    }
+
+    /// Schedule an arbitrary action at time `t`.
+    pub fn at(
+        &mut self,
+        t: SimTime,
+        f: impl FnOnce(&mut ClusterWorld, &mut Sim<ClusterWorld>) + 'static,
+    ) {
+        self.sim.schedule_at(t, f);
+    }
+
+    /// Write into a `/proc/cluster/<target>/control` file on `node` — the
+    /// application-facing customization path. Creates the file if the
+    /// target has not been seen yet.
+    pub fn write_control(&mut self, node: NodeId, target_name: &str, text: &str) {
+        let path = format!("cluster/{target_name}/control");
+        let host = &mut self.world.hosts[node.0];
+        if !host.proc.exists(&path) {
+            host.proc.set(&path, "").expect("control path");
+        }
+        host.proc.write(&path, text).expect("control write");
+    }
+
+    /// Start `threads` linpack threads on a node.
+    pub fn start_linpack(&mut self, node: NodeId, threads: usize) {
+        let now = self.sim.now();
+        let host = &mut self.world.hosts[node.0];
+        self.world.linpacks[node.0].start_threads(&mut host.cpu, now, threads);
+    }
+
+    /// Begin a linpack measurement interval on a node.
+    pub fn mark_linpack(&mut self, node: NodeId) {
+        let now = self.sim.now();
+        let host = &mut self.world.hosts[node.0];
+        self.world.linpacks[node.0].mark(&mut host.cpu, now);
+    }
+
+    /// Mflops since the last mark on a node.
+    pub fn linpack_mflops(&mut self, node: NodeId) -> f64 {
+        let now = self.sim.now();
+        let host = &mut self.world.hosts[node.0];
+        self.world.linpacks[node.0].mflops_since_mark(&mut host.cpu, now)
+    }
+
+    /// Start an Iperf-style UDP flood between two nodes. Both endpoints'
+    /// NIC counters observe the traffic (NET MON's available-bandwidth
+    /// estimate reflects it).
+    pub fn start_iperf(&mut self, from: NodeId, to: NodeId, bps: f64) -> simnet::FlowId {
+        let id = self.world.flows.start(&mut self.world.net, from, to, bps);
+        self.world.hosts[from.0].observed_background_bps += bps;
+        self.world.hosts[to.0].observed_background_bps += bps;
+        self.world.flow_meta.insert(id, (from, to, bps));
+        id
+    }
+
+    /// Stop a flood; clears the endpoints' NIC observations. Idempotent.
+    pub fn stop_iperf(&mut self, id: simnet::FlowId) {
+        self.world.flows.stop(&mut self.world.net, id);
+        if let Some((from, to, bps)) = self.world.flow_meta.remove(&id) {
+            let f = &mut self.world.hosts[from.0].observed_background_bps;
+            *f = (*f - bps).max(0.0);
+            let t = &mut self.world.hosts[to.0].observed_background_bps;
+            *t = (*t - bps).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_node_cluster_builds_figure1_tree() {
+        let mut sim = ClusterSim::new(ClusterConfig::named(&["alan", "maui", "etna"]));
+        sim.start();
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        // Every node sees every other node's metrics under /proc/cluster.
+        for host_idx in 0..3 {
+            for name in ["alan", "maui", "etna"] {
+                assert!(
+                    w.hosts[host_idx].proc.exists(&format!("cluster/{name}/cpu")),
+                    "host {host_idx} missing cluster/{name}/cpu"
+                );
+            }
+        }
+        assert!(w.mon_delivered > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = ClusterSim::new(ClusterConfig::new(4));
+            sim.start();
+            sim.run_until(SimTime::from_secs(10));
+            (
+                sim.world().mon_delivered,
+                sim.world().mon_latency_us.mean(),
+                sim.world().dmons[0].stats.events_sent,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn monitoring_traffic_scales_with_nodes() {
+        let delivered = |n: usize| {
+            let mut sim = ClusterSim::new(ClusterConfig::new(n));
+            sim.start();
+            sim.run_until(SimTime::from_secs(10));
+            sim.world().mon_delivered
+        };
+        let d2 = delivered(2);
+        let d8 = delivered(8);
+        // n*(n-1) scaling: 8 nodes produce ~28x the pairs of 2 nodes.
+        assert!(d8 > d2 * 20, "d2={d2} d8={d8}");
+    }
+
+    #[test]
+    fn control_write_reaches_remote_dmon() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(3));
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+        // node1 asks node0 for a 2s period on all metrics.
+        sim.write_control(NodeId(1), "node0", "period * 2");
+        sim.run_until(SimTime::from_secs(8));
+        let w = sim.world();
+        let p = w.dmons[0].policy_for(NodeId(1)).expect("policy installed");
+        assert_eq!(p.rule_count("LOADAVG"), 1);
+    }
+
+    #[test]
+    fn filter_deployment_over_control_channel() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+        sim.write_control(
+            NodeId(1),
+            "node0",
+            "filter { if (input[LOADAVG].value > 100.0) { output[0] = input[LOADAVG]; } }",
+        );
+        sim.run_until(SimTime::from_secs(4));
+        assert!(sim.world().dmons[0].has_filter(NodeId(1)));
+        // The filter blocks everything (load never > 100): node1 stops
+        // receiving fresh values from node0.
+        let before = sim.world().dmons[1].stats.events_received;
+        sim.run_until(SimTime::from_secs(14));
+        let after = sim.world().dmons[1].stats.events_received;
+        assert_eq!(before, after, "filter suppressed all events");
+    }
+
+    #[test]
+    fn linpack_feels_monitoring_load() {
+        // One node, no monitoring traffic: full speed.
+        let mut quiet = ClusterSim::new(
+            ClusterConfig::new(1).host_cfg(0, HostConfig::uniprocessor()),
+        );
+        quiet.start();
+        quiet.start_linpack(NodeId(0), 1);
+        quiet.mark_linpack(NodeId(0));
+        quiet.run_until(SimTime::from_secs(30));
+        let mflops_quiet = quiet.linpack_mflops(NodeId(0));
+
+        // Eight nodes: node 0 handles 7 incoming + 7 outgoing events/s.
+        let mut busy = ClusterSim::new(
+            ClusterConfig::new(8).host_cfg(0, HostConfig::uniprocessor()),
+        );
+        busy.start();
+        busy.start_linpack(NodeId(0), 1);
+        busy.mark_linpack(NodeId(0));
+        busy.run_until(SimTime::from_secs(30));
+        let mflops_busy = busy.linpack_mflops(NodeId(0));
+
+        assert!(
+            mflops_busy < mflops_quiet * 0.99,
+            "monitoring should perturb: {mflops_quiet} -> {mflops_busy}"
+        );
+        assert!(
+            mflops_busy > mflops_quiet * 0.90,
+            "but only slightly: {mflops_quiet} -> {mflops_busy}"
+        );
+    }
+
+    #[test]
+    fn central_topology_relays_through_hub() {
+        let cfg = ClusterConfig::new(4).topology(Topology::Central(NodeId(0)));
+        let mut sim = ClusterSim::new(cfg);
+        sim.start();
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        // Non-hub nodes still end up with each other's data.
+        assert!(w.hosts[1].proc.exists("cluster/node2/cpu"));
+        assert!(w.hosts[2].proc.exists("cluster/node3/cpu"));
+        // The hub's links carry far more traffic than a leaf's (its own
+        // submissions plus one relay per leaf-to-leaf pair).
+        let hub_msgs = w.net.uplink(NodeId(0)).messages() + w.net.downlink(NodeId(0)).messages();
+        let leaf_msgs = w.net.uplink(NodeId(1)).messages() + w.net.downlink(NodeId(1)).messages();
+        assert!(
+            hub_msgs > leaf_msgs * 2,
+            "hub {hub_msgs} vs leaf {leaf_msgs}"
+        );
+    }
+
+    #[test]
+    fn iperf_flood_perturbs_monitoring_latency() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        sim.start();
+        sim.run_until(SimTime::from_secs(10));
+        let lat_quiet = sim.world().mon_latency_us.mean();
+
+        let mut sim2 = ClusterSim::new(ClusterConfig::new(2));
+        sim2.start();
+        sim2.start_iperf(NodeId(0), NodeId(1), 90e6);
+        sim2.run_until(SimTime::from_secs(10));
+        let lat_flooded = sim2.world().mon_latency_us.mean();
+        assert!(
+            lat_flooded > lat_quiet * 2.0,
+            "flood should inflate latency: {lat_quiet} vs {lat_flooded}"
+        );
+    }
+
+    #[test]
+    fn remote_value_fast_path_matches_proc() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        sim.start();
+        // Put some load on node1 so its LOADAVG is nonzero.
+        sim.start_linpack(NodeId(1), 2);
+        sim.run_until(SimTime::from_secs(120));
+        let w = sim.world();
+        let (v, _) = w.dmons[0].remote_value(NodeId(1), "LOADAVG").unwrap();
+        assert!(v > 1.5, "node0 sees node1's load: {v}");
+    }
+}
+
+#[cfg(test)]
+mod congestion_tests {
+    use super::*;
+    use simnet::conn::Proto;
+
+    #[test]
+    fn congested_monitoring_shows_retransmissions() {
+        // Saturate node1's downlink; monitoring events queue past the RTO
+        // and the connection stats record retransmissions, which NET MON's
+        // detail text surfaces.
+        let mut sim = ClusterSim::new(ClusterConfig::new(2).event_pad(500_000));
+        sim.start();
+        sim.start_iperf(NodeId(0), NodeId(1), 99e6);
+        sim.run_until(SimTime::from_secs(30));
+        let w = sim.world_mut();
+        let conn = ConnId {
+            local: NodeId(1),
+            remote: NodeId(0),
+            proto: Proto::Tcp,
+            tag: w.mon_chan.0,
+        };
+        let retx = w.hosts[1]
+            .conns
+            .get(conn)
+            .map(|s| s.retransmissions())
+            .unwrap_or(0);
+        assert!(retx > 0, "queueing past the RTO counts retransmissions");
+        // And the /proc detail carries it to remote observers.
+        let now = sim.now();
+        let w = sim.world_mut();
+        let sample = crate::modules::NetMon.collect_for_test(&mut w.hosts[1], now);
+        assert!(sample.contains("retx"), "{sample}");
+    }
+
+    #[test]
+    fn uncongested_monitoring_has_no_retransmissions() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        sim.start();
+        sim.run_until(SimTime::from_secs(30));
+        let w = sim.world();
+        let conn = ConnId {
+            local: NodeId(1),
+            remote: NodeId(0),
+            proto: Proto::Tcp,
+            tag: w.mon_chan.0,
+        };
+        assert_eq!(w.hosts[1].conns.get(conn).unwrap().retransmissions(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! The control-file text protocol.
+//!
+//! Applications customize remote monitoring by writing plain text into
+//! `/proc/cluster/<node>/control`. Each write is one command:
+//!
+//! ```text
+//! period <metric|*> <seconds>      # update period
+//! delta <metric|*> <fraction>      # differential filter (0.15 = 15%)
+//! above <metric|*> <bound>         # threshold: send while value > bound
+//! below <metric|*> <bound>         # threshold: send while value < bound
+//! range <metric> <lo> <hi>         # threshold: send while lo <= v <= hi
+//! and <metric> <rule...>           # add a rule without replacing (AND)
+//! clear <metric|*>                 # drop the metric's rules
+//! window <metric> <seconds>        # module averaging window (CPU MON)
+//! filter <e-code source...>        # deploy a dynamic filter (rest of write)
+//! nofilter                         # remove the deployed filter
+//! ```
+//!
+//! `period`/`delta`/`above`/`below`/`range` *replace* the metric's rules;
+//! `and ...` adds to them, enabling the paper's "every 2 s IF above 80%"
+//! combinations.
+
+use kecho::{ControlMsg, ParamSpec};
+
+/// A parse failure, with the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ControlParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad control write: {}", self.message)
+    }
+}
+
+impl std::error::Error for ControlParseError {}
+
+fn err(message: impl Into<String>) -> ControlParseError {
+    ControlParseError {
+        message: message.into(),
+    }
+}
+
+fn parse_f64(s: &str, what: &str) -> Result<f64, ControlParseError> {
+    s.parse::<f64>()
+        .map_err(|_| err(format!("{what} `{s}` is not a number")))
+}
+
+/// Internal: parse one rule command's spec portion.
+fn parse_spec(cmd: &str, args: &[&str]) -> Result<ParamSpec, ControlParseError> {
+    match cmd {
+        "period" => {
+            let [v] = args else {
+                return Err(err("usage: period <metric|*> <seconds>"));
+            };
+            let period_s = parse_f64(v, "period")?;
+            if period_s <= 0.0 {
+                return Err(err("period must be positive"));
+            }
+            Ok(ParamSpec::Period { period_s })
+        }
+        "delta" => {
+            let [v] = args else {
+                return Err(err("usage: delta <metric|*> <fraction>"));
+            };
+            let fraction = parse_f64(v, "fraction")?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(err("delta fraction must be within [0, 1]"));
+            }
+            Ok(ParamSpec::DeltaFraction { fraction })
+        }
+        "above" => {
+            let [v] = args else {
+                return Err(err("usage: above <metric|*> <bound>"));
+            };
+            Ok(ParamSpec::Above {
+                bound: parse_f64(v, "bound")?,
+            })
+        }
+        "below" => {
+            let [v] = args else {
+                return Err(err("usage: below <metric|*> <bound>"));
+            };
+            Ok(ParamSpec::Below {
+                bound: parse_f64(v, "bound")?,
+            })
+        }
+        "range" => {
+            let [lo, hi] = args else {
+                return Err(err("usage: range <metric> <lo> <hi>"));
+            };
+            let lo = parse_f64(lo, "lo")?;
+            let hi = parse_f64(hi, "hi")?;
+            if lo > hi {
+                return Err(err("range lo must not exceed hi"));
+            }
+            Ok(ParamSpec::Range { lo, hi })
+        }
+        other => Err(err(format!("unknown control command `{other}`"))),
+    }
+}
+
+/// The result of parsing one control write: the wire message plus whether
+/// the rule should *add* to (vs replace) the metric's existing rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlDirective {
+    /// The message to ship to the publisher.
+    pub msg: ControlMsg,
+    /// `and`-combined rather than replacing.
+    pub additive: bool,
+}
+
+/// Parse one control-file write.
+pub fn parse_control(text: &str) -> Result<ControlDirective, ControlParseError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err(err("empty control write"));
+    }
+    let (head, rest) = match trimmed.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim_start()),
+        None => (trimmed, ""),
+    };
+    match head {
+        "filter" => {
+            if rest.is_empty() {
+                return Err(err("usage: filter <e-code source>"));
+            }
+            Ok(ControlDirective {
+                msg: ControlMsg::DeployFilter {
+                    source: rest.to_string(),
+                },
+                additive: false,
+            })
+        }
+        "nofilter" => {
+            if !rest.is_empty() {
+                return Err(err("nofilter takes no arguments"));
+            }
+            Ok(ControlDirective {
+                msg: ControlMsg::RemoveFilter,
+                additive: false,
+            })
+        }
+        "clear" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [metric] = parts[..] else {
+                return Err(err("usage: clear <metric|*>"));
+            };
+            // Encoded as a zero-period sentinel? No — use Range over all
+            // reals with the special metric prefix; simpler: a dedicated
+            // pseudo-rule the d-mon interprets.
+            Ok(ControlDirective {
+                msg: ControlMsg::SetParam {
+                    metric: format!("clear:{metric}"),
+                    param: ParamSpec::Period { period_s: 1.0 },
+                },
+                additive: false,
+            })
+        }
+        "window" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [metric, secs] = parts[..] else {
+                return Err(err("usage: window <metric> <seconds>"));
+            };
+            let period_s = parse_f64(secs, "window")?;
+            if period_s <= 0.0 {
+                return Err(err("window must be positive"));
+            }
+            Ok(ControlDirective {
+                msg: ControlMsg::SetParam {
+                    metric: format!("window:{metric}"),
+                    param: ParamSpec::Period { period_s },
+                },
+                additive: false,
+            })
+        }
+        "and" => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 2 {
+                return Err(err("usage: and <cmd> <metric> <args...>"));
+            }
+            let inner = parse_control(rest)?;
+            if inner.additive {
+                return Err(err("`and and` is not a thing"));
+            }
+            match &inner.msg {
+                ControlMsg::SetParam { .. } => Ok(ControlDirective {
+                    msg: inner.msg,
+                    additive: true,
+                }),
+                _ => Err(err("`and` only combines parameter rules")),
+            }
+        }
+        cmd @ ("period" | "delta" | "above" | "below" | "range") => {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.is_empty() {
+                return Err(err(format!("usage: {cmd} <metric|*> <args...>")));
+            }
+            let metric = parts[0];
+            let spec = parse_spec(cmd, &parts[1..])?;
+            Ok(ControlDirective {
+                msg: ControlMsg::SetParam {
+                    metric: metric.to_string(),
+                    param: spec,
+                },
+                additive: false,
+            })
+        }
+        other => Err(err(format!("unknown control command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_period() {
+        let d = parse_control("period cpu 2").unwrap();
+        assert_eq!(
+            d.msg,
+            ControlMsg::SetParam {
+                metric: "cpu".into(),
+                param: ParamSpec::Period { period_s: 2.0 }
+            }
+        );
+        assert!(!d.additive);
+    }
+
+    #[test]
+    fn parses_delta_wildcard() {
+        let d = parse_control("delta * 0.15").unwrap();
+        assert_eq!(
+            d.msg,
+            ControlMsg::SetParam {
+                metric: "*".into(),
+                param: ParamSpec::DeltaFraction { fraction: 0.15 }
+            }
+        );
+    }
+
+    #[test]
+    fn parses_bounds_and_range() {
+        assert!(matches!(
+            parse_control("above cpu 0.8").unwrap().msg,
+            ControlMsg::SetParam {
+                param: ParamSpec::Above { bound },
+                ..
+            } if bound == 0.8
+        ));
+        assert!(matches!(
+            parse_control("below mem 5e7").unwrap().msg,
+            ControlMsg::SetParam {
+                param: ParamSpec::Below { bound },
+                ..
+            } if bound == 5e7
+        ));
+        assert!(matches!(
+            parse_control("range disk 100 200").unwrap().msg,
+            ControlMsg::SetParam {
+                param: ParamSpec::Range { lo, hi },
+                ..
+            } if lo == 100.0 && hi == 200.0
+        ));
+    }
+
+    #[test]
+    fn and_marks_additive() {
+        let d = parse_control("and above cpu 0.8").unwrap();
+        assert!(d.additive);
+        assert!(matches!(d.msg, ControlMsg::SetParam { .. }));
+    }
+
+    #[test]
+    fn filter_takes_rest_verbatim() {
+        let src = "{ output[0] = input[LOADAVG]; }";
+        let d = parse_control(&format!("filter {src}")).unwrap();
+        assert_eq!(
+            d.msg,
+            ControlMsg::DeployFilter {
+                source: src.to_string()
+            }
+        );
+        // multiline source survives
+        let multi = "filter {\n int i = 0;\n}";
+        let d = parse_control(multi).unwrap();
+        let ControlMsg::DeployFilter { source } = d.msg else {
+            panic!()
+        };
+        assert!(source.contains("int i = 0;"));
+    }
+
+    #[test]
+    fn nofilter_and_clear_and_window() {
+        assert_eq!(parse_control("nofilter").unwrap().msg, ControlMsg::RemoveFilter);
+        let d = parse_control("clear cpu").unwrap();
+        assert!(matches!(d.msg, ControlMsg::SetParam { ref metric, .. } if metric == "clear:cpu"));
+        let d = parse_control("window cpu 5").unwrap();
+        assert!(
+            matches!(d.msg, ControlMsg::SetParam { ref metric, param: ParamSpec::Period { period_s } }
+            if metric == "window:cpu" && period_s == 5.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_writes() {
+        for bad in [
+            "",
+            "   ",
+            "bogus cpu 1",
+            "period cpu",
+            "period cpu abc",
+            "period cpu -1",
+            "delta cpu 1.5",
+            "range disk 5 1",
+            "nofilter extra",
+            "filter",
+            "and and above cpu 1",
+            "and nofilter",
+            "window cpu 0",
+            "clear",
+        ] {
+            assert!(parse_control(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = parse_control("bogus x").unwrap_err();
+        assert!(e.to_string().contains("bad control write"));
+    }
+}

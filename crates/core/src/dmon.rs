@@ -1,0 +1,873 @@
+//! d-mon: the distributed-monitor kernel module.
+//!
+//! One d-mon runs per node (Figure 2). Every polling period it retrieves
+//! samples from the registered monitoring modules via their callbacks,
+//! decides per subscriber — by parameter rules or a deployed E-code
+//! filter — which metrics to ship, and submits events on the monitoring
+//! channel. Incoming monitoring events populate the local
+//! `/proc/cluster/<node>/...` tree; incoming control events reconfigure
+//! the stream the sending subscriber receives (parameters, dynamic filter
+//! compilation and deployment).
+//!
+//! d-mon itself is pure: [`DMon::poll`] returns the planned events plus
+//! the CPU cost to charge; the cluster glue executes sends and schedules
+//! deliveries.
+
+use std::collections::HashMap;
+
+use ecode::{EnvSpec, Filter, MetricRecord};
+use kecho::{
+    ChannelId, ControlMsg, Directory, Event, Hop, MonRecord, MonitoringPayload, ParamSpec,
+};
+use simcore::stats::Sampler;
+use simcore::{SimDur, SimTime};
+use simnet::NodeId;
+use simos::Host;
+
+use crate::calib::Calib;
+use crate::control::parse_control;
+use crate::modules::MonitorModule;
+use crate::params::{PolicySet, Rule, RuleCtx};
+
+/// Counters and samplers a d-mon keeps about itself — the numbers behind
+/// Figures 6–8.
+#[derive(Debug, Default)]
+pub struct DmonStats {
+    /// Completed polling iterations.
+    pub iterations: u64,
+    /// Monitoring events submitted.
+    pub events_sent: u64,
+    /// Monitoring payload bytes submitted.
+    pub bytes_sent: u64,
+    /// Monitoring events received.
+    pub events_received: u64,
+    /// Monitoring payload bytes received.
+    pub bytes_received: u64,
+    /// Control messages handled.
+    pub control_handled: u64,
+    /// Filter deployments that failed to compile.
+    pub filter_errors: u64,
+    /// Malformed control-file writes.
+    pub control_errors: u64,
+    /// Per-iteration event-submission CPU cost in microseconds (what the
+    /// paper measures with rdtsc for Figs. 6–7).
+    pub submit_cost_us: Sampler,
+    /// Per-iteration event-receiving CPU cost in microseconds (Fig. 8).
+    pub receive_cost_us: Sampler,
+    /// Receive cost accumulated since the last poll closed the iteration.
+    pending_receive: SimDur,
+    /// Submit cost accumulated within the current iteration.
+    pending_submit: SimDur,
+}
+
+/// What one polling iteration wants the glue to do.
+#[derive(Debug)]
+pub struct PollOutcome {
+    /// Events to transmit: `(hop, event, payload_bytes)`.
+    pub sends: Vec<(Hop, Event, usize)>,
+    /// Total CPU time to charge to this host for the iteration (module
+    /// collection + policy/filter evaluation + submission handlers +
+    /// kernel network path).
+    pub cpu_cost: SimDur,
+}
+
+/// The d-mon module of one node.
+pub struct DMon {
+    node: NodeId,
+    /// Hostname per NodeId index — the `/proc/cluster/<name>` directory
+    /// names.
+    cluster_names: Vec<String>,
+    modules: Vec<Box<dyn MonitorModule>>,
+    env: EnvSpec,
+    poll_period: SimDur,
+    /// Extra payload bytes per event (models larger event bodies; Fig. 7
+    /// uses ~5 KB).
+    event_pad: u32,
+    policies: HashMap<NodeId, PolicySet>,
+    filters: HashMap<NodeId, Filter>,
+    /// Last value actually sent, per (subscriber, metric).
+    last_sent: HashMap<(NodeId, u32), (f64, SimTime)>,
+    /// Last value received from remote publishers, per (origin, metric) —
+    /// the fast-path store applications read alongside `/proc`.
+    remote_values: HashMap<(NodeId, u32), (f64, SimTime)>,
+    /// Learned schema extensions: metric/file names for foreign ids beyond
+    /// the standard module set, per origin.
+    remote_ext: HashMap<(NodeId, u32), (String, String)>,
+    /// Number of modules present at construction (the cluster-wide
+    /// standard set); ids beyond this need schema info on the wire.
+    base_modules: usize,
+    seq: u64,
+    /// Self-observability.
+    pub stats: DmonStats,
+}
+
+impl DMon {
+    /// Create the d-mon for `node`. `cluster_names[i]` names `NodeId(i)`.
+    pub fn new(
+        node: NodeId,
+        cluster_names: Vec<String>,
+        modules: Vec<Box<dyn MonitorModule>>,
+        poll_period: SimDur,
+    ) -> Self {
+        assert!(!poll_period.is_zero(), "zero poll period");
+        let env = EnvSpec::new(modules.iter().map(|m| m.metric_name().to_string()));
+        let base_modules = modules.len();
+        DMon {
+            node,
+            cluster_names,
+            modules,
+            env,
+            poll_period,
+            event_pad: 0,
+            policies: HashMap::new(),
+            filters: HashMap::new(),
+            last_sent: HashMap::new(),
+            remote_values: HashMap::new(),
+            remote_ext: HashMap::new(),
+            base_modules,
+            seq: 0,
+            stats: DmonStats::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The polling period.
+    pub fn poll_period(&self) -> SimDur {
+        self.poll_period
+    }
+
+    /// The filter environment (metric constants) of this publisher.
+    pub fn env(&self) -> &EnvSpec {
+        &self.env
+    }
+
+    /// Set the extra payload size per event.
+    pub fn set_event_pad(&mut self, pad: u32) {
+        self.event_pad = pad;
+    }
+
+    /// Register a monitoring module at run time — the paper's
+    /// extensibility: "new monitoring functionality can be added
+    /// dynamically ... without the need to recompile or restart the
+    /// running dproc mechanisms". The metric environment grows
+    /// append-only, so filters compiled against the old environment keep
+    /// their indices.
+    pub fn register_module(&mut self, module: Box<dyn MonitorModule>) {
+        assert!(
+            self.env.index_of(module.metric_name()).is_none(),
+            "metric `{}` already registered",
+            module.metric_name()
+        );
+        let mut names: Vec<String> = self.env.names().map(str::to_string).collect();
+        names.push(module.metric_name().to_string());
+        self.modules.push(module);
+        self.env = EnvSpec::new(names);
+        // Filters were compiled against the shorter environment; they stay
+        // valid (indices are stable) but cannot see the new metric until
+        // redeployed. Recompile in place so subscribers pick it up.
+        let sources: Vec<(NodeId, String)> = self
+            .filters
+            .iter()
+            .map(|(&sub, f)| (sub, f.source().to_string()))
+            .collect();
+        for (sub, source) in sources {
+            if let Ok(f) = Filter::compile(&source, &self.env) {
+                self.filters.insert(sub, f);
+            }
+        }
+    }
+
+    /// Number of registered monitoring modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Hostname of a node id.
+    pub fn name_of(&self, node: NodeId) -> &str {
+        &self.cluster_names[node.0]
+    }
+
+    fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.cluster_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId)
+    }
+
+    /// Last value received from `origin` for the metric named `metric` —
+    /// the programmatic fast path next to the `/proc` text interface.
+    pub fn remote_value(&self, origin: NodeId, metric: &str) -> Option<(f64, SimTime)> {
+        if let Some(idx) = self.env.index_of(metric) {
+            return self.remote_values.get(&(origin, idx as u32)).copied();
+        }
+        // A metric this node has no module for: resolve through the
+        // schema the origin shipped with its events.
+        let (&(_, idx), _) = self
+            .remote_ext
+            .iter()
+            .find(|(&(o, _), (name, _))| o == origin && name == metric)?;
+        self.remote_values.get(&(origin, idx)).copied()
+    }
+
+    /// The policy a subscriber currently has configured here.
+    pub fn policy_for(&self, subscriber: NodeId) -> Option<&PolicySet> {
+        self.policies.get(&subscriber)
+    }
+
+    /// Whether a subscriber has a filter deployed here.
+    pub fn has_filter(&self, subscriber: NodeId) -> bool {
+        self.filters.contains_key(&subscriber)
+    }
+
+    /// One polling iteration at `now`: collect, decide, build events.
+    /// Also drains pending `/proc` control-file writes on this host into
+    /// outgoing control events (that is how applications reach remote
+    /// d-mons).
+    pub fn poll(
+        &mut self,
+        host: &mut Host,
+        dir: &Directory,
+        mon_chan: ChannelId,
+        ctl_chan: ChannelId,
+        now: SimTime,
+        calib: &Calib,
+    ) -> PollOutcome {
+        let mut cpu = SimDur::ZERO;
+        let mut sends: Vec<(Hop, Event, usize)> = Vec::new();
+
+        // 1. Collect one sample per module and refresh local /proc views.
+        let mut samples = Vec::with_capacity(self.modules.len());
+        let own_name = self.cluster_names[self.node.0].clone();
+        for module in &mut self.modules {
+            let sample = module.collect(host, now);
+            cpu += calib.collect_per_module;
+            host.proc
+                .set(&format!("cluster/{own_name}/{}", module.file_name()), sample.detail.clone())
+                .expect("own cluster path");
+            samples.push(sample);
+        }
+        host.proc
+            .set(&format!("cluster/{own_name}/control"), "")
+            .expect("own control path");
+
+        // 2. Per subscriber: parameters or filter decide what to send.
+        for sub in dir.subscribers(mon_chan) {
+            if sub == self.node {
+                continue;
+            }
+            let records = self.select_records(sub, &samples, now, calib, &mut cpu);
+            if records.is_empty() {
+                continue;
+            }
+            for r in &records {
+                self.last_sent.insert((sub, r.metric_id), (r.value, now));
+            }
+            self.seq += 1;
+            // Records for run-time-registered modules carry their schema
+            // (metric + /proc file names) so any subscriber can interpret
+            // them — ECho's typed events, in miniature.
+            let ext_names: Vec<(u32, String, String)> = records
+                .iter()
+                .filter(|r| r.metric_id as usize >= self.base_modules)
+                .filter_map(|r| {
+                    self.modules.get(r.metric_id as usize).map(|m| {
+                        (
+                            r.metric_id,
+                            m.metric_name().to_string(),
+                            m.file_name().to_string(),
+                        )
+                    })
+                })
+                .collect();
+            let mut ev = Event::monitoring(
+                mon_chan.0,
+                self.seq,
+                self.node,
+                MonitoringPayload {
+                    origin: self.node,
+                    records,
+                    pad_bytes: self.event_pad,
+                    ext_names,
+                },
+            );
+            // Streams are customized per subscriber, so every monitoring
+            // event is addressed — the central-concentrator topology needs
+            // the final destination to relay.
+            ev.target = Some(sub);
+            let bytes = kecho::wire::encoded_size(&ev);
+            let handler = calib.submit_cost(bytes);
+            cpu += handler + calib.kernel_path_send;
+            self.stats.events_sent += 1;
+            self.stats.bytes_sent += bytes as u64;
+            self.stats.submit_cost_partial(handler);
+            sends.push((Hop { from: self.node, to: sub }, ev, bytes));
+        }
+
+        // 3. Drain application control-file writes into control events.
+        for (path, data) in host.proc.drain_writes() {
+            match self.route_control_write(&path, &data, ctl_chan, calib) {
+                Ok(Some((hop, ev))) => {
+                    let bytes = kecho::wire::encoded_size(&ev);
+                    cpu += calib.submit_cost(bytes) + calib.kernel_path_send;
+                    sends.push((hop, ev, bytes));
+                }
+                Ok(None) => {} // applied locally
+                Err(()) => self.stats.control_errors += 1,
+            }
+        }
+
+        // 4. Close the iteration's books.
+        cpu += calib.receive_poll_cost;
+        self.stats.iterations += 1;
+        self.stats.close_iteration(calib.receive_poll_cost);
+        PollOutcome {
+            sends,
+            cpu_cost: cpu,
+        }
+    }
+
+    /// Decide which metric records to send to one subscriber.
+    fn select_records(
+        &mut self,
+        sub: NodeId,
+        samples: &[crate::modules::Sample],
+        now: SimTime,
+        calib: &Calib,
+        cpu: &mut SimDur,
+    ) -> Vec<MonRecord> {
+        let make_record = |i: usize, value: f64, last: f64| MonRecord {
+            metric_id: i as u32,
+            value,
+            last_value_sent: last,
+            timestamp: now.as_secs_f64(),
+        };
+
+        if let Some(filter) = self.filters.get(&sub) {
+            // A deployed filter takes over the decision entirely.
+            let inputs: Vec<MetricRecord> = samples
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let last = self
+                        .last_sent
+                        .get(&(sub, i as u32))
+                        .map(|&(v, _)| v)
+                        .unwrap_or(0.0);
+                    MetricRecord {
+                        id: i as u32,
+                        value: s.value,
+                        last_value_sent: last,
+                        timestamp: now.as_secs_f64(),
+                    }
+                })
+                .collect();
+            match filter.run(&inputs) {
+                Ok(out) => {
+                    *cpu += calib.ecode_instr * out.instructions();
+                    out.records_if_accepted()
+                        .into_iter()
+                        .map(|r| MonRecord {
+                            metric_id: r.id,
+                            value: r.value,
+                            last_value_sent: r.last_value_sent,
+                            timestamp: r.timestamp,
+                        })
+                        .collect()
+                }
+                Err(_) => {
+                    // A faulting filter sends nothing (a kernel would also
+                    // disable it; we keep it and count the fault).
+                    self.stats.filter_errors += 1;
+                    Vec::new()
+                }
+            }
+        } else {
+            let policy = self.policies.get(&sub);
+            let mut records = Vec::new();
+            for (i, (sample, module)) in samples.iter().zip(&self.modules).enumerate() {
+                let (last_value, last_at) = self
+                    .last_sent
+                    .get(&(sub, i as u32))
+                    .map(|&(v, t)| (v, Some(t)))
+                    .unwrap_or((0.0, None));
+                let ctx = RuleCtx {
+                    value: sample.value,
+                    last_sent_value: last_value,
+                    last_sent_at: last_at,
+                    now,
+                };
+                let admit = match policy {
+                    Some(p) => {
+                        *cpu += calib.policy_eval * (p.rule_count(module.metric_name()).max(1) as u64);
+                        p.decide(module.metric_name(), &ctx)
+                    }
+                    None => {
+                        *cpu += calib.policy_eval;
+                        true
+                    }
+                };
+                if admit {
+                    records.push(make_record(i, sample.value, last_value));
+                }
+            }
+            records
+        }
+    }
+
+    /// Turn a `/proc` control-file write into a control event (or apply it
+    /// locally when it targets this node).
+    fn route_control_write(
+        &mut self,
+        path: &str,
+        data: &str,
+        ctl_chan: ChannelId,
+        calib: &Calib,
+    ) -> Result<Option<(Hop, Event)>, ()> {
+        // Expected: cluster/<name>/control
+        let parts: Vec<&str> = path.split('/').collect();
+        let ["cluster", name, "control"] = parts[..] else {
+            return Err(());
+        };
+        let target = self.node_by_name(name).ok_or(())?;
+        let directive = parse_control(data).map_err(|_| ())?;
+        let msg = if directive.additive {
+            // The additive flag travels as a metric-name prefix.
+            match directive.msg {
+                ControlMsg::SetParam { metric, param } => ControlMsg::SetParam {
+                    metric: format!("and:{metric}"),
+                    param,
+                },
+                other => other,
+            }
+        } else {
+            directive.msg
+        };
+        if target == self.node {
+            self.on_control(self.node, &msg, calib);
+            return Ok(None);
+        }
+        self.seq += 1;
+        let ev = Event::control(ctl_chan.0, self.seq, self.node, target, msg);
+        Ok(Some((
+            Hop {
+                from: self.node,
+                to: target,
+            },
+            ev,
+        )))
+    }
+
+    /// Handle an incoming monitoring event: update the `/proc/cluster`
+    /// tree and the fast-path store. Returns the d-mon handler CPU cost
+    /// (kernel network-path cost is charged by the glue on top).
+    pub fn on_event(
+        &mut self,
+        host: &mut Host,
+        ev: &Event,
+        bytes: usize,
+        now: SimTime,
+        calib: &Calib,
+    ) -> SimDur {
+        let Some(payload) = ev.as_monitoring() else {
+            return SimDur::ZERO;
+        };
+        let origin = payload.origin;
+        let origin_name = self.cluster_names[origin.0].clone();
+        for (id, metric, file) in &payload.ext_names {
+            self.remote_ext
+                .insert((origin, *id), (metric.clone(), file.clone()));
+        }
+        for r in &payload.records {
+            self.remote_values.insert((origin, r.metric_id), (r.value, now));
+            let file: &str = if (r.metric_id as usize) < self.base_modules {
+                self.modules
+                    .get(r.metric_id as usize)
+                    .map(|m| m.file_name())
+                    .unwrap_or("extra")
+            } else {
+                self.remote_ext
+                    .get(&(origin, r.metric_id))
+                    .map(|(_, f)| f.as_str())
+                    .unwrap_or("extra")
+            };
+            host.proc
+                .set(
+                    &format!("cluster/{origin_name}/{file}"),
+                    format!("{} {} ts {:.3}", file, r.value, r.timestamp),
+                )
+                .expect("cluster path");
+        }
+        // Make sure the control file for that node exists so applications
+        // can customize it.
+        let ctl = format!("cluster/{origin_name}/control");
+        if !host.proc.exists(&ctl) {
+            host.proc.set(&ctl, "").expect("control path");
+        }
+        let handler = calib.receive_cost(bytes);
+        self.stats.events_received += 1;
+        self.stats.bytes_received += bytes as u64;
+        self.stats.pending_receive += handler;
+        handler
+    }
+
+    /// Handle an incoming control event sent by subscriber `from`.
+    /// Returns the CPU cost (compilation is expensive; parameter updates
+    /// are cheap).
+    pub fn on_control(&mut self, from: NodeId, msg: &ControlMsg, calib: &Calib) -> SimDur {
+        self.stats.control_handled += 1;
+        match msg {
+            ControlMsg::SetParam { metric, param } => {
+                if let Some(rest) = metric.strip_prefix("clear:") {
+                    let name = self
+                        .modules
+                        .iter()
+                        .find(|m| m.file_name() == rest)
+                        .map(|m| m.metric_name().to_string())
+                        .unwrap_or_else(|| rest.to_string());
+                    self.policies.entry(from).or_default().clear_metric(&name);
+                    return calib.policy_eval;
+                }
+                if let Some(rest) = metric.strip_prefix("window:") {
+                    let window = match param {
+                        ParamSpec::Period { period_s } => SimDur::from_secs_f64(*period_s),
+                        _ => SimDur::ZERO,
+                    };
+                    for m in &mut self.modules {
+                        if m.file_name() == rest {
+                            m.set_window(window);
+                        }
+                    }
+                    return calib.policy_eval;
+                }
+                let (metric, additive) = match metric.strip_prefix("and:") {
+                    Some(rest) => (rest, true),
+                    None => (metric.as_str(), false),
+                };
+                // Control files name metrics by their /proc file names
+                // (`cpu`, `mem`, ...); policies are keyed by the E-code
+                // metric constants (`LOADAVG`, ...). Accept either.
+                let metric = self
+                    .modules
+                    .iter()
+                    .find(|m| m.file_name() == metric)
+                    .map(|m| m.metric_name().to_string())
+                    .unwrap_or_else(|| metric.to_string());
+                let metric = metric.as_str();
+                let rule = Rule::from_spec(*param);
+                let policy = self.policies.entry(from).or_default();
+                if additive {
+                    policy.add_rule(metric, rule);
+                } else {
+                    policy.set_rule(metric, rule);
+                }
+                calib.policy_eval
+            }
+            ControlMsg::DeployFilter { source } => {
+                match Filter::compile(source, &self.env) {
+                    Ok(f) => {
+                        self.filters.insert(from, f);
+                    }
+                    Err(_) => {
+                        self.stats.filter_errors += 1;
+                    }
+                }
+                calib.filter_compile
+            }
+            ControlMsg::RemoveFilter => {
+                self.filters.remove(&from);
+                calib.policy_eval
+            }
+            ControlMsg::Announce => SimDur::ZERO,
+        }
+    }
+}
+
+impl DmonStats {
+    /// Zero all counters and samplers — used by the harness to discard a
+    /// warm-up window before measuring.
+    pub fn reset(&mut self) {
+        *self = DmonStats::default();
+    }
+
+    fn submit_cost_partial(&mut self, cost: SimDur) {
+        // Submission samples accumulate within the iteration; the sampler
+        // takes the per-iteration total at close.
+        self.pending_submit += cost;
+    }
+
+    fn close_iteration(&mut self, poll_floor: SimDur) {
+        let submit = std::mem::take(&mut self.pending_submit);
+        self.submit_cost_us.add(submit.as_micros_f64());
+        let recv = std::mem::take(&mut self.pending_receive) + poll_floor;
+        self.receive_cost_us.add(recv.as_micros_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::standard_modules;
+    use simos::host::HostConfig;
+
+    fn names() -> Vec<String> {
+        vec!["alan".into(), "maui".into(), "etna".into()]
+    }
+
+    fn setup() -> (DMon, Host, Directory, ChannelId, ChannelId, Calib) {
+        let node = NodeId(0);
+        let dmon = DMon::new(node, names(), standard_modules(), SimDur::from_secs(1));
+        let host = Host::new("alan", node, &HostConfig::testbed());
+        let mut dir = Directory::default();
+        let mon = dir.open("dproc-monitoring");
+        let ctl = dir.open("dproc-control");
+        for n in 0..3 {
+            dir.subscribe(mon, NodeId(n));
+            dir.subscribe(ctl, NodeId(n));
+        }
+        (dmon, host, dir, mon, ctl, Calib::default())
+    }
+
+    #[test]
+    fn poll_sends_to_all_other_subscribers() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(out.sends.len(), 2, "two remote subscribers");
+        for (hop, ev, bytes) in &out.sends {
+            assert_eq!(hop.from, NodeId(0));
+            assert_ne!(hop.to, NodeId(0));
+            let m = ev.as_monitoring().unwrap();
+            assert_eq!(m.records.len(), 5, "all five metrics by default");
+            assert!(*bytes > 50);
+        }
+        assert!(out.cpu_cost > SimDur::ZERO);
+        assert_eq!(dmon.stats.events_sent, 2);
+        assert_eq!(dmon.stats.iterations, 1);
+    }
+
+    #[test]
+    fn poll_updates_own_proc_tree() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert!(host.proc.read("cluster/alan/cpu").unwrap().contains("loadavg"));
+        assert!(host.proc.exists("cluster/alan/control"));
+        assert!(host.proc.read("cluster/alan/mem").unwrap().contains("free_bytes"));
+    }
+
+    #[test]
+    fn policy_gates_metrics_per_subscriber() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Subscriber 1 wants load only above 100 (never true here);
+        // subscriber 2 keeps defaults.
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "*".into(),
+                param: ParamSpec::Above { bound: 1e18 },
+            },
+            &calib,
+        );
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0.to, NodeId(2));
+    }
+
+    #[test]
+    fn period_parameter_halves_send_rate() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "*".into(),
+                param: ParamSpec::Period { period_s: 2.0 },
+            },
+            &calib,
+        );
+        dmon.on_control(
+            NodeId(2),
+            &ControlMsg::SetParam {
+                metric: "*".into(),
+                param: ParamSpec::Period { period_s: 2.0 },
+            },
+            &calib,
+        );
+        let mut sent = 0;
+        for s in 1..=10 {
+            let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(s), &calib);
+            sent += out.sends.len();
+        }
+        // 10 polls at 1 Hz, 2 s period, 2 subscribers => ~10 events.
+        assert!((8..=12).contains(&sent), "sent {sent}");
+    }
+
+    #[test]
+    fn deployed_filter_controls_stream() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Filter for subscriber 1: only send LOADAVG when > 2 (never here).
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: "{ if (input[LOADAVG].value > 2.0) { output[0] = input[LOADAVG]; } }"
+                    .into(),
+            },
+            &calib,
+        );
+        assert!(dmon.has_filter(NodeId(1)));
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(out.sends.len(), 1, "only the unfiltered subscriber");
+        // Load the machine: filter should open up.
+        host.cpu.spawn_compute(SimTime::from_secs(1), "a");
+        host.cpu.spawn_compute(SimTime::from_secs(1), "b");
+        host.cpu.spawn_compute(SimTime::from_secs(1), "c");
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(100), &calib);
+        assert_eq!(out.sends.len(), 2);
+        let to1 = out.sends.iter().find(|(h, _, _)| h.to == NodeId(1)).unwrap();
+        assert_eq!(to1.1.as_monitoring().unwrap().records.len(), 1, "filtered to LOADAVG");
+    }
+
+    #[test]
+    fn bad_filter_counts_error_and_keeps_old_behaviour() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: "{ this is not e-code }".into(),
+            },
+            &calib,
+        );
+        assert_eq!(dmon.stats.filter_errors, 1);
+        assert!(!dmon.has_filter(NodeId(1)));
+        // RemoveFilter on nothing is fine.
+        dmon.on_control(NodeId(1), &ControlMsg::RemoveFilter, &calib);
+    }
+
+    #[test]
+    fn on_event_populates_cluster_tree_and_fast_path() {
+        let (mut dmon, mut host, _dir, mon, _ctl, calib) = setup();
+        let ev = Event::monitoring(
+            mon.0,
+            1,
+            NodeId(2),
+            MonitoringPayload {
+                origin: NodeId(2),
+                records: vec![MonRecord {
+                    metric_id: 0,
+                    value: 2.5,
+                    last_value_sent: 1.0,
+                    timestamp: 3.0,
+                }],
+                pad_bytes: 0,
+                ext_names: Vec::new(),
+            },
+        );
+        let cost = dmon.on_event(&mut host, &ev, 90, SimTime::from_secs(3), &calib);
+        assert!(cost >= calib.receive_base);
+        assert!(host.proc.read("cluster/etna/cpu").unwrap().contains("2.5"));
+        assert!(host.proc.exists("cluster/etna/control"));
+        let (v, t) = dmon.remote_value(NodeId(2), "LOADAVG").unwrap();
+        assert_eq!(v, 2.5);
+        assert_eq!(t, SimTime::from_secs(3));
+        assert_eq!(dmon.stats.events_received, 1);
+    }
+
+    #[test]
+    fn control_file_write_routes_to_target() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // First poll creates remote control files? No — remote entries
+        // appear on first received event; create manually as the app would
+        // find them after an event.
+        host.proc.set("cluster/maui/control", "").unwrap();
+        host.proc.write("cluster/maui/control", "period cpu 2").unwrap();
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        let ctl_sends: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, ev, _)| ev.as_control().is_some())
+            .collect();
+        assert_eq!(ctl_sends.len(), 1);
+        assert_eq!(ctl_sends[0].0.to, NodeId(1));
+        assert_eq!(
+            ctl_sends[0].1.as_control().unwrap(),
+            &ControlMsg::SetParam {
+                metric: "cpu".into(),
+                param: ParamSpec::Period { period_s: 2.0 }
+            }
+        );
+    }
+
+    #[test]
+    fn control_write_to_self_applies_locally() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        host.proc.set("cluster/alan/control", "").unwrap();
+        host.proc.write("cluster/alan/control", "window cpu 5").unwrap();
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert!(out.sends.iter().all(|(_, ev, _)| ev.as_control().is_none()));
+        assert_eq!(dmon.stats.control_handled, 1);
+    }
+
+    #[test]
+    fn malformed_control_write_counts_error() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        host.proc.set("cluster/maui/control", "").unwrap();
+        host.proc.write("cluster/maui/control", "gibberish").unwrap();
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.stats.control_errors, 1);
+    }
+
+    #[test]
+    fn additive_rules_compose_over_the_wire() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "cpu".into(),
+                param: ParamSpec::Period { period_s: 2.0 },
+            },
+            &calib,
+        );
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "and:cpu".into(),
+                param: ParamSpec::Above { bound: 0.8 },
+            },
+            &calib,
+        );
+        // `cpu` translates to the module's metric constant.
+        let p = dmon.policy_for(NodeId(1)).unwrap();
+        assert_eq!(p.rule_count("LOADAVG"), 2);
+        // clear: prefix resets (by metric-constant name).
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "clear:LOADAVG".into(),
+                param: ParamSpec::Period { period_s: 1.0 },
+            },
+            &calib,
+        );
+        assert_eq!(dmon.policy_for(NodeId(1)).unwrap().rule_count("LOADAVG"), 0);
+    }
+
+    #[test]
+    fn submit_stats_track_iteration_costs() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for s in 1..=5 {
+            dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(s), &calib);
+        }
+        assert_eq!(dmon.stats.submit_cost_us.len(), 5);
+        // 2 events of ~190B each: ~2*245us
+        let mean = dmon.stats.submit_cost_us.mean();
+        assert!(mean > 400.0 && mean < 700.0, "mean {mean}");
+    }
+
+    #[test]
+    fn event_pad_inflates_bytes() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        dmon.set_event_pad(5000);
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert!(out.sends[0].2 > 5000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Derived measurements used by the figure harness.
+//!
+//! The paper measures perturbation with the tools of its day: linpack for
+//! CPU throughput and Iperf for available bandwidth. The raw residual
+//! capacity comes from the network model; this module applies the
+//! calibrated endpoint effects (protocol efficiency, per-event interrupt
+//! interference) so the probe behaves like Iperf did on the testbed.
+
+use simcore::SimTime;
+use simnet::traffic::iperf_available_bps;
+use simnet::NodeId;
+
+use crate::cluster::ClusterWorld;
+
+/// Iperf-style available bandwidth between two nodes, in Mbps, as the
+/// paper's Fig. 5 and Fig. 10 measure it: raw residual capacity minus the
+/// interrupt-interference of monitoring events handled at either endpoint,
+/// scaled by UDP protocol efficiency.
+pub fn iperf_probe_mbps(world: &mut ClusterWorld, now: SimTime, from: NodeId, to: NodeId) -> f64 {
+    let raw = iperf_available_bps(&mut world.net, now, from, to);
+    let ev_rate = world.event_rate(from, now) + world.event_rate(to, now);
+    let penalty = ev_rate * world.calib.per_event_bw_cost_bits;
+    ((raw - penalty).max(0.0) * world.calib.iperf_efficiency) / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterConfig, ClusterSim};
+    use simcore::SimDur;
+
+    #[test]
+    fn idle_probe_reads_efficiency_scaled_capacity() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        // No start(): no monitoring traffic at all.
+        let now = sim.now();
+        let w = sim.world_mut();
+        let mbps = iperf_probe_mbps(w, now, NodeId(0), NodeId(1));
+        assert!((mbps - 96.0).abs() < 0.01, "idle probe: {mbps}");
+    }
+
+    #[test]
+    fn monitoring_traffic_shaves_bandwidth() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(8));
+        sim.start();
+        sim.run_until(SimTime::from_secs(10));
+        let now = sim.now();
+        let w = sim.world_mut();
+        let mbps = iperf_probe_mbps(w, now, NodeId(0), NodeId(1));
+        assert!(mbps < 96.0, "monitoring shaves the probe: {mbps}");
+        assert!(mbps > 95.0, "but below half a percent: {mbps}");
+    }
+
+    #[test]
+    fn probe_with_update_period_2s_drops_less() {
+        let run = |period: u64| {
+            let mut sim =
+                ClusterSim::new(ClusterConfig::new(8).poll_period(SimDur::from_secs(period)));
+            sim.start();
+            sim.run_until(SimTime::from_secs(10));
+            let now = sim.now();
+            let w = sim.world_mut();
+            iperf_probe_mbps(w, now, NodeId(0), NodeId(1))
+        };
+        let p1 = run(1);
+        let p2 = run(2);
+        assert!(p2 > p1, "longer period, higher residual: {p1} vs {p2}");
+    }
+}

@@ -1,0 +1,380 @@
+//! The monitoring modules.
+//!
+//! Each module registers with d-mon and is polled through a callback at
+//! every iteration — exactly the paper's `register_service(callback)`
+//! design. A module produces one headline metric value (what travels in
+//! monitoring events and what E-code filters see) plus a detail string
+//! (what appears in the remote `/proc/cluster/<node>/<file>` entry).
+//!
+//! The five modules of the paper:
+//!
+//! | module   | `/proc` file | E-code constant | value                          |
+//! |----------|--------------|-----------------|--------------------------------|
+//! | CPU MON  | `cpu`        | `LOADAVG`       | run-queue average over window  |
+//! | MEM MON  | `mem`        | `FREEMEM`       | free memory in bytes           |
+//! | DISK MON | `disk`       | `DISKUSAGE`     | sectors moved in window        |
+//! | NET MON  | `net`        | `NET_AVAIL`     | available bandwidth, bps       |
+//! | PMC      | `pmc`        | `CACHE_MISS`    | cumulative cache misses        |
+//!
+//! [`PowerMon`] (`power` / `BATTERY`) is the run-time-deployable sixth
+//! module for mobile hosts.
+
+use simcore::{SimDur, SimTime};
+use simos::pmc::PmcEvent;
+use simos::Host;
+
+/// One collected sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Headline value (travels on the channel; filters compare it).
+    pub value: f64,
+    /// Detail text for the `/proc` entry.
+    pub detail: String,
+}
+
+/// A monitoring module registered with d-mon.
+pub trait MonitorModule {
+    /// `/proc/cluster/<node>/<file_name>` leaf name.
+    fn file_name(&self) -> &'static str;
+    /// Name of the metric constant in E-code filter environments.
+    fn metric_name(&self) -> &'static str;
+    /// The d-mon poll callback.
+    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample;
+    /// Change the module's averaging window, when it has one (the paper's
+    /// CPU MON takes an application-specified period). Default: ignored.
+    fn set_window(&mut self, _window: SimDur) {}
+}
+
+/// CPU MON: average run-queue length over an application-specified window
+/// (default 1 minute, like `/proc/loadavg`'s shortest).
+#[derive(Debug)]
+pub struct CpuMon {
+    window: SimDur,
+}
+
+impl CpuMon {
+    /// Default 60 s window.
+    pub fn new() -> Self {
+        CpuMon {
+            window: SimDur::from_secs(60),
+        }
+    }
+
+    /// With an explicit window.
+    pub fn with_window(window: SimDur) -> Self {
+        CpuMon { window }
+    }
+}
+
+impl Default for CpuMon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonitorModule for CpuMon {
+    fn file_name(&self) -> &'static str {
+        "cpu"
+    }
+    fn metric_name(&self) -> &'static str {
+        "LOADAVG"
+    }
+    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+        host.cpu.advance(now);
+        let la = host.cpu.loadavg(now, self.window);
+        Sample {
+            value: la,
+            detail: format!(
+                "loadavg {:.2} window_s {} runnable {} cpus {}",
+                la,
+                self.window.as_secs(),
+                host.cpu.runnable(),
+                host.cpu.n_cpus()
+            ),
+        }
+    }
+    fn set_window(&mut self, window: SimDur) {
+        if !window.is_zero() {
+            self.window = window;
+        }
+    }
+}
+
+/// MEM MON: free memory via `nr_free_pages`.
+#[derive(Debug, Default)]
+pub struct MemMon;
+
+impl MonitorModule for MemMon {
+    fn file_name(&self) -> &'static str {
+        "mem"
+    }
+    fn metric_name(&self) -> &'static str {
+        "FREEMEM"
+    }
+    fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
+        let free = host.mem.free_bytes();
+        Sample {
+            value: free as f64,
+            detail: format!(
+                "free_bytes {} free_pages {} total_pages {}",
+                free,
+                host.mem.nr_free_pages(),
+                host.mem.total_pages()
+            ),
+        }
+    }
+}
+
+/// DISK MON: sectors read+written over its window (default 1 s).
+#[derive(Debug)]
+pub struct DiskMon;
+
+impl MonitorModule for DiskMon {
+    fn file_name(&self) -> &'static str {
+        "disk"
+    }
+    fn metric_name(&self) -> &'static str {
+        "DISKUSAGE"
+    }
+    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+        let sr = host.disk.sectors_read_rate(now);
+        let sw = host.disk.sectors_written_rate(now);
+        Sample {
+            value: (sr + sw) as f64,
+            detail: format!(
+                "sectors_window {} reads {} writes {} sectors_read {} sectors_written {}",
+                sr + sw,
+                host.disk.reads(),
+                host.disk.writes(),
+                host.disk.sectors_read(),
+                host.disk.sectors_written()
+            ),
+        }
+    }
+}
+
+/// NET MON: available network bandwidth (bps), estimated from interface
+/// counters (line rate minus background minus tracked-connection
+/// throughput), plus per-connection detail (RTT, retransmissions, losses).
+/// The headline value is what the SmartPointer server consumes to size a
+/// client's stream.
+#[derive(Debug, Default)]
+pub struct NetMon;
+
+impl MonitorModule for NetMon {
+    fn file_name(&self) -> &'static str {
+        "net"
+    }
+    fn metric_name(&self) -> &'static str {
+        "NET_AVAIL"
+    }
+    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+        let avail = host.available_bps(now);
+        let total = host.conns.total_used_bps(now);
+        let mut conns: Vec<String> = host
+            .conns
+            .iter()
+            .map(|(id, st)| {
+                format!(
+                    "conn {}->{} tag {} rtt_us {} retx {} lost {}",
+                    id.local,
+                    id.remote,
+                    id.tag,
+                    st.rtt().map(|r| r.as_micros()).unwrap_or(0),
+                    st.retransmissions(),
+                    st.losses()
+                )
+            })
+            .collect();
+        conns.sort();
+        Sample {
+            value: avail,
+            detail: format!(
+                "avail_bps {:.0} used_bps {:.0}\n{}",
+                avail,
+                total,
+                conns.join("\n")
+            ),
+        }
+    }
+}
+
+/// PMC: cumulative cache-miss counter.
+#[derive(Debug, Default)]
+pub struct PmcMon;
+
+impl MonitorModule for PmcMon {
+    fn file_name(&self) -> &'static str {
+        "pmc"
+    }
+    fn metric_name(&self) -> &'static str {
+        "CACHE_MISS"
+    }
+    fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
+        let misses = host.pmc.read(PmcEvent::CacheMisses);
+        Sample {
+            value: misses as f64,
+            detail: format!(
+                "cache_misses {} instructions {} cycles {}",
+                misses,
+                host.pmc.read(PmcEvent::Instructions),
+                host.pmc.read(PmcEvent::Cycles)
+            ),
+        }
+    }
+}
+
+/// POWER MON: remaining battery fraction — the paper's example of a
+/// monitoring capability "available in the remote kernel but not directly
+/// supported in dproc", deployable at run time on mobile hosts
+/// ([`crate::DMon::register_module`]). Reports 1.0 on mains-powered hosts.
+#[derive(Debug, Default)]
+pub struct PowerMon;
+
+impl MonitorModule for PowerMon {
+    fn file_name(&self) -> &'static str {
+        "power"
+    }
+    fn metric_name(&self) -> &'static str {
+        "BATTERY"
+    }
+    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+        host.advance(now);
+        match &host.battery {
+            Some(b) => Sample {
+                value: b.fraction(),
+                detail: format!(
+                    "battery_fraction {:.4} level_j {:.1} empty {}",
+                    b.fraction(),
+                    b.level_j(),
+                    b.is_empty()
+                ),
+            },
+            None => Sample {
+                value: 1.0,
+                detail: "mains_powered".to_string(),
+            },
+        }
+    }
+}
+
+impl NetMon {
+    /// Test helper: collect and return just the detail text.
+    #[doc(hidden)]
+    pub fn collect_for_test(&mut self, host: &mut Host, now: SimTime) -> String {
+        self.collect(host, now).detail
+    }
+}
+
+/// The paper's full module set, in E-code environment order.
+pub fn standard_modules() -> Vec<Box<dyn MonitorModule>> {
+    vec![
+        Box::new(CpuMon::new()),
+        Box::new(MemMon),
+        Box::new(DiskMon),
+        Box::new(NetMon),
+        Box::new(PmcMon),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NodeId;
+    use simos::host::HostConfig;
+
+    fn host() -> Host {
+        Host::new("t", NodeId(0), &HostConfig::testbed())
+    }
+
+    #[test]
+    fn standard_set_has_five_modules() {
+        let mods = standard_modules();
+        assert_eq!(mods.len(), 5);
+        let names: Vec<&str> = mods.iter().map(|m| m.file_name()).collect();
+        assert_eq!(names, vec!["cpu", "mem", "disk", "net", "pmc"]);
+        let metrics: Vec<&str> = mods.iter().map(|m| m.metric_name()).collect();
+        assert_eq!(
+            metrics,
+            vec!["LOADAVG", "FREEMEM", "DISKUSAGE", "NET_AVAIL", "CACHE_MISS"]
+        );
+    }
+
+    #[test]
+    fn cpu_mon_windows() {
+        let mut h = host();
+        let mut m = CpuMon::new();
+        let hog = h.cpu.spawn_compute(SimTime::ZERO, "hog");
+        // after 60s of 1 runnable task, the 60s window reads 1.0
+        let s = m.collect(&mut h, SimTime::from_secs(60));
+        assert!((s.value - 1.0).abs() < 1e-9, "{}", s.value);
+        // a 10s window at t=65 with the task killed at 60 reads 0.5
+        h.cpu.kill(SimTime::from_secs(60), hog);
+        m.set_window(SimDur::from_secs(10));
+        let s = m.collect(&mut h, SimTime::from_secs(65));
+        assert!((s.value - 0.5).abs() < 1e-9, "{}", s.value);
+        // zero window ignored
+        m.set_window(SimDur::ZERO);
+        let _ = m.collect(&mut h, SimTime::from_secs(65));
+    }
+
+    #[test]
+    fn mem_mon_tracks_allocations() {
+        let mut h = host();
+        let mut m = MemMon;
+        let before = m.collect(&mut h, SimTime::ZERO).value;
+        h.mem.alloc("x", 64 * 1024 * 1024);
+        let after = m.collect(&mut h, SimTime::ZERO).value;
+        assert_eq!(before - after, (64 * 1024 * 1024) as f64);
+        assert!(m.collect(&mut h, SimTime::ZERO).detail.contains("free_pages"));
+    }
+
+    #[test]
+    fn disk_mon_counts_window_sectors() {
+        let mut h = host();
+        let mut m = DiskMon;
+        h.disk.submit(SimTime::ZERO, simos::disk::IoDir::Write, 512 * 20);
+        h.disk.submit(SimTime::ZERO, simos::disk::IoDir::Read, 512 * 5);
+        let s = m.collect(&mut h, SimTime::from_millis(100));
+        assert_eq!(s.value, 25.0);
+        // window slides off
+        let s = m.collect(&mut h, SimTime::from_secs(5));
+        assert_eq!(s.value, 0.0);
+    }
+
+    #[test]
+    fn net_mon_reports_available_bandwidth_and_connections() {
+        let mut h = host();
+        let mut m = NetMon;
+        let id = simnet::ConnId {
+            local: NodeId(0),
+            remote: NodeId(1),
+            proto: simnet::conn::Proto::Tcp,
+            tag: 7,
+        };
+        h.conns.open(id, SimTime::ZERO);
+        h.conns
+            .record_delivery(id, SimTime::ZERO, 125_000, SimDur::from_millis(2));
+        let s = m.collect(&mut h, SimTime::from_millis(500));
+        // 100 Mbps line rate - 1 Mbps connection throughput.
+        assert!((s.value - 99e6).abs() < 1.0, "{}", s.value);
+        assert!(s.detail.contains("tag 7"));
+        assert!(s.detail.contains("rtt_us 4000"));
+        // An Iperf flood visible at the NIC shrinks the estimate.
+        h.observed_background_bps = 80e6;
+        let s = m.collect(&mut h, SimTime::from_millis(500));
+        assert!((s.value - 19e6).abs() < 1.0, "{}", s.value);
+    }
+
+    #[test]
+    fn pmc_mon_is_cumulative() {
+        let mut h = host();
+        let mut m = PmcMon;
+        h.pmc.on_data_moved(3200);
+        let first = m.collect(&mut h, SimTime::ZERO).value;
+        assert_eq!(first, 100.0);
+        h.pmc.on_data_moved(3200);
+        let second = m.collect(&mut h, SimTime::ZERO).value;
+        assert_eq!(second, 200.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Abstract syntax tree for E-code.
+
+use crate::token::Pos;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Fields of a metric record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// Current metric value.
+    Value,
+    /// Value most recently sent on the channel.
+    LastValueSent,
+    /// Sample timestamp (seconds).
+    Timestamp,
+    /// Metric id (index in the environment).
+    Id,
+}
+
+impl Field {
+    /// Parse a field name.
+    pub fn from_name(name: &str) -> Option<Field> {
+        match name {
+            "value" => Some(Field::Value),
+            "last_value_sent" => Some(Field::LastValueSent),
+            "timestamp" => Some(Field::Timestamp),
+            "id" => Some(Field::Id),
+            _ => None,
+        }
+    }
+}
+
+/// Declared variable types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Double,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Position of the expression's first token.
+    pub pos: Pos,
+    /// The expression itself.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Variable reference (or metric constant, resolved in sema).
+    Var(String),
+    /// `input[index]` — a whole record (only valid on the right of
+    /// `output[...] = ...`).
+    InputRecord(Box<Expr>),
+    /// `input[index].field`.
+    InputField(Box<Expr>, Field),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+}
+
+/// A statement with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Position of the statement's first token.
+    pub pos: Pos,
+    /// The statement itself.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `int x = e;` / `double y;`
+    Decl {
+        /// Declared type.
+        ty: Ty,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// `x = e;`
+    Assign {
+        /// Variable name.
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `output[i] = input[j];`
+    OutputRecord {
+        /// Output slot index.
+        index: Expr,
+        /// Source record (`input[...]`).
+        record: Expr,
+    },
+    /// `output[i].field = e;`
+    OutputField {
+        /// Output slot index.
+        index: Expr,
+        /// Which field to overwrite.
+        field: Field,
+        /// New field value.
+        value: Expr,
+    },
+    /// `if (cond) then else else_`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (empty if absent).
+        else_: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Optional init statement.
+        init: Option<Box<Stmt>>,
+        /// Optional condition (true if absent).
+        cond: Option<Expr>,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `while (cond) body`
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` or `return e;` — ends the filter; a non-zero / true value
+    /// means "submit the outputs", zero means "suppress everything".
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Bare block `{ ... }`.
+    Block(Vec<Stmt>),
+}
+
+/// A whole filter: a statement list (the paper writes filters as a single
+/// braced block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_names_parse() {
+        assert_eq!(Field::from_name("value"), Some(Field::Value));
+        assert_eq!(
+            Field::from_name("last_value_sent"),
+            Some(Field::LastValueSent)
+        );
+        assert_eq!(Field::from_name("timestamp"), Some(Field::Timestamp));
+        assert_eq!(Field::from_name("id"), Some(Field::Id));
+        assert_eq!(Field::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,747 @@
+//! Recursive-descent parser for E-code.
+
+use crate::ast::{BinOp, Expr, ExprKind, Field, Program, Stmt, StmtKind, Ty, UnOp};
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Pos, Tok, Token};
+
+/// Parse a filter source string into an AST.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, i: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.i]
+    }
+
+    fn pos(&self) -> Pos {
+        self.peek().pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.i].clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at(&self, tok: &Tok) -> bool {
+        &self.peek().tok == tok
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.at(tok) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, CompileError> {
+        if self.at(&tok) {
+            Ok(self.bump())
+        } else {
+            Err(CompileError::new(
+                self.pos(),
+                format!("expected `{tok}`, found `{}`", self.peek().tok),
+            ))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        // The paper writes filters as one braced block; also accept a bare
+        // statement list.
+        let body = if self.at(&Tok::LBrace) {
+            // Peek ahead: a top-level `{ ... }` wrapping everything, or a
+            // leading block statement? Treat a single leading block that
+            // consumes all input as the program; otherwise parse as a list.
+            let save = self.i;
+            self.bump();
+            let mut stmts = Vec::new();
+            while !self.at(&Tok::RBrace) && !self.at(&Tok::Eof) {
+                stmts.push(self.stmt()?);
+            }
+            self.expect(Tok::RBrace)?;
+            if self.at(&Tok::Eof) {
+                stmts
+            } else {
+                // It was a block statement followed by more statements.
+                self.i = save;
+                self.stmt_list_until_eof()?
+            }
+        } else {
+            self.stmt_list_until_eof()?
+        };
+        self.expect(Tok::Eof)?;
+        Ok(Program { body })
+    }
+
+    fn stmt_list_until_eof(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.at(&Tok::Eof) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.at(&Tok::LBrace) {
+            self.bump();
+            let mut stmts = Vec::new();
+            while !self.at(&Tok::RBrace) && !self.at(&Tok::Eof) {
+                stmts.push(self.stmt()?);
+            }
+            self.expect(Tok::RBrace)?;
+            Ok(stmts)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match &self.peek().tok {
+            Tok::KwInt | Tok::KwDouble => {
+                let s = self.decl()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+            Tok::KwIf => self.if_stmt(),
+            Tok::KwFor => self.for_stmt(),
+            Tok::KwWhile => self.while_stmt(),
+            Tok::KwReturn => {
+                self.bump();
+                let value = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Return(value),
+                })
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Break,
+                })
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(Tok::Semi)?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Continue,
+                })
+            }
+            Tok::LBrace => {
+                let body = self.block_or_stmt()?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Block(body),
+                })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration without the trailing semicolon.
+    fn decl(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        let ty = match self.bump().tok {
+            Tok::KwInt => Ty::Int,
+            Tok::KwDouble => Ty::Double,
+            other => {
+                return Err(CompileError::new(pos, format!("expected type, found `{other}`")))
+            }
+        };
+        let name_tok = self.bump();
+        let name = match name_tok.tok {
+            Tok::Ident(n) => n,
+            other => {
+                return Err(CompileError::new(
+                    name_tok.pos,
+                    format!("expected variable name, found `{other}`"),
+                ))
+            }
+        };
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::Decl { ty, name, init },
+        })
+    }
+
+    /// An assignment (variable or output), without the trailing semicolon.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        match self.peek().tok.clone() {
+            Tok::KwOutput => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                if self.eat(&Tok::Dot) {
+                    let ftok = self.bump();
+                    let fname = match ftok.tok {
+                        Tok::Ident(n) => n,
+                        other => {
+                            return Err(CompileError::new(
+                                ftok.pos,
+                                format!("expected field name, found `{other}`"),
+                            ))
+                        }
+                    };
+                    let field = Field::from_name(&fname).ok_or_else(|| {
+                        CompileError::new(ftok.pos, format!("unknown record field `{fname}`"))
+                    })?;
+                    self.expect(Tok::Assign)?;
+                    let value = self.expr()?;
+                    Ok(Stmt {
+                        pos,
+                        kind: StmtKind::OutputField {
+                            index,
+                            field,
+                            value,
+                        },
+                    })
+                } else {
+                    self.expect(Tok::Assign)?;
+                    let record = self.expr()?;
+                    Ok(Stmt {
+                        pos,
+                        kind: StmtKind::OutputRecord { index, record },
+                    })
+                }
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                // Compound assignments desugar to `x = x <op> e`.
+                let compound = match self.peek().tok {
+                    Tok::PlusAssign => Some(BinOp::Add),
+                    Tok::MinusAssign => Some(BinOp::Sub),
+                    Tok::StarAssign => Some(BinOp::Mul),
+                    Tok::SlashAssign => Some(BinOp::Div),
+                    Tok::PercentAssign => Some(BinOp::Rem),
+                    _ => None,
+                };
+                if let Some(op) = compound {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let lhs = Expr {
+                        pos,
+                        kind: ExprKind::Var(name.clone()),
+                    };
+                    return Ok(Stmt {
+                        pos,
+                        kind: StmtKind::Assign {
+                            name,
+                            value: Expr {
+                                pos,
+                                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                            },
+                        },
+                    });
+                }
+                self.expect(Tok::Assign)?;
+                let value = self.expr()?;
+                Ok(Stmt {
+                    pos,
+                    kind: StmtKind::Assign { name, value },
+                })
+            }
+            other => Err(CompileError::new(
+                pos,
+                format!("expected a statement, found `{other}`"),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.expect(Tok::KwIf)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let then = self.block_or_stmt()?;
+        let else_ = if self.eat(&Tok::KwElse) {
+            if self.at(&Tok::KwIf) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block_or_stmt()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::If { cond, then, else_ },
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.expect(Tok::KwFor)?;
+        self.expect(Tok::LParen)?;
+        let init = if self.at(&Tok::Semi) {
+            None
+        } else if self.at(&Tok::KwInt) || self.at(&Tok::KwDouble) {
+            Some(Box::new(self.decl()?))
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(Tok::Semi)?;
+        let cond = if self.at(&Tok::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(Tok::Semi)?;
+        let step = if self.at(&Tok::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(Tok::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let pos = self.pos();
+        self.expect(Tok::KwWhile)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt {
+            pos,
+            kind: StmtKind::While { cond, body },
+        })
+    }
+
+    // --- expressions, precedence climbing ---
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&Tok::OrOr) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.eq_expr()?;
+        while self.at(&Tok::AndAnd) {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.eq_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.rel_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr {
+                pos,
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        if self.eat(&Tok::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr {
+                pos,
+                kind: ExprKind::Unary(UnOp::Neg, Box::new(inner)),
+            });
+        }
+        if self.eat(&Tok::Not) {
+            let inner = self.unary_expr()?;
+            return Ok(Expr {
+                pos,
+                kind: ExprKind::Unary(UnOp::Not, Box::new(inner)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let pos = self.pos();
+        match self.peek().tok.clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::IntLit(v),
+                })
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::FloatLit(v),
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr {
+                    pos,
+                    kind: ExprKind::Var(name),
+                })
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::KwInput => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let index = self.expr()?;
+                self.expect(Tok::RBracket)?;
+                if self.eat(&Tok::Dot) {
+                    let ftok = self.bump();
+                    let fname = match ftok.tok {
+                        Tok::Ident(n) => n,
+                        other => {
+                            return Err(CompileError::new(
+                                ftok.pos,
+                                format!("expected field name, found `{other}`"),
+                            ))
+                        }
+                    };
+                    let field = Field::from_name(&fname).ok_or_else(|| {
+                        CompileError::new(ftok.pos, format!("unknown record field `{fname}`"))
+                    })?;
+                    Ok(Expr {
+                        pos,
+                        kind: ExprKind::InputField(Box::new(index), field),
+                    })
+                } else {
+                    Ok(Expr {
+                        pos,
+                        kind: ExprKind::InputRecord(Box::new(index)),
+                    })
+                }
+            }
+            other => Err(CompileError::new(
+                pos,
+                format!("expected an expression, found `{other}`"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_braced_program() {
+        let p = parse("{ int i = 0; i = i + 1; }").unwrap();
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(p.body[0].kind, StmtKind::Decl { ty: Ty::Int, .. }));
+        assert!(matches!(p.body[1].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn parses_bare_statement_list() {
+        let p = parse("int i = 0; i = 2;").unwrap();
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn leading_block_followed_by_more() {
+        let p = parse("{ int i = 0; } int j = 1;").unwrap();
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(p.body[0].kind, StmtKind::Block(_)));
+    }
+
+    #[test]
+    fn precedence_mul_before_add_before_cmp_before_and() {
+        let p = parse("int x = 0; if (1 + 2 * 3 > 6 && 1 < 2) x = 1;").unwrap();
+        let StmtKind::If { cond, .. } = &p.body[1].kind else {
+            panic!("expected if");
+        };
+        // top is &&
+        let ExprKind::Binary(BinOp::And, l, _r) = &cond.kind else {
+            panic!("expected &&, got {cond:?}");
+        };
+        // left of && is >
+        let ExprKind::Binary(BinOp::Gt, gl, _) = &l.kind else {
+            panic!("expected >");
+        };
+        // left of > is 1 + (2*3)
+        let ExprKind::Binary(BinOp::Add, _, addr) = &gl.kind else {
+            panic!("expected +");
+        };
+        assert!(matches!(addr.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_input_field_and_record() {
+        let p = parse("{ if (input[0].value > 2) { output[0] = input[0]; } }").unwrap();
+        let StmtKind::If { cond, then, .. } = &p.body[0].kind else {
+            panic!("expected if");
+        };
+        let ExprKind::Binary(BinOp::Gt, l, _) = &cond.kind else {
+            panic!("expected >");
+        };
+        assert!(matches!(l.kind, ExprKind::InputField(_, Field::Value)));
+        assert!(matches!(then[0].kind, StmtKind::OutputRecord { .. }));
+    }
+
+    #[test]
+    fn parses_output_field_write() {
+        let p = parse("{ output[0] = input[1]; output[0].value = 3.5; }").unwrap();
+        assert!(matches!(
+            p.body[1].kind,
+            StmtKind::OutputField {
+                field: Field::Value,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_for_loop_with_all_clauses() {
+        let p = parse("{ int s = 0; for (int i = 0; i < 10; i = i + 1) { s = s + i; } }").unwrap();
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &p.body[1].kind
+        else {
+            panic!("expected for");
+        };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(step.is_some());
+    }
+
+    #[test]
+    fn parses_for_loop_with_empty_clauses() {
+        let p = parse("{ for (;;) { break; } }").unwrap();
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &p.body[0].kind
+        else {
+            panic!("expected for");
+        };
+        assert!(init.is_none());
+        assert!(cond.is_none());
+        assert!(step.is_none());
+    }
+
+    #[test]
+    fn parses_while_and_flow_keywords() {
+        let p = parse("{ int i = 0; while (i < 5) { i = i + 1; if (i == 3) continue; if (i == 4) break; } return i; }")
+            .unwrap();
+        assert!(matches!(p.body[1].kind, StmtKind::While { .. }));
+        assert!(matches!(p.body[2].kind, StmtKind::Return(Some(_))));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let p = parse("{ int x = 0; if (x > 1) x = 1; else if (x > 0) x = 2; else x = 3; }").unwrap();
+        let StmtKind::If { else_, .. } = &p.body[1].kind else {
+            panic!()
+        };
+        assert_eq!(else_.len(), 1);
+        assert!(matches!(else_[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("int x = - - 3; int y = !1;").unwrap();
+        let StmtKind::Decl { init: Some(e), .. } = &p.body[0].kind else {
+            panic!()
+        };
+        let ExprKind::Unary(UnOp::Neg, inner) = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(inner.kind, ExprKind::Unary(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("{ int i = 0 i = 1; }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_bad_field() {
+        let err = parse("{ int x = input[0].bogus; }").unwrap_err();
+        assert!(err.message.contains("unknown record field"));
+    }
+
+    #[test]
+    fn error_on_garbage_statement() {
+        let err = parse("{ 42; }").unwrap_err();
+        assert!(err.message.contains("expected a statement"));
+    }
+
+    #[test]
+    fn compound_assignments_desugar() {
+        let p = parse("{ int x = 1; x += 2; x -= 1; x *= 3; x /= 2; x %= 2; }").unwrap();
+        let ops = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem];
+        for (stmt, expect_op) in p.body[1..].iter().zip(ops) {
+            let StmtKind::Assign { name, value } = &stmt.kind else {
+                panic!("expected assignment, got {stmt:?}");
+            };
+            assert_eq!(name, "x");
+            let ExprKind::Binary(op, lhs, _) = &value.kind else {
+                panic!("expected binary desugar");
+            };
+            assert_eq!(*op, expect_op);
+            assert!(matches!(&lhs.kind, ExprKind::Var(n) if n == "x"));
+        }
+    }
+
+    #[test]
+    fn compound_assignment_in_for_step() {
+        let p = parse("{ int s = 0; for (int i = 0; i < 10; i += 2) { s += i; } }").unwrap();
+        assert!(matches!(p.body[1].kind, StmtKind::For { .. }));
+    }
+
+    #[test]
+    fn parses_fig3_filter_shape() {
+        let src = r#"
+{
+    int i = 0;
+    if(input[0].value > 2){
+        output[i] = input[0];
+        i = i + 1;
+    }
+    if(input[1].value > 10000 && input[2].value < 50e6){
+        output[i] = input[1];
+        i = i + 1;
+        output[i] = input[2];
+        i = i + 1;
+    }
+    if(input[3].value > input[3].last_value_sent){
+        output[i] = input[3];
+        i = i + 1;
+    }
+}
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.body.len(), 4); // decl + 3 ifs
+    }
+}

@@ -1,0 +1,106 @@
+//! Robustness properties: the compiler pipeline must never panic on
+//! arbitrary input — kernels compile filter strings supplied by remote
+//! applications, so every failure has to be a clean `CompileError`.
+
+use ecode::{EnvSpec, Filter, MetricRecord};
+use proptest::prelude::*;
+
+fn env() -> EnvSpec {
+    EnvSpec::new(["LOADAVG", "FREEMEM"])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn compile_never_panics_on_arbitrary_bytes(src in "[ -~\\n\\t]{0,256}") {
+        let _ = Filter::compile(&src, &env());
+    }
+
+    #[test]
+    fn compile_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("int".to_string()),
+                Just("double".to_string()),
+                Just("if".to_string()),
+                Just("else".to_string()),
+                Just("for".to_string()),
+                Just("while".to_string()),
+                Just("return".to_string()),
+                Just("break".to_string()),
+                Just("continue".to_string()),
+                Just("input".to_string()),
+                Just("output".to_string()),
+                Just("LOADAVG".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just("[".to_string()),
+                Just("]".to_string()),
+                Just(";".to_string()),
+                Just("=".to_string()),
+                Just("==".to_string()),
+                Just("&&".to_string()),
+                Just("<".to_string()),
+                Just("+".to_string()),
+                Just(".".to_string()),
+                Just("value".to_string()),
+                Just("x".to_string()),
+                Just("1".to_string()),
+                Just("2.5".to_string()),
+                Just("50e6".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = Filter::compile(&src, &env());
+    }
+
+    #[test]
+    fn successful_compiles_run_without_internal_errors(
+        threshold in -100.0f64..100.0,
+        value in -100.0f64..100.0,
+    ) {
+        // A family of well-formed filters over the whole parameter space:
+        // execution must either succeed or fail with a *domain* error,
+        // never an internal VM error.
+        let src = format!(
+            "{{ if (input[LOADAVG].value > {threshold:.4}) {{ output[0] = input[LOADAVG]; }} }}"
+        );
+        let f = Filter::compile(&src, &env()).unwrap();
+        let out = f
+            .run(&[MetricRecord::new(0, value), MetricRecord::new(1, 0.0)])
+            .unwrap();
+        prop_assert_eq!(out.records().len(), (value > threshold) as usize);
+    }
+
+    #[test]
+    fn deeply_nested_expressions_compile_or_error_cleanly(depth in 1usize..200) {
+        // Pathological nesting must not blow the compiler's stack in a
+        // disorderly way for reasonable depths.
+        let src = format!(
+            "{{ int x = {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let f = Filter::compile(&src, &env());
+        prop_assert!(f.is_ok(), "pure parens nest fine");
+    }
+}
+
+#[test]
+fn empty_and_whitespace_sources() {
+    // An empty statement list is a valid (pass-nothing) filter, braced or
+    // not.
+    for src in ["", "   ", "\n\n", "{ }", "{\n}"] {
+        let f = Filter::compile(src, &env()).expect(src);
+        let out = f
+            .run(&[MetricRecord::new(0, 1.0), MetricRecord::new(1, 2.0)])
+            .unwrap();
+        assert!(out.records().is_empty());
+        assert!(out.accept());
+    }
+}

@@ -1,0 +1,287 @@
+//! The channel registry and subscription state.
+//!
+//! The paper: "d-mon modules use a channel registry, which is a user-level
+//! channel directory server, to register new channels and to find existing
+//! channels. The first d-mon module to contact the registry will create
+//! the two channels. All other d-mon modules ... retrieve the channel
+//! identifiers from the registry and subscribe."
+//!
+//! [`Directory`] is that registry plus the per-channel subscriber lists.
+//! Submission is *planned* here ([`Directory::plan_submission`]) as a list
+//! of hops; the cluster glue executes them on the simulated network. Two
+//! topologies exist:
+//!
+//! * [`Topology::PeerToPeer`] — the paper's design: the publisher sends
+//!   directly to every subscriber,
+//! * [`Topology::Central`] — the Supermon-style baseline the paper argues
+//!   against: everything goes through one concentrator node which relays
+//!   to subscribers (`plan_forward`). Used by the scalability ablation.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use simnet::NodeId;
+
+/// Identifier of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChannelId(pub u32);
+
+/// How events reach subscribers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Publisher → each subscriber directly (the paper's KECho).
+    PeerToPeer,
+    /// Publisher → concentrator → each subscriber (Supermon-style).
+    Central(NodeId),
+}
+
+/// One network hop of a planned submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+}
+
+#[derive(Debug)]
+struct ChannelInfo {
+    name: String,
+    subscribers: BTreeSet<NodeId>,
+}
+
+/// The channel directory server.
+#[derive(Debug)]
+pub struct Directory {
+    channels: Vec<ChannelInfo>,
+    by_name: HashMap<String, ChannelId>,
+    topology: Topology,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Self::new(Topology::PeerToPeer)
+    }
+}
+
+impl Directory {
+    /// An empty directory with the given routing topology.
+    pub fn new(topology: Topology) -> Self {
+        Directory {
+            channels: Vec::new(),
+            by_name: HashMap::new(),
+            topology,
+        }
+    }
+
+    /// The routing topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Look up a channel by name, creating it if absent — the "first
+    /// d-mon to contact the registry creates the channels" behaviour.
+    pub fn open(&mut self, name: &str) -> ChannelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(ChannelInfo {
+            name: name.to_string(),
+            subscribers: BTreeSet::new(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up an existing channel.
+    pub fn lookup(&self, name: &str) -> Option<ChannelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Channel name.
+    pub fn name(&self, id: ChannelId) -> &str {
+        &self.channels[id.0 as usize].name
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True if no channels exist.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Subscribe a node. Idempotent.
+    pub fn subscribe(&mut self, id: ChannelId, node: NodeId) {
+        self.channels[id.0 as usize].subscribers.insert(node);
+    }
+
+    /// Unsubscribe a node. Idempotent.
+    pub fn unsubscribe(&mut self, id: ChannelId, node: NodeId) {
+        self.channels[id.0 as usize].subscribers.remove(&node);
+    }
+
+    /// Current subscribers, in node order (deterministic).
+    pub fn subscribers(&self, id: ChannelId) -> impl Iterator<Item = NodeId> + '_ {
+        self.channels[id.0 as usize].subscribers.iter().copied()
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self, id: ChannelId) -> usize {
+        self.channels[id.0 as usize].subscribers.len()
+    }
+
+    /// Whether `node` subscribes to `id`.
+    pub fn is_subscribed(&self, id: ChannelId, node: NodeId) -> bool {
+        self.channels[id.0 as usize].subscribers.contains(&node)
+    }
+
+    /// Plan the hops for `from` publishing on channel `id`. The publisher
+    /// never sends to itself (its d-mon consumes locally).
+    ///
+    /// * peer-to-peer: one hop per remote subscriber;
+    /// * central: a single hop to the concentrator (unless the publisher
+    ///   *is* the concentrator, in which case it fans out directly).
+    pub fn plan_submission(&self, id: ChannelId, from: NodeId) -> Vec<Hop> {
+        match self.topology {
+            Topology::PeerToPeer => self
+                .subscribers(id)
+                .filter(|&n| n != from)
+                .map(|to| Hop { from, to })
+                .collect(),
+            Topology::Central(hub) => {
+                if from == hub {
+                    self.subscribers(id)
+                        .filter(|&n| n != hub)
+                        .map(|to| Hop { from, to })
+                        .collect()
+                } else if self.subscriber_count(id) == 0
+                    || (self.subscriber_count(id) == 1 && self.is_subscribed(id, from))
+                {
+                    // Nobody else wants it; skip the hub round-trip.
+                    Vec::new()
+                } else {
+                    vec![Hop { from, to: hub }]
+                }
+            }
+        }
+    }
+
+    /// In central topology: the hops the concentrator performs when it
+    /// receives an event originated by `origin`. Empty in peer-to-peer.
+    pub fn plan_forward(&self, id: ChannelId, origin: NodeId) -> Vec<Hop> {
+        match self.topology {
+            Topology::PeerToPeer => Vec::new(),
+            Topology::Central(hub) => self
+                .subscribers(id)
+                .filter(|&n| n != origin && n != hub)
+                .map(|to| Hop { from: hub, to })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_is_create_or_lookup() {
+        let mut d = Directory::default();
+        assert!(d.is_empty());
+        let a = d.open("dproc-monitoring");
+        let b = d.open("dproc-control");
+        assert_ne!(a, b);
+        assert_eq!(d.open("dproc-monitoring"), a, "reopen returns same id");
+        assert_eq!(d.lookup("dproc-control"), Some(b));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.name(a), "dproc-monitoring");
+    }
+
+    #[test]
+    fn subscription_lifecycle() {
+        let mut d = Directory::default();
+        let c = d.open("mon");
+        d.subscribe(c, NodeId(1));
+        d.subscribe(c, NodeId(2));
+        d.subscribe(c, NodeId(1)); // idempotent
+        assert_eq!(d.subscriber_count(c), 2);
+        assert!(d.is_subscribed(c, NodeId(1)));
+        d.unsubscribe(c, NodeId(1));
+        assert!(!d.is_subscribed(c, NodeId(1)));
+        assert_eq!(d.subscribers(c).collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn p2p_plan_skips_self() {
+        let mut d = Directory::default();
+        let c = d.open("mon");
+        for n in 0..4 {
+            d.subscribe(c, NodeId(n));
+        }
+        let hops = d.plan_submission(c, NodeId(2));
+        assert_eq!(hops.len(), 3);
+        assert!(hops.iter().all(|h| h.from == NodeId(2) && h.to != NodeId(2)));
+        // deterministic order
+        assert_eq!(
+            hops.iter().map(|h| h.to).collect::<Vec<_>>(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+        assert!(d.plan_forward(c, NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn central_plan_routes_via_hub() {
+        let mut d = Directory::new(Topology::Central(NodeId(0)));
+        let c = d.open("mon");
+        for n in 0..4 {
+            d.subscribe(c, NodeId(n));
+        }
+        // Publisher 2 sends one hop to the hub...
+        let hops = d.plan_submission(c, NodeId(2));
+        assert_eq!(hops, vec![Hop { from: NodeId(2), to: NodeId(0) }]);
+        // ...and the hub forwards to everyone except origin and itself.
+        let fwd = d.plan_forward(c, NodeId(2));
+        assert_eq!(
+            fwd,
+            vec![
+                Hop { from: NodeId(0), to: NodeId(1) },
+                Hop { from: NodeId(0), to: NodeId(3) },
+            ]
+        );
+    }
+
+    #[test]
+    fn central_hub_publishes_directly() {
+        let mut d = Directory::new(Topology::Central(NodeId(0)));
+        let c = d.open("mon");
+        for n in 0..3 {
+            d.subscribe(c, NodeId(n));
+        }
+        let hops = d.plan_submission(c, NodeId(0));
+        assert_eq!(hops.len(), 2);
+        assert!(hops.iter().all(|h| h.from == NodeId(0)));
+    }
+
+    #[test]
+    fn central_skips_hub_hop_when_no_audience() {
+        let mut d = Directory::new(Topology::Central(NodeId(0)));
+        let c = d.open("mon");
+        // Only the publisher itself subscribes.
+        d.subscribe(c, NodeId(2));
+        assert!(d.plan_submission(c, NodeId(2)).is_empty());
+        // Empty channel: nothing to do either.
+        let c2 = d.open("other");
+        assert!(d.plan_submission(c2, NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn topology_accessor() {
+        let d = Directory::new(Topology::Central(NodeId(7)));
+        assert_eq!(d.topology(), Topology::Central(NodeId(7)));
+    }
+}

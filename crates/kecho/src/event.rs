@@ -1,0 +1,198 @@
+//! Event identity and typed payloads.
+
+use simnet::NodeId;
+
+/// What kind of traffic an event carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Monitoring data (resource records).
+    Monitoring,
+    /// Control traffic (parameters, filters).
+    Control,
+}
+
+/// One monitoring record on the wire: a metric sample from some node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonRecord {
+    /// Metric id within the publisher's environment.
+    pub metric_id: u32,
+    /// Sampled value.
+    pub value: f64,
+    /// Value previously sent (lets subscribers run differential logic).
+    pub last_value_sent: f64,
+    /// Sample time, seconds.
+    pub timestamp: f64,
+}
+
+/// Payload of a monitoring event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitoringPayload {
+    /// The node the metrics describe.
+    pub origin: NodeId,
+    /// The records that survived parameters/filters.
+    pub records: Vec<MonRecord>,
+    /// Extra bytes of payload, modeling event bodies beyond the record
+    /// structs (the paper benchmarks 50–100 B and 5 KB events; SmartPointer
+    /// sends megabytes). Only the *length* travels conceptually — the wire
+    /// codec materializes zeros.
+    pub pad_bytes: u32,
+    /// Schema extension for metrics beyond the publisher's standard module
+    /// set (run-time registered modules): `(metric_id, metric_name,
+    /// proc_file_name)`. ECho events are typed; this is the slice of the
+    /// type information a subscriber needs to interpret foreign ids.
+    pub ext_names: Vec<(u32, String, String)>,
+}
+
+/// A threshold/period parameter, settable through a node's control file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamSpec {
+    /// Update every `period_s` seconds.
+    Period {
+        /// Seconds between updates.
+        period_s: f64,
+    },
+    /// Send only if the value changed at least `fraction` relative to the
+    /// last sent value (the paper's "differential filter": 15% => 0.15).
+    DeltaFraction {
+        /// Relative change required.
+        fraction: f64,
+    },
+    /// Send only while the value is above `bound`.
+    Above {
+        /// Lower bound.
+        bound: f64,
+    },
+    /// Send only while the value is below `bound`.
+    Below {
+        /// Upper bound.
+        bound: f64,
+    },
+    /// Send only while the value is inside `[lo, hi]`.
+    Range {
+        /// Lower edge.
+        lo: f64,
+        /// Upper edge.
+        hi: f64,
+    },
+}
+
+/// Control-channel messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMsg {
+    /// Set a parameter for one metric (by name) at the target node.
+    SetParam {
+        /// Metric name (e.g. `"cpu"`); `"*"` applies to all.
+        metric: String,
+        /// The parameter.
+        param: ParamSpec,
+    },
+    /// Deploy an E-code filter (source string) at the target node.
+    DeployFilter {
+        /// Filter source code.
+        source: String,
+    },
+    /// Remove the deployed filter at the target node.
+    RemoveFilter,
+    /// Ask the target to (re)announce its subscriptions — used when a node
+    /// joins late.
+    Announce,
+}
+
+/// A complete event as it travels between kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Traffic class.
+    pub kind: EventKind,
+    /// Channel the event was submitted on.
+    pub channel: u32,
+    /// Publisher-assigned sequence number.
+    pub seq: u64,
+    /// Publishing node.
+    pub sender: NodeId,
+    /// For control events, the node the message is addressed to (control
+    /// messages are targeted; monitoring events fan out).
+    pub target: Option<NodeId>,
+    /// Payload.
+    pub payload: Payload,
+}
+
+/// The two payload families.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Monitoring data.
+    Monitoring(MonitoringPayload),
+    /// A control message.
+    Control(ControlMsg),
+}
+
+impl Event {
+    /// Construct a monitoring event.
+    pub fn monitoring(channel: u32, seq: u64, sender: NodeId, payload: MonitoringPayload) -> Self {
+        Event {
+            kind: EventKind::Monitoring,
+            channel,
+            seq,
+            sender,
+            target: None,
+            payload: Payload::Monitoring(payload),
+        }
+    }
+
+    /// Construct a targeted control event.
+    pub fn control(channel: u32, seq: u64, sender: NodeId, target: NodeId, msg: ControlMsg) -> Self {
+        Event {
+            kind: EventKind::Control,
+            channel,
+            seq,
+            sender,
+            target: Some(target),
+            payload: Payload::Control(msg),
+        }
+    }
+
+    /// The monitoring payload, if this is a monitoring event.
+    pub fn as_monitoring(&self) -> Option<&MonitoringPayload> {
+        match &self.payload {
+            Payload::Monitoring(m) => Some(m),
+            Payload::Control(_) => None,
+        }
+    }
+
+    /// The control message, if this is a control event.
+    pub fn as_control(&self) -> Option<&ControlMsg> {
+        match &self.payload {
+            Payload::Control(c) => Some(c),
+            Payload::Monitoring(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        let m = Event::monitoring(
+            1,
+            7,
+            NodeId(0),
+            MonitoringPayload {
+                origin: NodeId(0),
+                records: vec![],
+                pad_bytes: 0,
+                ext_names: Vec::new(),
+            },
+        );
+        assert_eq!(m.kind, EventKind::Monitoring);
+        assert!(m.as_monitoring().is_some());
+        assert!(m.as_control().is_none());
+        assert_eq!(m.target, None);
+
+        let c = Event::control(2, 8, NodeId(1), NodeId(3), ControlMsg::RemoveFilter);
+        assert_eq!(c.kind, EventKind::Control);
+        assert_eq!(c.target, Some(NodeId(3)));
+        assert!(c.as_control().is_some());
+        assert!(c.as_monitoring().is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! `kecho` — kernel-level publish/subscribe event channels.
+//!
+//! KECho is the paper's kernel port of the ECho event-channel
+//! infrastructure: every dproc node joins a *monitoring* channel (data)
+//! and a *control* channel (parameters, filter deployment); a user-level
+//! *channel registry* bootstraps discovery; and all communication is
+//! strictly peer-to-peer kernel-to-kernel messaging — no central
+//! collection point.
+//!
+//! This crate reproduces that layer:
+//!
+//! * [`event`] — event identity and the typed payloads flowing on dproc's
+//!   two channels (monitoring records; control messages),
+//! * [`wire`] — a compact binary codec (`bytes`-based) for those payloads;
+//!   a real kernel module would marshal structs the same way,
+//! * [`directory`] — the channel registry plus subscription state, with
+//!   both the paper's peer-to-peer topology and a Supermon-style central
+//!   concentrator as the ablation baseline (`Topology::Central`),
+//!
+//! The crate is pure: submission *plans* hops (`(from, to)` pairs); the
+//! cluster glue in `dproc` turns hops into `simnet` sends and schedules
+//! deliveries.
+
+pub mod directory;
+pub mod event;
+pub mod wire;
+
+pub use directory::{ChannelId, Directory, Hop, Topology};
+pub use event::{ControlMsg, Event, EventKind, MonRecord, MonitoringPayload, ParamSpec};
+pub use wire::{decode_event, encode_event, WireError};

@@ -1,0 +1,88 @@
+//! Routing-completeness properties of the channel directory: whatever the
+//! topology, every subscriber (except the publisher) is reached exactly
+//! once, and nobody else is.
+
+use std::collections::BTreeSet;
+
+use kecho::{Directory, Topology};
+use proptest::prelude::*;
+use simnet::NodeId;
+
+fn subscribers_strategy() -> impl Strategy<Value = BTreeSet<usize>> {
+    proptest::collection::btree_set(0usize..16, 0..12)
+}
+
+proptest! {
+    #[test]
+    fn p2p_reaches_all_subscribers_exactly_once(
+        subs in subscribers_strategy(),
+        publisher in 0usize..16,
+    ) {
+        let mut dir = Directory::new(Topology::PeerToPeer);
+        let chan = dir.open("mon");
+        for &s in &subs {
+            dir.subscribe(chan, NodeId(s));
+        }
+        let hops = dir.plan_submission(chan, NodeId(publisher));
+        let reached: BTreeSet<usize> = hops.iter().map(|h| h.to.0).collect();
+        let mut expected = subs.clone();
+        expected.remove(&publisher);
+        prop_assert_eq!(reached, expected);
+        prop_assert_eq!(hops.len(), {
+            let mut e = subs.clone();
+            e.remove(&publisher);
+            e.len()
+        }, "no duplicates");
+        prop_assert!(hops.iter().all(|h| h.from.0 == publisher));
+        prop_assert!(dir.plan_forward(chan, NodeId(publisher)).is_empty());
+    }
+
+    #[test]
+    fn central_submission_plus_forward_reaches_everyone(
+        subs in subscribers_strategy(),
+        publisher in 0usize..16,
+        hub in 0usize..16,
+    ) {
+        let mut dir = Directory::new(Topology::Central(NodeId(hub)));
+        let chan = dir.open("mon");
+        for &s in &subs {
+            dir.subscribe(chan, NodeId(s));
+        }
+        let first = dir.plan_submission(chan, NodeId(publisher));
+        let forward = dir.plan_forward(chan, NodeId(publisher));
+
+        // Union of consumers: first-hop destinations that are subscribers
+        // (the hub consumes only if subscribed) plus forward destinations.
+        let mut reached: BTreeSet<usize> = forward.iter().map(|h| h.to.0).collect();
+        for h in &first {
+            if subs.contains(&h.to.0) {
+                reached.insert(h.to.0);
+            }
+        }
+        // The hub consumes events that land on it if it subscribes.
+        if subs.contains(&hub) && publisher != hub && !first.is_empty() {
+            reached.insert(hub);
+        }
+        let mut expected = subs.clone();
+        expected.remove(&publisher);
+        prop_assert_eq!(reached, expected, "first {:?} forward {:?}", first, forward);
+        // Every forward hop originates at the hub.
+        prop_assert!(forward.iter().all(|h| h.from.0 == hub));
+        // The publisher sends at most one message (to the hub) unless it
+        // is the hub itself.
+        if publisher != hub {
+            prop_assert!(first.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn open_is_idempotent_and_names_stable(names in proptest::collection::vec("[a-z]{1,8}", 1..10)) {
+        let mut dir = Directory::default();
+        let ids: Vec<_> = names.iter().map(|n| dir.open(n)).collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            prop_assert_eq!(dir.open(name), id);
+            prop_assert_eq!(dir.lookup(name), Some(id));
+            prop_assert_eq!(dir.name(id), name.as_str());
+        }
+    }
+}

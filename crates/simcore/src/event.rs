@@ -1,0 +1,355 @@
+//! The discrete-event scheduler.
+//!
+//! [`Sim<W>`] owns a priority queue of events; each event is a boxed
+//! closure receiving exclusive access to the world `W` and to the scheduler
+//! itself (so handlers can schedule follow-up events). Ordering is total:
+//! `(time, sequence)` with the sequence number assigned at scheduling time,
+//! which makes runs bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDur, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// Return value of a periodic handler: keep firing or stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Repeat {
+    /// Re-arm the timer for another period.
+    Continue,
+    /// Stop; the timer is dropped.
+    Stop,
+}
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
+type PeriodicFn<W> = Box<dyn FnMut(&mut W, &mut Sim<W>) -> Repeat>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulation over world state `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A fresh simulation at time zero with an empty queue.
+    pub fn new() -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue (including cancelled ones not
+    /// yet reaped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Scheduling in the past
+    /// (before `now`) panics — that would break causality.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `f` to run `after` from now.
+    pub fn schedule_in(
+        &mut self,
+        after: SimDur,
+        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + after;
+        self.schedule_at(at, f)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (it will be silently skipped when reached).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Schedule a periodic handler. The first firing happens at `start`;
+    /// subsequent firings every `period` until the handler returns
+    /// [`Repeat::Stop`]. Returns the id of the *first* firing; cancelling it
+    /// stops the whole series (re-armed firings inherit cancellation by
+    /// checking a shared flag is unnecessary because each re-arm happens only
+    /// after a successful firing).
+    pub fn schedule_periodic(
+        &mut self,
+        start: SimTime,
+        period: SimDur,
+        f: impl FnMut(&mut W, &mut Sim<W>) -> Repeat + 'static,
+    ) -> EventId
+    where
+        W: 'static,
+    {
+        assert!(!period.is_zero(), "periodic event with zero period");
+        self.schedule_at(start, tick(period, Box::new(f)))
+    }
+
+    /// Run events until the queue is exhausted or the clock passes `until`.
+    /// The clock is left at the time of the last executed event (or `until`
+    /// if no event at/before `until` existed — the clock then advances to
+    /// `until`). Returns the number of events executed.
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            let fire = matches!(self.queue.peek(), Some(ev) if ev.at <= until);
+            if !fire {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event time regressed");
+            self.now = ev.at;
+            self.executed += 1;
+            n += 1;
+            (ev.f)(world, self);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        n
+    }
+
+    /// Run events for `dur` from the current time. See [`Sim::run_until`].
+    pub fn run_for(&mut self, world: &mut W, dur: SimDur) -> u64 {
+        let until = self.now + dur;
+        self.run_until(world, until)
+    }
+
+    /// Run until the queue is empty or `max_events` have executed.
+    /// Returns the number of events executed.
+    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            let ev = match self.queue.pop() {
+                Some(ev) => ev,
+                None => break,
+            };
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            self.executed += 1;
+            n += 1;
+            (ev.f)(world, self);
+        }
+        n
+    }
+}
+
+/// Build the self-re-arming closure for a periodic event.
+fn tick<W: 'static>(period: SimDur, mut f: PeriodicFn<W>) -> impl FnOnce(&mut W, &mut Sim<W>) {
+    move |w, sim| {
+        if f(w, sim) == Repeat::Continue {
+            sim.schedule_in(period, tick(period, f));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_millis(20), |w: &mut W, s: &mut Sim<W>| {
+            w.log.push((s.now().as_millis(), "b"));
+        });
+        sim.schedule_at(SimTime::from_millis(10), |w: &mut W, s: &mut Sim<W>| {
+            w.log.push((s.now().as_millis(), "a"));
+        });
+        sim.schedule_at(SimTime::from_millis(30), |w: &mut W, s: &mut Sim<W>| {
+            w.log.push((s.now().as_millis(), "c"));
+        });
+        let n = sim.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(n, 3);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        // Clock advances to `until` when the queue drains early.
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        let t = SimTime::from_millis(5);
+        sim.schedule_at(t, |w: &mut W, _: &mut Sim<W>| w.log.push((0, "first")));
+        sim.schedule_at(t, |w: &mut W, _: &mut Sim<W>| w.log.push((0, "second")));
+        sim.run_until(&mut w, t);
+        assert_eq!(w.log, vec![(0, "first"), (0, "second")]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_millis(1), |_w: &mut W, s: &mut Sim<W>| {
+            s.schedule_in(SimDur::from_millis(1), |w: &mut W, s: &mut Sim<W>| {
+                w.log.push((s.now().as_millis(), "child"));
+            });
+        });
+        sim.run_until(&mut w, SimTime::from_millis(10));
+        assert_eq!(w.log, vec![(2, "child")]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        let id = sim.schedule_at(SimTime::from_millis(1), |w: &mut W, _: &mut Sim<W>| {
+            w.log.push((0, "nope"));
+        });
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run_until(&mut w, SimTime::from_secs(1));
+        assert!(w.log.is_empty());
+    }
+
+    #[test]
+    fn periodic_fires_until_stop() {
+        struct C {
+            count: u32,
+        }
+        let mut sim: Sim<C> = Sim::new();
+        let mut w = C { count: 0 };
+        sim.schedule_periodic(
+            SimTime::from_secs(1),
+            SimDur::from_secs(1),
+            |w: &mut C, _s: &mut Sim<C>| {
+                w.count += 1;
+                if w.count == 5 {
+                    Repeat::Stop
+                } else {
+                    Repeat::Continue
+                }
+            },
+        );
+        sim.run_until(&mut w, SimTime::from_secs(100));
+        assert_eq!(w.count, 5);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(10), |w: &mut W, _: &mut Sim<W>| {
+            w.log.push((10, "late"));
+        });
+        let n = sim.run_until(&mut w, SimTime::from_secs(5));
+        assert_eq!(n, 0);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_until(&mut w, SimTime::from_secs(20));
+        assert_eq!(w.log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_past_panics() {
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        sim.schedule_at(SimTime::from_secs(1), |_: &mut W, _: &mut Sim<W>| {});
+        sim.run_until(&mut w, SimTime::from_secs(2));
+        sim.schedule_at(SimTime::from_millis(500), |_: &mut W, _: &mut Sim<W>| {});
+    }
+
+    #[test]
+    fn run_to_completion_respects_budget() {
+        struct C {
+            count: u64,
+        }
+        let mut sim: Sim<C> = Sim::new();
+        let mut w = C { count: 0 };
+        // A self-perpetuating event chain.
+        sim.schedule_periodic(
+            SimTime::ZERO,
+            SimDur::from_nanos(1),
+            |w: &mut C, _s: &mut Sim<C>| {
+                w.count += 1;
+                Repeat::Continue
+            },
+        );
+        let n = sim.run_to_completion(&mut w, 1000);
+        assert_eq!(n, 1000);
+        assert_eq!(w.count, 1000);
+    }
+}

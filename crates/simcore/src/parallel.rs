@@ -1,0 +1,109 @@
+//! Parallel replica/sweep runner.
+//!
+//! The discrete-event simulation itself is single-threaded (determinism),
+//! but parameter sweeps run many *independent* simulations — one per
+//! configuration point or seed. [`run_sweep`] distributes those across a
+//! crossbeam scoped-thread pool and returns results in input order.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// Run `f` over every item of `inputs` using up to `threads` worker
+/// threads. Results are returned in the same order as `inputs`. Panics in a
+/// worker propagate after all workers finish.
+pub fn run_sweep<I, O, F>(inputs: Vec<I>, threads: usize, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let n = inputs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, I)>();
+    for item in inputs.into_iter().enumerate() {
+        tx.send(item).expect("queue send");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let rx = rx.clone();
+            let results = &results;
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((idx, input)) = rx.recv() {
+                    let out = f(input);
+                    results.lock()[idx] = Some(out);
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("missing sweep result"))
+        .collect()
+}
+
+/// Suggested worker count: available parallelism capped at `max`.
+pub fn suggested_threads(max: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(max)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let out = run_sweep(inputs, 8, |x| x * x);
+        let expect: Vec<u64> = (0..100).map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let out = run_sweep(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = run_sweep(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_items_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_sweep((0..57).collect::<Vec<_>>(), 5, |x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(counter.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn suggested_threads_bounds() {
+        assert!(suggested_threads(4) >= 1);
+        assert!(suggested_threads(4) <= 4);
+    }
+}

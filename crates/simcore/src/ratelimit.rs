@@ -1,0 +1,139 @@
+//! Token-bucket rate limiting, used by the network model to enforce link
+//! capacities and by traffic generators to pace themselves.
+
+use crate::time::{SimDur, SimTime};
+
+/// A token bucket: `rate` tokens/sec refill, up to `burst` capacity.
+/// Tokens here are abstract units (the network model uses bytes).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// New bucket, initially full.
+    pub fn new(rate_per_sec: f64, burst: f64, now: SimTime) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(burst > 0.0, "burst must be positive");
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: now,
+        }
+    }
+
+    /// Refill according to elapsed time.
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        self.last_refill = now;
+    }
+
+    /// Try to consume `n` tokens at `now`. Returns true on success.
+    pub fn try_consume(&mut self, n: f64, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until `n` tokens will be available (zero if available now).
+    /// `n` may exceed the burst size; the wait is computed as if the bucket
+    /// could momentarily hold it (callers chunk large requests in practice).
+    pub fn wait_for(&mut self, n: f64, now: SimTime) -> SimDur {
+        self.refill(now);
+        if self.tokens >= n {
+            return SimDur::ZERO;
+        }
+        let deficit = n - self.tokens;
+        SimDur::from_secs_f64(deficit / self.rate_per_sec)
+    }
+
+    /// Consume `n` tokens unconditionally (may drive the level negative —
+    /// models a FIFO link that is already committed to earlier traffic).
+    pub fn consume_debt(&mut self, n: f64, now: SimTime) {
+        self.refill(now);
+        self.tokens -= n;
+    }
+
+    /// Current token level.
+    pub fn level(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Configured rate (tokens per second).
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Change the refill rate (tokens are refilled at the old rate first).
+    pub fn set_rate(&mut self, rate_per_sec: f64, now: SimTime) {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        self.refill(now);
+        self.rate_per_sec = rate_per_sec;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_consumes() {
+        let mut tb = TokenBucket::new(100.0, 50.0, SimTime::ZERO);
+        assert!(tb.try_consume(50.0, SimTime::ZERO));
+        assert!(!tb.try_consume(1.0, SimTime::ZERO));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut tb = TokenBucket::new(100.0, 50.0, SimTime::ZERO);
+        assert!(tb.try_consume(50.0, SimTime::ZERO));
+        // after 0.25s: 25 tokens
+        assert!(tb.try_consume(25.0, SimTime::from_millis(250)));
+        assert!(!tb.try_consume(1.0, SimTime::from_millis(250)));
+    }
+
+    #[test]
+    fn caps_at_burst() {
+        let mut tb = TokenBucket::new(100.0, 50.0, SimTime::ZERO);
+        assert!((tb.level(SimTime::from_secs(1000)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wait_for_computes_deficit_time() {
+        let mut tb = TokenBucket::new(100.0, 50.0, SimTime::ZERO);
+        tb.try_consume(50.0, SimTime::ZERO);
+        let wait = tb.wait_for(10.0, SimTime::ZERO);
+        assert_eq!(wait, SimDur::from_millis(100));
+        assert_eq!(tb.wait_for(0.0, SimTime::ZERO), SimDur::ZERO);
+    }
+
+    #[test]
+    fn debt_goes_negative_and_recovers() {
+        let mut tb = TokenBucket::new(100.0, 50.0, SimTime::ZERO);
+        tb.consume_debt(150.0, SimTime::ZERO);
+        assert!(tb.level(SimTime::ZERO) < 0.0);
+        let wait = tb.wait_for(0.0, SimTime::ZERO);
+        assert!(wait > SimDur::ZERO);
+        // After 2 seconds the bucket is positive again.
+        assert!(tb.level(SimTime::from_secs(2)) > 0.0);
+    }
+
+    #[test]
+    fn set_rate_takes_effect() {
+        let mut tb = TokenBucket::new(100.0, 100.0, SimTime::ZERO);
+        tb.try_consume(100.0, SimTime::ZERO);
+        tb.set_rate(200.0, SimTime::ZERO);
+        assert!(tb.try_consume(100.0, SimTime::from_millis(500)));
+        assert_eq!(tb.rate(), 200.0);
+    }
+}

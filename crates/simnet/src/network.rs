@@ -1,0 +1,301 @@
+//! The star topology (every node ↔ one switch) and the send path.
+
+use simcore::{SimDur, SimTime};
+
+use crate::link::{DirLink, LinkSpec};
+
+/// Index of a node on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Outcome of enqueueing a message on the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last byte arrives at the destination host.
+    pub deliver_at: SimTime,
+    /// Time spent waiting behind earlier traffic (uplink + downlink queues).
+    pub queued: SimDur,
+    /// Pure wire time (serialization twice + propagation twice).
+    pub wire: SimDur,
+}
+
+impl Delivery {
+    /// Total network latency experienced by the message, given its send time.
+    pub fn latency(&self, sent_at: SimTime) -> SimDur {
+        self.deliver_at.since(sent_at)
+    }
+}
+
+struct NodeLinks {
+    /// Node → switch.
+    up: DirLink,
+    /// Switch → node.
+    down: DirLink,
+}
+
+/// A switched full-duplex star network.
+pub struct Network {
+    spec: LinkSpec,
+    nodes: Vec<NodeLinks>,
+    /// Lifetime counters.
+    deliveries: u64,
+    payload_bytes: u64,
+}
+
+impl Network {
+    /// Build a network of `n` nodes with identical links.
+    pub fn new(n: usize, spec: LinkSpec) -> Self {
+        let nodes = (0..n)
+            .map(|_| NodeLinks {
+                up: DirLink::new(spec),
+                down: DirLink::new(spec),
+            })
+            .collect();
+        Network {
+            spec,
+            nodes,
+            deliveries: 0,
+            payload_bytes: 0,
+        }
+    }
+
+    /// Add one more node; returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.nodes.push(NodeLinks {
+            up: DirLink::new(self.spec),
+            down: DirLink::new(self.spec),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Link parameters.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    fn check(&self, id: NodeId) {
+        assert!(id.0 < self.nodes.len(), "unknown node {id}");
+    }
+
+    /// Enqueue a `bytes`-byte message from `from` to `to` at time `now`;
+    /// returns the computed delivery. Loopback (`from == to`) bypasses the
+    /// wire and costs a fixed small kernel-copy latency.
+    pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: usize) -> Delivery {
+        self.check(from);
+        self.check(to);
+        self.deliveries += 1;
+        self.payload_bytes += bytes as u64;
+        if from == to {
+            // In-kernel loopback: no serialization, just a copy.
+            let copy = SimDur::from_nanos(200 + (bytes as u64) / 10);
+            return Delivery {
+                deliver_at: now + copy,
+                queued: SimDur::ZERO,
+                wire: copy,
+            };
+        }
+        // Packet-pipelined store-and-forward: the switch forwards packets
+        // as they arrive, so a multi-packet message's uplink and downlink
+        // serializations overlap. The downlink can start once the first
+        // packet is through and cannot finish before the last packet has
+        // both arrived and been re-serialized.
+        let first_pkt = bytes.min(self.spec.mtu_payload);
+        let up = &mut self.nodes[from.0].up;
+        let t_up = up.tx_time_now(bytes);
+        let t_up_first = up.tx_time_now(first_pkt);
+        let (up_start, up_finish) = up.reserve(now, t_up);
+        up.account(now, bytes);
+        let head_at_switch = up_start + t_up_first + self.spec.latency;
+
+        let down = &mut self.nodes[to.0].down;
+        let t_down = down.tx_time_now(bytes);
+        let t_down_first = down.tx_time_now(first_pkt);
+        let (down_start, down_finish0) = down.reserve(head_at_switch, t_down);
+        let tail_constraint = up_finish + self.spec.latency + t_down_first;
+        let down_finish = down_finish0.max(tail_constraint);
+        down.extend_busy(down_finish);
+        down.account(now, bytes);
+
+        let deliver_at = down_finish + self.spec.latency;
+        let queued = (up_start - now) + (down_start - head_at_switch);
+        let wire = deliver_at.since(now) - queued;
+        Delivery {
+            deliver_at,
+            queued,
+            wire,
+        }
+    }
+
+    /// Queueing backlog a new message from `from` to `to` would see right
+    /// now (sum of both directions' backlogs), without sending.
+    pub fn backlog(&self, now: SimTime, from: NodeId, to: NodeId) -> SimDur {
+        self.check(from);
+        self.check(to);
+        self.nodes[from.0].up.backlog(now) + self.nodes[to.0].down.backlog(now)
+    }
+
+    /// Add fluid background load along the path `from` → `to`.
+    pub(crate) fn add_background(&mut self, from: NodeId, to: NodeId, bps: f64) {
+        self.check(from);
+        self.check(to);
+        self.nodes[from.0].up.add_background(bps);
+        self.nodes[to.0].down.add_background(bps);
+    }
+
+    /// Remove fluid background load along the path `from` → `to`.
+    pub(crate) fn remove_background(&mut self, from: NodeId, to: NodeId, bps: f64) {
+        self.check(from);
+        self.check(to);
+        self.nodes[from.0].up.remove_background(bps);
+        self.nodes[to.0].down.remove_background(bps);
+    }
+
+    /// Mutable access to a node's uplink (tests, probes).
+    pub fn uplink_mut(&mut self, id: NodeId) -> &mut DirLink {
+        self.check(id);
+        &mut self.nodes[id.0].up
+    }
+
+    /// Mutable access to a node's downlink (tests, probes).
+    pub fn downlink_mut(&mut self, id: NodeId) -> &mut DirLink {
+        self.check(id);
+        &mut self.nodes[id.0].down
+    }
+
+    /// Shared access to a node's uplink.
+    pub fn uplink(&self, id: NodeId) -> &DirLink {
+        self.check(id);
+        &self.nodes[id.0].up
+    }
+
+    /// Shared access to a node's downlink.
+    pub fn downlink(&self, id: NodeId) -> &DirLink {
+        self.check(id);
+        &self.nodes[id.0].down
+    }
+
+    /// Lifetime count of messages accepted by [`Network::send`].
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Lifetime payload bytes accepted by [`Network::send`].
+    pub fn payload_bytes(&self) -> u64 {
+        self.payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: usize) -> Network {
+        Network::new(n, LinkSpec::fast_ethernet())
+    }
+
+    #[test]
+    fn unloaded_delivery_is_wire_time_only() {
+        let mut n = net(2);
+        let d = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        assert_eq!(d.queued, SimDur::ZERO);
+        // ~2 serializations of ~1078 wire bytes at 100 Mbps + 2*30us
+        let expect_us = 2.0 * 1078.0 * 8.0 / 100.0 + 60.0;
+        let got_us = d.latency(SimTime::ZERO).as_micros_f64();
+        assert!((got_us - expect_us).abs() < 2.0, "got {got_us} vs {expect_us}");
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let mut n = net(1);
+        let d = n.send(SimTime::ZERO, NodeId(0), NodeId(0), 1_000_000);
+        assert!(d.deliver_at < SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn sender_uplink_is_the_shared_bottleneck() {
+        let mut n = net(3);
+        // Two large messages from node 0 to different receivers: the second
+        // queues behind the first on node 0's uplink.
+        let d1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000);
+        assert_eq!(d1.queued, SimDur::ZERO);
+        assert!(d2.queued > SimDur::from_millis(80), "queued {}", d2.queued);
+    }
+
+    #[test]
+    fn receiver_downlink_is_shared_too() {
+        let mut n = net(3);
+        let d1 = n.send(SimTime::ZERO, NodeId(1), NodeId(0), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(2), NodeId(0), 1_000_000);
+        assert_eq!(d1.queued, SimDur::ZERO);
+        assert!(d2.queued > SimDur::from_millis(70), "queued {}", d2.queued);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let mut n = net(4);
+        let d1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(2), NodeId(3), 1_000_000);
+        assert_eq!(d1.queued, SimDur::ZERO);
+        assert_eq!(d2.queued, SimDur::ZERO);
+    }
+
+    #[test]
+    fn background_slows_messages() {
+        let mut n = net(2);
+        let d_fast = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let mut n2 = net(2);
+        n2.add_background(NodeId(0), NodeId(1), 70e6);
+        let d_slow = n2.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        assert!(
+            d_slow.latency(SimTime::ZERO) > d_fast.latency(SimTime::ZERO).mul_f64(2.5),
+            "70% background should slow a transfer >2.5x: {} vs {}",
+            d_slow.latency(SimTime::ZERO),
+            d_fast.latency(SimTime::ZERO)
+        );
+    }
+
+    #[test]
+    fn add_node_grows_network() {
+        let mut n = net(1);
+        let id = n.add_node();
+        assert_eq!(id, NodeId(1));
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+        // New node is usable.
+        n.send(SimTime::ZERO, NodeId(0), id, 10);
+        assert_eq!(n.deliveries(), 1);
+        assert_eq!(n.payload_bytes(), 10);
+    }
+
+    #[test]
+    fn backlog_reports_queue_depth() {
+        let mut n = net(2);
+        assert_eq!(n.backlog(SimTime::ZERO, NodeId(0), NodeId(1)), SimDur::ZERO);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        assert!(n.backlog(SimTime::ZERO, NodeId(0), NodeId(1)) > SimDur::from_millis(80));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_panics() {
+        let mut n = net(2);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(7), 10);
+    }
+}

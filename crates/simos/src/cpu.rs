@@ -1,0 +1,428 @@
+//! Fluid fair-share CPU scheduler.
+//!
+//! Tasks share `n_cpus` processors equally (each runnable task gets
+//! `min(1, n_cpus / runnable)` of a CPU). Between calls to
+//! [`CpuSched::advance`], work accrues to runnable tasks at that share.
+//! Two task kinds exist:
+//!
+//! * **compute** tasks model CPU hogs like linpack: always runnable,
+//!   accumulating floating-point work; throughput in Mflops is derived
+//!   from accumulated work over wall time;
+//! * **service** tasks model kernel work (d-mon polling, event handling,
+//!   stream processing): normally sleeping, woken to burn a caller-
+//!   specified amount of CPU time. The caller asks how long the burn will
+//!   take at the current share ([`CpuSched::service_cost`]) and schedules
+//!   the completion itself.
+//!
+//! The scheduler maintains a run-queue length history so dproc's CPU_MON
+//! can compute load averages over arbitrary, application-chosen windows —
+//! the paper's point about `/proc/loadavg`'s fixed 1/5/15-minute windows
+//! being too coarse.
+
+use std::collections::VecDeque;
+
+use simcore::{SimDur, SimTime};
+
+/// Identifier of a task on one host's scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+/// Whether a task currently demands CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// On the run queue, receiving a share.
+    Runnable,
+    /// Blocked; receives nothing.
+    Sleeping,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Compute,
+    Service,
+}
+
+#[derive(Debug)]
+struct Task {
+    name: String,
+    kind: Kind,
+    state: TaskState,
+    /// Accumulated CPU work, in flops for compute / cpu-seconds for service.
+    work_done: f64,
+    alive: bool,
+}
+
+/// The longest window any load-average query may use.
+const MAX_HISTORY: SimDur = SimDur::from_secs(15 * 60);
+
+/// Fluid fair-share scheduler for one host.
+#[derive(Debug)]
+pub struct CpuSched {
+    n_cpus: u32,
+    /// Peak floating-point throughput of one CPU, flops/sec. The paper's
+    /// linpack baseline is 17.4 Mflops on a Pentium Pro 200.
+    flops_per_sec: f64,
+    tasks: Vec<Task>,
+    last_advance: SimTime,
+    /// Transitions of run-queue length: (time, new length). Pruned to
+    /// `MAX_HISTORY`.
+    rq_history: VecDeque<(SimTime, u32)>,
+    runnable: u32,
+    /// Lifetime busy cpu-seconds (all CPUs), for utilization accounting.
+    busy_cpu_seconds: f64,
+}
+
+impl CpuSched {
+    /// A scheduler with `n_cpus` processors of the given peak flops.
+    pub fn new(n_cpus: u32, flops_per_sec: f64) -> Self {
+        assert!(n_cpus > 0, "need at least one CPU");
+        assert!(flops_per_sec > 0.0, "flops must be positive");
+        let mut rq_history = VecDeque::new();
+        rq_history.push_back((SimTime::ZERO, 0));
+        CpuSched {
+            n_cpus,
+            flops_per_sec,
+            tasks: Vec::new(),
+            last_advance: SimTime::ZERO,
+            rq_history,
+            runnable: 0,
+            busy_cpu_seconds: 0.0,
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_cpus(&self) -> u32 {
+        self.n_cpus
+    }
+
+    /// Peak flops of one processor.
+    pub fn flops_per_sec(&self) -> f64 {
+        self.flops_per_sec
+    }
+
+    /// Spawn an always-runnable compute task (e.g. one linpack thread).
+    pub fn spawn_compute(&mut self, now: SimTime, name: impl Into<String>) -> TaskId {
+        self.advance(now);
+        self.tasks.push(Task {
+            name: name.into(),
+            kind: Kind::Compute,
+            state: TaskState::Runnable,
+            work_done: 0.0,
+            alive: true,
+        });
+        self.runnable += 1;
+        self.rq_history.push_back((now, self.runnable));
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Spawn a service task, initially sleeping.
+    pub fn spawn_service(&mut self, now: SimTime, name: impl Into<String>) -> TaskId {
+        self.advance(now);
+        self.tasks.push(Task {
+            name: name.into(),
+            kind: Kind::Service,
+            state: TaskState::Sleeping,
+            work_done: 0.0,
+            alive: true,
+        });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Kill a task (removes it from the run queue; its counters freeze).
+    pub fn kill(&mut self, now: SimTime, id: TaskId) {
+        self.advance(now);
+        let t = &mut self.tasks[id.0];
+        if !t.alive {
+            return;
+        }
+        if t.state == TaskState::Runnable {
+            self.runnable -= 1;
+            self.rq_history.push_back((now, self.runnable));
+        }
+        t.alive = false;
+        t.state = TaskState::Sleeping;
+    }
+
+    /// Change a task's state; updates the run-queue history.
+    pub fn set_state(&mut self, now: SimTime, id: TaskId, state: TaskState) {
+        self.advance(now);
+        let t = &mut self.tasks[id.0];
+        assert!(t.alive, "set_state on dead task {}", t.name);
+        if t.state == state {
+            return;
+        }
+        t.state = state;
+        match state {
+            TaskState::Runnable => self.runnable += 1,
+            TaskState::Sleeping => self.runnable -= 1,
+        }
+        self.rq_history.push_back((now, self.runnable));
+        self.prune_history(now);
+    }
+
+    fn prune_history(&mut self, now: SimTime) {
+        let cutoff = now - MAX_HISTORY;
+        // Keep at least one entry at/before the cutoff so windowed averages
+        // know the level at the window start.
+        while self.rq_history.len() >= 2 && self.rq_history[1].0 <= cutoff {
+            self.rq_history.pop_front();
+        }
+    }
+
+    /// Per-runnable-task CPU share in `[0, 1]` (fraction of one processor).
+    pub fn share(&self) -> f64 {
+        if self.runnable == 0 {
+            return 1.0;
+        }
+        (self.n_cpus as f64 / self.runnable as f64).min(1.0)
+    }
+
+    /// Share a task *would* get if one more task became runnable.
+    pub fn share_with_extra(&self) -> f64 {
+        (self.n_cpus as f64 / (self.runnable + 1) as f64).min(1.0)
+    }
+
+    /// Accrue work to runnable tasks since the last advance.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt <= 0.0 {
+            self.last_advance = self.last_advance.max(now);
+            return;
+        }
+        let share = self.share();
+        let mut busy = 0.0;
+        for t in &mut self.tasks {
+            if t.alive && t.state == TaskState::Runnable {
+                let cpu_sec = share * dt;
+                busy += cpu_sec;
+                match t.kind {
+                    Kind::Compute => t.work_done += cpu_sec * self.flops_per_sec,
+                    Kind::Service => t.work_done += cpu_sec,
+                }
+            }
+        }
+        self.busy_cpu_seconds += busy;
+        self.last_advance = now;
+    }
+
+    /// Wall-clock duration a burn of `cpu_seconds` will take for a service
+    /// task that is about to become runnable, at current load.
+    pub fn service_cost(&self, cpu_seconds: f64) -> SimDur {
+        assert!(cpu_seconds >= 0.0, "negative cpu cost");
+        SimDur::from_secs_f64(cpu_seconds / self.share_with_extra())
+    }
+
+    /// Current run-queue length.
+    pub fn runnable(&self) -> u32 {
+        self.runnable
+    }
+
+    /// Number of live tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.alive).count()
+    }
+
+    /// Accumulated work of a task: flops for compute tasks, cpu-seconds for
+    /// service tasks.
+    pub fn work_done(&self, now_unused: SimTime, id: TaskId) -> f64 {
+        let _ = now_unused;
+        self.tasks[id.0].work_done
+    }
+
+    /// Accumulated work *including* the currently elapsing interval.
+    pub fn work_done_at(&mut self, now: SimTime, id: TaskId) -> f64 {
+        self.advance(now);
+        self.tasks[id.0].work_done
+    }
+
+    /// Task display name.
+    pub fn task_name(&self, id: TaskId) -> &str {
+        &self.tasks[id.0].name
+    }
+
+    /// Average run-queue length over the window `[now - period, now]` —
+    /// dproc CPU_MON's headline metric.
+    pub fn loadavg(&self, now: SimTime, period: SimDur) -> f64 {
+        assert!(!period.is_zero(), "zero loadavg window");
+        let start = now - period;
+        let mut level = self.rq_history.front().map(|&(_, l)| l).unwrap_or(0);
+        let mut weighted = 0.0;
+        let mut cursor = start;
+        for &(t, l) in &self.rq_history {
+            if t <= start {
+                level = l;
+                continue;
+            }
+            let seg_end = t.min(now);
+            if seg_end > cursor {
+                weighted += level as f64 * seg_end.since(cursor).as_secs_f64();
+                cursor = seg_end;
+            }
+            level = l;
+            if t >= now {
+                break;
+            }
+        }
+        if now > cursor {
+            weighted += level as f64 * now.since(cursor).as_secs_f64();
+        }
+        weighted / period.as_secs_f64()
+    }
+
+    /// Lifetime busy CPU-seconds across all processors (feeds the battery
+    /// model's activity billing).
+    pub fn busy_cpu_seconds(&self) -> f64 {
+        self.busy_cpu_seconds
+    }
+
+    /// Fraction of total CPU capacity used since time zero.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.as_secs_f64() * self.n_cpus as f64;
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            (self.busy_cpu_seconds / elapsed).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CpuSched {
+        CpuSched::new(1, 17.4e6)
+    }
+
+    #[test]
+    fn single_compute_task_gets_full_cpu() {
+        let mut s = sched();
+        let t = s.spawn_compute(SimTime::ZERO, "linpack");
+        s.advance(SimTime::from_secs(10));
+        let flops = s.work_done(SimTime::from_secs(10), t);
+        assert!((flops - 174e6).abs() < 1.0, "flops {flops}");
+    }
+
+    #[test]
+    fn two_tasks_split_one_cpu() {
+        let mut s = sched();
+        let a = s.spawn_compute(SimTime::ZERO, "a");
+        let b = s.spawn_compute(SimTime::ZERO, "b");
+        assert!((s.share() - 0.5).abs() < 1e-12);
+        s.advance(SimTime::from_secs(10));
+        assert!((s.work_done(SimTime::ZERO, a) - 87e6).abs() < 1.0);
+        assert!((s.work_done(SimTime::ZERO, b) - 87e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_cpu_no_contention_below_capacity() {
+        let mut s = CpuSched::new(4, 1e6);
+        for i in 0..4 {
+            s.spawn_compute(SimTime::ZERO, format!("t{i}"));
+        }
+        assert_eq!(s.share(), 1.0);
+        // Fifth task forces sharing: 4 cpus / 5 tasks.
+        s.spawn_compute(SimTime::ZERO, "t5");
+        assert!((s.share() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_task_sleeps_by_default() {
+        let mut s = sched();
+        let svc = s.spawn_service(SimTime::ZERO, "dmon");
+        s.advance(SimTime::from_secs(5));
+        assert_eq!(s.work_done(SimTime::ZERO, svc), 0.0);
+        assert_eq!(s.runnable(), 0);
+    }
+
+    #[test]
+    fn service_cost_scales_with_load() {
+        let mut s = sched();
+        // Idle machine: 10ms of CPU takes 10ms.
+        assert_eq!(s.service_cost(0.010), SimDur::from_millis(10));
+        // One linpack thread: the service task will share 50/50.
+        s.spawn_compute(SimTime::ZERO, "linpack");
+        assert_eq!(s.service_cost(0.010), SimDur::from_millis(20));
+        // Three more: share is 1/5.
+        for i in 0..3 {
+            s.spawn_compute(SimTime::ZERO, format!("l{i}"));
+        }
+        assert_eq!(s.service_cost(0.010), SimDur::from_millis(50));
+    }
+
+    #[test]
+    fn waking_service_task_slows_compute() {
+        let mut s = sched();
+        let c = s.spawn_compute(SimTime::ZERO, "linpack");
+        let svc = s.spawn_service(SimTime::ZERO, "dmon");
+        s.set_state(SimTime::from_secs(10), svc, TaskState::Runnable);
+        s.set_state(SimTime::from_secs(20), svc, TaskState::Sleeping);
+        s.advance(SimTime::from_secs(30));
+        // linpack: 10s full + 10s half + 10s full = 25 cpu-seconds.
+        let flops = s.work_done(SimTime::ZERO, c);
+        assert!((flops - 25.0 * 17.4e6).abs() < 1.0, "flops {flops}");
+        // the service task burned 5 cpu-seconds
+        assert!((s.work_done(SimTime::ZERO, svc) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loadavg_windows() {
+        let mut s = sched();
+        // 0 runnable until t=10, then 2 runnable until t=20, then 1.
+        let a = s.spawn_compute(SimTime::from_secs(10), "a");
+        let _b = s.spawn_compute(SimTime::from_secs(10), "b");
+        s.kill(SimTime::from_secs(20), a);
+        // window [10,30]: 2 for 10s, 1 for 10s => 1.5
+        let la = s.loadavg(SimTime::from_secs(30), SimDur::from_secs(20));
+        assert!((la - 1.5).abs() < 1e-9, "loadavg {la}");
+        // window [25,30]: 1
+        let la = s.loadavg(SimTime::from_secs(30), SimDur::from_secs(5));
+        assert!((la - 1.0).abs() < 1e-9, "loadavg {la}");
+        // window [0,30]: (0*10 + 2*10 + 1*10)/30 = 1
+        let la = s.loadavg(SimTime::from_secs(30), SimDur::from_secs(30));
+        assert!((la - 1.0).abs() < 1e-9, "loadavg {la}");
+    }
+
+    #[test]
+    fn kill_removes_from_runqueue() {
+        let mut s = sched();
+        let a = s.spawn_compute(SimTime::ZERO, "a");
+        assert_eq!(s.runnable(), 1);
+        assert_eq!(s.live_tasks(), 1);
+        s.kill(SimTime::from_secs(1), a);
+        assert_eq!(s.runnable(), 0);
+        assert_eq!(s.live_tasks(), 0);
+        s.kill(SimTime::from_secs(2), a); // idempotent
+        let flops = s.work_done(SimTime::ZERO, a);
+        assert!((flops - 17.4e6).abs() < 1.0, "counters freeze at kill");
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut s = CpuSched::new(2, 1e6);
+        s.spawn_compute(SimTime::ZERO, "a");
+        s.advance(SimTime::from_secs(10));
+        // 1 task on 2 cpus: 50% utilization.
+        assert!((s.utilization(SimTime::from_secs(10)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut s = sched();
+        let t = s.spawn_compute(SimTime::ZERO, "a");
+        s.advance(SimTime::from_secs(1));
+        s.advance(SimTime::from_secs(1));
+        let flops = s.work_done_at(SimTime::from_secs(1), t);
+        assert!((flops - 17.4e6).abs() < 1.0);
+        assert_eq!(s.task_name(t), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "set_state on dead task")]
+    fn set_state_on_dead_task_panics() {
+        let mut s = sched();
+        let a = s.spawn_compute(SimTime::ZERO, "a");
+        s.kill(SimTime::ZERO, a);
+        s.set_state(SimTime::ZERO, a, TaskState::Runnable);
+    }
+}

@@ -1,0 +1,157 @@
+//! Physical memory model with `nr_free_pages` semantics.
+//!
+//! dproc's MEM_MON reports available memory by calling the kernel's
+//! `nr_free_pages` function. This model tracks page-granular allocations
+//! tagged by owner so workloads (and the stream clients that buffer data)
+//! can exert realistic memory pressure.
+
+use std::collections::HashMap;
+
+/// Page size in bytes (matches x86 Linux).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Physical memory of one host.
+#[derive(Debug)]
+pub struct Memory {
+    total_pages: u64,
+    free_pages: u64,
+    /// Pages held per allocation tag.
+    allocations: HashMap<String, u64>,
+}
+
+impl Memory {
+    /// A host with `total_bytes` of RAM (rounded down to whole pages).
+    pub fn new(total_bytes: u64) -> Self {
+        let total_pages = total_bytes / PAGE_SIZE;
+        assert!(total_pages > 0, "host needs at least one page of RAM");
+        Memory {
+            total_pages,
+            free_pages: total_pages,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// The paper's testbed nodes: 512 MB RAM.
+    pub fn testbed() -> Self {
+        Memory::new(512 * 1024 * 1024)
+    }
+
+    /// Total pages of RAM.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// `nr_free_pages()` — what MEM_MON reads.
+    pub fn nr_free_pages(&self) -> u64 {
+        self.free_pages
+    }
+
+    /// Free memory in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_pages * PAGE_SIZE
+    }
+
+    /// Allocate `bytes` (rounded up to pages) under `tag`. Returns `false`
+    /// (and allocates nothing) if insufficient memory.
+    pub fn alloc(&mut self, tag: &str, bytes: u64) -> bool {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        if pages > self.free_pages {
+            return false;
+        }
+        self.free_pages -= pages;
+        *self.allocations.entry(tag.to_string()).or_insert(0) += pages;
+        true
+    }
+
+    /// Free `bytes` (rounded up to pages) from `tag`; clamps to what the
+    /// tag holds.
+    pub fn free(&mut self, tag: &str, bytes: u64) {
+        let pages = bytes.div_ceil(PAGE_SIZE);
+        if let Some(held) = self.allocations.get_mut(tag) {
+            let released = pages.min(*held);
+            *held -= released;
+            self.free_pages += released;
+            if *held == 0 {
+                self.allocations.remove(tag);
+            }
+        }
+    }
+
+    /// Release everything held under `tag`.
+    pub fn free_all(&mut self, tag: &str) {
+        if let Some(held) = self.allocations.remove(tag) {
+            self.free_pages += held;
+        }
+    }
+
+    /// Pages currently held by `tag`.
+    pub fn held_pages(&self, tag: &str) -> u64 {
+        self.allocations.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Fraction of memory in use.
+    pub fn utilization(&self) -> f64 {
+        1.0 - self.free_pages as f64 / self.total_pages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_free() {
+        let m = Memory::new(1024 * 1024);
+        assert_eq!(m.total_pages(), 256);
+        assert_eq!(m.nr_free_pages(), 256);
+        assert_eq!(m.utilization(), 0.0);
+    }
+
+    #[test]
+    fn alloc_rounds_to_pages() {
+        let mut m = Memory::new(1024 * 1024);
+        assert!(m.alloc("app", 1)); // 1 byte => 1 page
+        assert_eq!(m.nr_free_pages(), 255);
+        assert!(m.alloc("app", PAGE_SIZE + 1)); // => 2 pages
+        assert_eq!(m.nr_free_pages(), 253);
+        assert_eq!(m.held_pages("app"), 3);
+    }
+
+    #[test]
+    fn alloc_fails_when_exhausted() {
+        let mut m = Memory::new(PAGE_SIZE * 4);
+        assert!(m.alloc("a", PAGE_SIZE * 4));
+        assert!(!m.alloc("b", 1));
+        assert_eq!(m.nr_free_pages(), 0);
+        assert_eq!(m.held_pages("b"), 0);
+    }
+
+    #[test]
+    fn free_restores_pages() {
+        let mut m = Memory::new(PAGE_SIZE * 10);
+        m.alloc("a", PAGE_SIZE * 6);
+        m.free("a", PAGE_SIZE * 2);
+        assert_eq!(m.nr_free_pages(), 6);
+        // Freeing more than held clamps.
+        m.free("a", PAGE_SIZE * 100);
+        assert_eq!(m.nr_free_pages(), 10);
+        assert_eq!(m.held_pages("a"), 0);
+    }
+
+    #[test]
+    fn free_all_releases_tag() {
+        let mut m = Memory::new(PAGE_SIZE * 10);
+        m.alloc("a", PAGE_SIZE * 3);
+        m.alloc("b", PAGE_SIZE * 2);
+        m.free_all("a");
+        assert_eq!(m.nr_free_pages(), 8);
+        assert_eq!(m.held_pages("b"), 2);
+        assert!((m.utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn testbed_is_512mb() {
+        let m = Memory::testbed();
+        assert_eq!(m.free_bytes(), 512 * 1024 * 1024);
+    }
+}

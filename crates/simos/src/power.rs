@@ -1,0 +1,140 @@
+//! Battery/power model.
+//!
+//! The paper's future work singles out mobile and embedded systems where
+//! "power has to be considered a first-class resource", and its
+//! extensibility pitch includes "monitoring of the current battery power
+//! in mobile devices" as a dynamically deployable module. This model is
+//! that substrate: a battery drained by a constant idle floor, by CPU
+//! busy-time, and by NIC traffic — the three dominant consumers of a
+//! 2003-era handheld.
+
+use simcore::SimTime;
+
+/// A battery with activity-driven drain.
+#[derive(Debug, Clone)]
+pub struct Battery {
+    capacity_j: f64,
+    level_j: f64,
+    /// Constant platform draw, watts.
+    idle_w: f64,
+    /// Additional draw per busy CPU-second, joules.
+    cpu_j_per_busy_s: f64,
+    /// Radio cost per byte moved, joules.
+    net_j_per_byte: f64,
+    last_update: SimTime,
+    /// Busy CPU-seconds already billed.
+    billed_cpu_s: f64,
+}
+
+impl Battery {
+    /// A fresh, full battery.
+    pub fn new(capacity_j: f64, idle_w: f64, cpu_j_per_busy_s: f64, net_j_per_byte: f64) -> Self {
+        assert!(capacity_j > 0.0, "battery needs capacity");
+        Battery {
+            capacity_j,
+            level_j: capacity_j,
+            idle_w,
+            cpu_j_per_busy_s,
+            net_j_per_byte,
+            last_update: SimTime::ZERO,
+            billed_cpu_s: 0.0,
+        }
+    }
+
+    /// An iPAQ-class handheld: ~5.3 Wh (19 kJ), 0.7 W idle, 1.3 J per
+    /// busy CPU-second, ~2 µJ per byte on 2003-era WLAN.
+    pub fn handheld() -> Self {
+        Battery::new(19_000.0, 0.7, 1.3, 2e-6)
+    }
+
+    /// Advance the idle+CPU drain to `now`. `busy_cpu_seconds_total` is the
+    /// host scheduler's lifetime busy counter; the battery bills the delta.
+    pub fn advance(&mut self, now: SimTime, busy_cpu_seconds_total: f64) {
+        let dt = now.since(self.last_update).as_secs_f64();
+        if dt > 0.0 {
+            self.level_j -= self.idle_w * dt;
+            self.last_update = now;
+        }
+        let new_busy = (busy_cpu_seconds_total - self.billed_cpu_s).max(0.0);
+        if new_busy > 0.0 {
+            self.level_j -= new_busy * self.cpu_j_per_busy_s;
+            self.billed_cpu_s = busy_cpu_seconds_total;
+        }
+        self.level_j = self.level_j.max(0.0);
+    }
+
+    /// Bill radio traffic.
+    pub fn on_net_bytes(&mut self, bytes: u64) {
+        self.level_j = (self.level_j - bytes as f64 * self.net_j_per_byte).max(0.0);
+    }
+
+    /// Remaining charge, joules.
+    pub fn level_j(&self) -> f64 {
+        self.level_j
+    }
+
+    /// Remaining fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.level_j / self.capacity_j
+    }
+
+    /// True once fully drained.
+    pub fn is_empty(&self) -> bool {
+        self.level_j <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn battery() -> Battery {
+        Battery::new(1000.0, 1.0, 2.0, 1e-3)
+    }
+
+    #[test]
+    fn idle_drain_is_linear() {
+        let mut b = battery();
+        b.advance(SimTime::from_secs(100), 0.0);
+        assert!((b.level_j() - 900.0).abs() < 1e-9);
+        assert!((b.fraction() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_busy_time_bills_once() {
+        let mut b = battery();
+        b.advance(SimTime::from_secs(10), 5.0);
+        // 10 J idle + 10 J cpu.
+        assert!((b.level_j() - 980.0).abs() < 1e-9);
+        // Re-advancing with the same busy total bills nothing extra.
+        b.advance(SimTime::from_secs(10), 5.0);
+        assert!((b.level_j() - 980.0).abs() < 1e-9);
+        b.advance(SimTime::from_secs(10), 7.0);
+        assert!((b.level_j() - 976.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_traffic_drains() {
+        let mut b = battery();
+        b.on_net_bytes(100_000);
+        assert!((b.level_j() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_at_zero() {
+        let mut b = battery();
+        b.advance(SimTime::from_secs(10_000), 0.0);
+        assert_eq!(b.level_j(), 0.0);
+        assert!(b.is_empty());
+        b.on_net_bytes(1);
+        assert_eq!(b.level_j(), 0.0);
+    }
+
+    #[test]
+    fn handheld_lives_hours_idle() {
+        let mut b = Battery::handheld();
+        b.advance(SimTime::from_secs(3600 * 4), 0.0);
+        assert!(!b.is_empty(), "4 idle hours leave charge");
+        assert!(b.fraction() < 0.6);
+    }
+}

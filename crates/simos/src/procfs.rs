@@ -1,0 +1,344 @@
+//! The `/proc` pseudo-filesystem.
+//!
+//! dproc's whole user interface is `/proc`: local metrics appear as text
+//! files, remote nodes' metrics appear under `/proc/cluster/<node>/...`,
+//! and applications customize monitoring by *writing* to per-node
+//! `control` files. This model keeps a deterministic tree of text entries
+//! (BTreeMap directories, so listings are sorted like the harness output
+//! needs) and queues writes for the owning subsystem (d-mon) to consume —
+//! the same decoupling a real `/proc` write handler gives a kernel module.
+//!
+//! Paths are `/`-separated, relative to the `/proc` root; a leading `/` or
+//! `/proc/` prefix is accepted and stripped, so `"/proc/cluster/alan/cpu"`,
+//! `"/cluster/alan/cpu"` and `"cluster/alan/cpu"` name the same entry.
+
+use std::collections::BTreeMap;
+
+/// Errors from pseudo-file operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path exists but is a directory (or a file where a dir is needed).
+    WrongKind(String),
+    /// Empty path component or empty path.
+    BadPath(String),
+}
+
+impl std::fmt::Display for ProcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcError::NotFound(p) => write!(f, "no such /proc entry: {p}"),
+            ProcError::WrongKind(p) => write!(f, "wrong entry kind: {p}"),
+            ProcError::BadPath(p) => write!(f, "malformed /proc path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Dir(BTreeMap<String, Node>),
+    File(String),
+}
+
+/// The pseudo-filesystem of one host.
+#[derive(Debug, Default)]
+pub struct ProcFs {
+    root: BTreeMap<String, Node>,
+    pending_writes: Vec<(String, String)>,
+}
+
+/// Split and normalize a path. Returns the component list.
+fn components(path: &str) -> Result<Vec<&str>, ProcError> {
+    let trimmed = path
+        .trim_start_matches("/proc/")
+        .trim_start_matches('/')
+        .trim_end_matches('/');
+    if trimmed.is_empty() {
+        return Err(ProcError::BadPath(path.to_string()));
+    }
+    let parts: Vec<&str> = trimmed.split('/').collect();
+    if parts.iter().any(|p| p.is_empty()) {
+        return Err(ProcError::BadPath(path.to_string()));
+    }
+    Ok(parts)
+}
+
+impl ProcFs {
+    /// Empty filesystem.
+    pub fn new() -> Self {
+        ProcFs::default()
+    }
+
+    /// Create or replace a file at `path`, creating parent directories.
+    /// This is the kernel-side API (monitoring modules publishing values).
+    pub fn set(&mut self, path: &str, content: impl Into<String>) -> Result<(), ProcError> {
+        let parts = components(path)?;
+        let (file, dirs) = parts.split_last().expect("non-empty components");
+        let mut cur = &mut self.root;
+        for d in dirs {
+            let entry = cur
+                .entry(d.to_string())
+                .or_insert_with(|| Node::Dir(BTreeMap::new()));
+            match entry {
+                Node::Dir(children) => cur = children,
+                Node::File(_) => return Err(ProcError::WrongKind(path.to_string())),
+            }
+        }
+        match cur.get(*file) {
+            Some(Node::Dir(_)) => return Err(ProcError::WrongKind(path.to_string())),
+            _ => {
+                cur.insert(file.to_string(), Node::File(content.into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Create a directory (and parents). Idempotent.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), ProcError> {
+        let parts = components(path)?;
+        let mut cur = &mut self.root;
+        for d in &parts {
+            let entry = cur
+                .entry(d.to_string())
+                .or_insert_with(|| Node::Dir(BTreeMap::new()));
+            match entry {
+                Node::Dir(children) => cur = children,
+                Node::File(_) => return Err(ProcError::WrongKind(path.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, path: &str) -> Result<&Node, ProcError> {
+        let parts = components(path)?;
+        let mut cur = &self.root;
+        let (last, dirs) = parts.split_last().expect("non-empty components");
+        for d in dirs {
+            match cur.get(*d) {
+                Some(Node::Dir(children)) => cur = children,
+                Some(Node::File(_)) => return Err(ProcError::WrongKind(path.to_string())),
+                None => return Err(ProcError::NotFound(path.to_string())),
+            }
+        }
+        cur.get(*last)
+            .ok_or_else(|| ProcError::NotFound(path.to_string()))
+    }
+
+    /// Read a file's contents (userspace `cat`).
+    pub fn read(&self, path: &str) -> Result<&str, ProcError> {
+        match self.lookup(path)? {
+            Node::File(content) => Ok(content),
+            Node::Dir(_) => Err(ProcError::WrongKind(path.to_string())),
+        }
+    }
+
+    /// Userspace write (`echo ... > /proc/...`): requires the file to
+    /// exist; the data is queued for the owning subsystem rather than
+    /// stored (a real `/proc` write handler intercepts data the same way).
+    pub fn write(&mut self, path: &str, data: impl Into<String>) -> Result<(), ProcError> {
+        match self.lookup(path)? {
+            Node::File(_) => {
+                let parts = components(path)?;
+                self.pending_writes.push((parts.join("/"), data.into()));
+                Ok(())
+            }
+            Node::Dir(_) => Err(ProcError::WrongKind(path.to_string())),
+        }
+    }
+
+    /// Drain queued userspace writes as `(normalized_path, data)` pairs,
+    /// in write order.
+    pub fn drain_writes(&mut self) -> Vec<(String, String)> {
+        std::mem::take(&mut self.pending_writes)
+    }
+
+    /// Number of queued, unconsumed writes.
+    pub fn pending_write_count(&self) -> usize {
+        self.pending_writes.len()
+    }
+
+    /// Sorted names inside a directory.
+    pub fn list(&self, path: &str) -> Result<Vec<String>, ProcError> {
+        match self.lookup(path)? {
+            Node::Dir(children) => Ok(children.keys().cloned().collect()),
+            Node::File(_) => Err(ProcError::WrongKind(path.to_string())),
+        }
+    }
+
+    /// Sorted names at the filesystem root.
+    pub fn list_root(&self) -> Vec<String> {
+        self.root.keys().cloned().collect()
+    }
+
+    /// Whether a path exists (file or directory).
+    pub fn exists(&self, path: &str) -> bool {
+        self.lookup(path).is_ok()
+    }
+
+    /// Whether a path exists and is a directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        matches!(self.lookup(path), Ok(Node::Dir(_)))
+    }
+
+    /// Remove a file or an entire directory subtree. Returns true if
+    /// something was removed.
+    pub fn remove(&mut self, path: &str) -> Result<bool, ProcError> {
+        let parts = components(path)?;
+        let (last, dirs) = parts.split_last().expect("non-empty components");
+        let mut cur = &mut self.root;
+        for d in dirs {
+            match cur.get_mut(*d) {
+                Some(Node::Dir(children)) => cur = children,
+                Some(Node::File(_)) => return Err(ProcError::WrongKind(path.to_string())),
+                None => return Ok(false),
+            }
+        }
+        Ok(cur.remove(*last).is_some())
+    }
+
+    /// Render the whole tree as an indented listing (debugging aid, and
+    /// the basis of the quickstart example's Figure-1 output).
+    pub fn render_tree(&self) -> String {
+        fn walk(out: &mut String, children: &BTreeMap<String, Node>, depth: usize) {
+            for (name, node) in children {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                match node {
+                    Node::Dir(grand) => {
+                        out.push_str(name);
+                        out.push_str("/\n");
+                        walk(out, grand, depth + 1);
+                    }
+                    Node::File(_) => {
+                        out.push_str(name);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        walk(&mut out, &self.root, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_read() {
+        let mut fs = ProcFs::new();
+        fs.set("loadavg", "0.50 0.40 0.30").unwrap();
+        assert_eq!(fs.read("loadavg").unwrap(), "0.50 0.40 0.30");
+        assert_eq!(fs.read("/loadavg").unwrap(), "0.50 0.40 0.30");
+        assert_eq!(fs.read("/proc/loadavg").unwrap(), "0.50 0.40 0.30");
+    }
+
+    #[test]
+    fn nested_paths_create_dirs() {
+        let mut fs = ProcFs::new();
+        fs.set("cluster/alan/cpu", "1.2").unwrap();
+        fs.set("cluster/alan/net", "100").unwrap();
+        fs.set("cluster/maui/cpu", "0.1").unwrap();
+        assert_eq!(fs.list("cluster").unwrap(), vec!["alan", "maui"]);
+        assert_eq!(fs.list("cluster/alan").unwrap(), vec!["cpu", "net"]);
+        assert!(fs.is_dir("cluster"));
+        assert!(!fs.is_dir("cluster/alan/cpu"));
+    }
+
+    #[test]
+    fn write_requires_existing_file_and_queues() {
+        let mut fs = ProcFs::new();
+        assert!(matches!(
+            fs.write("cluster/alan/control", "period=2"),
+            Err(ProcError::NotFound(_))
+        ));
+        fs.set("cluster/alan/control", "").unwrap();
+        fs.write("/proc/cluster/alan/control", "period=2").unwrap();
+        fs.write("cluster/alan/control", "threshold=0.8").unwrap();
+        assert_eq!(fs.pending_write_count(), 2);
+        let writes = fs.drain_writes();
+        assert_eq!(
+            writes,
+            vec![
+                ("cluster/alan/control".to_string(), "period=2".to_string()),
+                ("cluster/alan/control".to_string(), "threshold=0.8".to_string()),
+            ]
+        );
+        assert_eq!(fs.pending_write_count(), 0);
+    }
+
+    #[test]
+    fn wrong_kind_errors() {
+        let mut fs = ProcFs::new();
+        fs.set("cluster/alan/cpu", "1").unwrap();
+        assert!(matches!(
+            fs.set("cluster/alan/cpu/deeper", "x"),
+            Err(ProcError::WrongKind(_))
+        ));
+        assert!(matches!(fs.read("cluster"), Err(ProcError::WrongKind(_))));
+        assert!(matches!(
+            fs.list("cluster/alan/cpu"),
+            Err(ProcError::WrongKind(_))
+        ));
+        assert!(matches!(
+            fs.set("cluster", "overwrite a dir"),
+            Err(ProcError::WrongKind(_))
+        ));
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut fs = ProcFs::new();
+        assert!(matches!(fs.set("", "x"), Err(ProcError::BadPath(_))));
+        assert!(matches!(fs.set("/", "x"), Err(ProcError::BadPath(_))));
+        assert!(matches!(fs.set("a//b", "x"), Err(ProcError::BadPath(_))));
+    }
+
+    #[test]
+    fn remove_subtree() {
+        let mut fs = ProcFs::new();
+        fs.set("cluster/alan/cpu", "1").unwrap();
+        fs.set("cluster/maui/cpu", "2").unwrap();
+        assert!(fs.remove("cluster/alan").unwrap());
+        assert!(!fs.exists("cluster/alan/cpu"));
+        assert!(fs.exists("cluster/maui/cpu"));
+        assert!(!fs.remove("cluster/alan").unwrap());
+    }
+
+    #[test]
+    fn overwrite_updates_content() {
+        let mut fs = ProcFs::new();
+        fs.set("meminfo", "100").unwrap();
+        fs.set("meminfo", "90").unwrap();
+        assert_eq!(fs.read("meminfo").unwrap(), "90");
+    }
+
+    #[test]
+    fn render_tree_matches_figure1_shape() {
+        let mut fs = ProcFs::new();
+        for (node, metrics) in [
+            ("alan", vec!["mem", "net", "cpu", "disk"]),
+            ("maui", vec!["net", "cpu"]),
+            ("etna", vec!["net", "cpu", "disk"]),
+        ] {
+            for m in metrics {
+                fs.set(&format!("cluster/{node}/{m}"), "0").unwrap();
+            }
+        }
+        let tree = fs.render_tree();
+        assert!(tree.contains("cluster/"));
+        assert!(tree.contains("alan/"));
+        // BTreeMap ordering: alan, etna, maui
+        let alan = tree.find("alan").unwrap();
+        let etna = tree.find("etna").unwrap();
+        let maui = tree.find("maui").unwrap();
+        assert!(alan < etna && etna < maui);
+        assert_eq!(fs.list_root(), vec!["cluster"]);
+    }
+}

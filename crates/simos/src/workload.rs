@@ -1,0 +1,170 @@
+//! Load generators: the linpack CPU benchmark and a periodic disk load,
+//! matching the perturbation tools used in the paper's evaluation.
+
+use simcore::{SimDur, SimTime};
+
+use crate::cpu::{CpuSched, TaskId};
+use crate::disk::{Disk, IoDir};
+
+/// A set of linpack threads on one host, with Mflops measurement.
+///
+/// The paper uses linpack both as the CPU-throughput probe (Fig. 4: Mflops
+/// under monitoring load) and as the client-side CPU hog (Figs. 9, 11:
+/// "running different instances of linpack processes").
+#[derive(Debug, Default)]
+pub struct Linpack {
+    threads: Vec<TaskId>,
+    /// Work snapshot at the start of the current measurement interval.
+    mark_flops: f64,
+    mark_time: SimTime,
+}
+
+impl Linpack {
+    /// No threads yet.
+    pub fn new() -> Self {
+        Linpack::default()
+    }
+
+    /// Start one more linpack thread.
+    pub fn start_thread(&mut self, cpu: &mut CpuSched, now: SimTime) -> TaskId {
+        let id = cpu.spawn_compute(now, format!("linpack-{}", self.threads.len()));
+        self.threads.push(id);
+        id
+    }
+
+    /// Start `n` threads at once.
+    pub fn start_threads(&mut self, cpu: &mut CpuSched, now: SimTime, n: usize) {
+        for _ in 0..n {
+            self.start_thread(cpu, now);
+        }
+    }
+
+    /// Stop all threads.
+    pub fn stop_all(&mut self, cpu: &mut CpuSched, now: SimTime) {
+        for &t in &self.threads {
+            cpu.kill(now, t);
+        }
+        self.threads.clear();
+    }
+
+    /// Number of running threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Total flops completed by all threads so far.
+    pub fn total_flops(&self, cpu: &mut CpuSched, now: SimTime) -> f64 {
+        cpu.advance(now);
+        self.threads
+            .iter()
+            .map(|&t| cpu.work_done(now, t))
+            .sum()
+    }
+
+    /// Begin a measurement interval at `now`.
+    pub fn mark(&mut self, cpu: &mut CpuSched, now: SimTime) {
+        self.mark_flops = self.total_flops(cpu, now);
+        self.mark_time = now;
+    }
+
+    /// Mflops achieved since the last [`Linpack::mark`].
+    pub fn mflops_since_mark(&self, cpu: &mut CpuSched, now: SimTime) -> f64 {
+        let flops = self.total_flops(cpu, now) - self.mark_flops;
+        let dt = now.since(self.mark_time).as_secs_f64();
+        if dt <= 0.0 {
+            0.0
+        } else {
+            flops / dt / 1e6
+        }
+    }
+}
+
+/// A periodic disk-writer description: every `period`, write `bytes`.
+/// The cluster glue schedules the submissions; this type just computes the
+/// schedule deterministically.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskLoad {
+    /// Interval between writes.
+    pub period: SimDur,
+    /// Bytes per write.
+    pub bytes: u64,
+    /// Read or write load.
+    pub dir: IoDir,
+}
+
+impl DiskLoad {
+    /// Apply one period's worth of I/O at `now`.
+    pub fn apply(&self, disk: &mut Disk, now: SimTime) {
+        disk.submit(now, self.dir, self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuSched {
+        CpuSched::new(1, 17.4e6)
+    }
+
+    #[test]
+    fn single_thread_hits_peak_mflops() {
+        let mut c = cpu();
+        let mut lp = Linpack::new();
+        lp.start_thread(&mut c, SimTime::ZERO);
+        lp.mark(&mut c, SimTime::ZERO);
+        let mflops = lp.mflops_since_mark(&mut c, SimTime::from_secs(10));
+        assert!((mflops - 17.4).abs() < 1e-9, "mflops {mflops}");
+    }
+
+    #[test]
+    fn threads_share_but_aggregate_is_constant() {
+        let mut c = cpu();
+        let mut lp = Linpack::new();
+        lp.start_threads(&mut c, SimTime::ZERO, 4);
+        assert_eq!(lp.thread_count(), 4);
+        lp.mark(&mut c, SimTime::ZERO);
+        // 4 threads on 1 CPU still total the peak rate.
+        let mflops = lp.mflops_since_mark(&mut c, SimTime::from_secs(10));
+        assert!((mflops - 17.4).abs() < 1e-9, "mflops {mflops}");
+    }
+
+    #[test]
+    fn competing_service_work_lowers_mflops() {
+        let mut c = cpu();
+        let mut lp = Linpack::new();
+        lp.start_thread(&mut c, SimTime::ZERO);
+        lp.mark(&mut c, SimTime::ZERO);
+        // A service task hogs the CPU for half of a 10s interval.
+        let svc = c.spawn_service(SimTime::ZERO, "interference");
+        c.set_state(SimTime::ZERO, svc, crate::cpu::TaskState::Runnable);
+        c.set_state(SimTime::from_secs(5), svc, crate::cpu::TaskState::Sleeping);
+        let mflops = lp.mflops_since_mark(&mut c, SimTime::from_secs(10));
+        // 5s at half speed + 5s full = 75% of peak.
+        assert!((mflops - 17.4 * 0.75).abs() < 1e-6, "mflops {mflops}");
+    }
+
+    #[test]
+    fn stop_all_kills_threads() {
+        let mut c = cpu();
+        let mut lp = Linpack::new();
+        lp.start_threads(&mut c, SimTime::ZERO, 3);
+        lp.stop_all(&mut c, SimTime::from_secs(1));
+        assert_eq!(lp.thread_count(), 0);
+        assert_eq!(c.runnable(), 0);
+    }
+
+    #[test]
+    fn disk_load_applies_io() {
+        let mut d = Disk::testbed();
+        let load = DiskLoad {
+            period: SimDur::from_millis(100),
+            bytes: 512 * 64,
+            dir: IoDir::Write,
+        };
+        load.apply(&mut d, SimTime::ZERO);
+        load.apply(&mut d, SimTime::from_millis(100));
+        assert_eq!(d.writes(), 2);
+        assert_eq!(d.sectors_written(), 128);
+    }
+}

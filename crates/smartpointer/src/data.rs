@@ -1,0 +1,200 @@
+//! Frames, stream modes, and the client/server cost model.
+
+/// Geometry of the molecular-dynamics data stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSpec {
+    /// Atoms per frame.
+    pub atoms: usize,
+    /// Rendering cost per atom at the client, in floating-point operations
+    /// (a 2003-class visualization pipeline: transform, shade, composite).
+    pub render_flops_per_atom: f64,
+}
+
+impl FrameSpec {
+    /// Bytes per atom with positions and velocities (6 × f64).
+    pub const BYTES_FULL_ATOM: usize = 48;
+    /// Bytes per atom with positions only.
+    pub const BYTES_POS_ATOM: usize = 24;
+    /// Frame header bytes.
+    pub const HEADER: usize = 64;
+
+    /// The interactive-visualization stream of Fig. 9: small frames whose
+    /// cost is dominated by client-side rendering.
+    pub fn interactive() -> Self {
+        FrameSpec {
+            atoms: 800,
+            render_flops_per_atom: 2600.0,
+        }
+    }
+
+    /// The bulk stream of Fig. 10: 3 MB frames, negligible client
+    /// processing ("the client does very little processing of incoming
+    /// events").
+    pub fn bulk() -> Self {
+        FrameSpec {
+            atoms: 65_535,
+            render_flops_per_atom: 10.0,
+        }
+    }
+
+    /// Raw frame size in bytes (positions + velocities).
+    pub fn raw_bytes(&self) -> usize {
+        Self::HEADER + self.atoms * Self::BYTES_FULL_ATOM
+    }
+}
+
+/// How the server customizes one client's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// The full feed: positions and velocities for every atom.
+    Raw,
+    /// Down-sampled: velocities dropped and only every `k`-th atom sent
+    /// (`k = 1` means "positions only"). Smaller events, but the client
+    /// reconstructs what was dropped — heavier subsampling costs *more*
+    /// client CPU than rendering the raw feed.
+    SubSample(u32),
+    /// Server-side pre-rendering at quality divisor `q` (`q = 1` is full
+    /// quality). The client only decodes and displays — tiny CPU — but
+    /// full-quality imagery is *larger* than the raw data, and all of it
+    /// crosses the network and the client's disk.
+    PreRender(u32),
+}
+
+impl StreamMode {
+    /// Event size in bytes for a frame under this mode.
+    pub fn bytes(&self, spec: &FrameSpec) -> usize {
+        match *self {
+            StreamMode::Raw => spec.raw_bytes(),
+            StreamMode::SubSample(k) => {
+                let k = k.max(1) as usize;
+                FrameSpec::HEADER + (spec.atoms / k) * FrameSpec::BYTES_POS_ATOM
+            }
+            StreamMode::PreRender(q) => {
+                let q = q.max(1) as usize;
+                // Full-quality imagery is ~1.3x the raw data volume.
+                FrameSpec::HEADER + spec.raw_bytes() * 13 / (10 * q)
+            }
+        }
+    }
+
+    /// Client CPU cost (flops) to turn the received event into pixels.
+    pub fn client_flops(&self, spec: &FrameSpec) -> f64 {
+        let full_render = spec.atoms as f64 * spec.render_flops_per_atom;
+        match *self {
+            StreamMode::Raw => full_render,
+            StreamMode::SubSample(k) => {
+                // Rendering fewer atoms is cheaper, but interpolating the
+                // dropped atoms and velocities costs progressively more:
+                // beyond k≈4 reconstruction overtakes rendering the raw
+                // feed (the paper's "the client needs to do more
+                // processing before being able to render").
+                let k = k.max(1) as f64;
+                full_render * (0.55 + 0.12 * k)
+            }
+            StreamMode::PreRender(_) => full_render * 0.06,
+        }
+    }
+
+    /// Server CPU cost (flops) to produce the event beyond the raw feed.
+    pub fn server_flops(&self, spec: &FrameSpec) -> f64 {
+        let full_render = spec.atoms as f64 * spec.render_flops_per_atom;
+        match *self {
+            StreamMode::Raw => 0.0,
+            StreamMode::SubSample(_) => full_render * 0.02,
+            StreamMode::PreRender(_) => full_render * 1.5,
+        }
+    }
+
+    /// Short display label for harness output.
+    pub fn label(&self) -> String {
+        match *self {
+            StreamMode::Raw => "raw".to_string(),
+            StreamMode::SubSample(k) => format!("sub{k}"),
+            StreamMode::PreRender(q) => format!("img/{q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_frame_sizes() {
+        let spec = FrameSpec::interactive();
+        assert_eq!(spec.raw_bytes(), 64 + 800 * 48);
+        let bulk = FrameSpec::bulk();
+        assert!(bulk.raw_bytes() > 3_000_000, "{}", bulk.raw_bytes());
+        assert!(bulk.raw_bytes() < 3_250_000, "{}", bulk.raw_bytes());
+    }
+
+    #[test]
+    fn subsampling_shrinks_bytes_monotonically() {
+        let spec = FrameSpec::interactive();
+        let raw = StreamMode::Raw.bytes(&spec);
+        let mut prev = raw;
+        for k in 1..=8 {
+            let b = StreamMode::SubSample(k).bytes(&spec);
+            assert!(b < prev, "k={k}: {b} < {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn subsampling_eventually_costs_more_cpu_than_raw() {
+        let spec = FrameSpec::interactive();
+        let raw = StreamMode::Raw.client_flops(&spec);
+        assert!(StreamMode::SubSample(1).client_flops(&spec) < raw);
+        assert!(StreamMode::SubSample(2).client_flops(&spec) < raw);
+        assert!(
+            StreamMode::SubSample(8).client_flops(&spec) > raw,
+            "heavy reconstruction beats rendering"
+        );
+    }
+
+    #[test]
+    fn prerendering_trades_bytes_for_client_cpu() {
+        let spec = FrameSpec::interactive();
+        let raw_b = StreamMode::Raw.bytes(&spec);
+        let img_b = StreamMode::PreRender(1).bytes(&spec);
+        assert!(img_b > raw_b, "full-quality imagery is bigger: {img_b} vs {raw_b}");
+        let raw_c = StreamMode::Raw.client_flops(&spec);
+        let img_c = StreamMode::PreRender(1).client_flops(&spec);
+        assert!(img_c < raw_c * 0.1, "client CPU collapses: {img_c} vs {raw_c}");
+        // Reduced quality shrinks the image below raw.
+        assert!(StreamMode::PreRender(4).bytes(&spec) < raw_b);
+        // The server pays for it.
+        assert!(StreamMode::PreRender(1).server_flops(&spec) > raw_c);
+    }
+
+    #[test]
+    fn interactive_client_processing_rate_matches_fig9() {
+        // A 17.4 Mflops uniprocessor must sustain ~5 raw frames/s idle
+        // (the paper's server rate) but fall behind once one linpack
+        // thread halves its share.
+        let spec = FrameSpec::interactive();
+        let secs_per_frame = StreamMode::Raw.client_flops(&spec) / 17.4e6;
+        assert!(secs_per_frame < 0.2, "idle keeps up: {secs_per_frame}");
+        assert!(secs_per_frame * 2.0 > 0.2, "one linpack thread overloads");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(StreamMode::Raw.label(), "raw");
+        assert_eq!(StreamMode::SubSample(4).label(), "sub4");
+        assert_eq!(StreamMode::PreRender(2).label(), "img/2");
+    }
+
+    #[test]
+    fn zero_guards() {
+        let spec = FrameSpec::interactive();
+        assert_eq!(
+            StreamMode::SubSample(0).bytes(&spec),
+            StreamMode::SubSample(1).bytes(&spec)
+        );
+        assert_eq!(
+            StreamMode::PreRender(0).bytes(&spec),
+            StreamMode::PreRender(1).bytes(&spec)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `smartpointer` — the paper's demonstration application: a real-time
+//! scientific-visualization stream server whose per-client data filters
+//! are driven by dproc's view of each client's resources.
+//!
+//! The server (one cluster node) generates molecular-dynamics-derived
+//! frames and streams them to heterogeneous clients. A *tunable data
+//! filter* per client can:
+//!
+//! * pass the raw feed through ([`data::StreamMode::Raw`]),
+//! * down-sample it — drop velocities, subsample atoms — shrinking the
+//!   event but *increasing* client-side reconstruction work,
+//! * pre-render it server-side — the client only displays, but the event
+//!   grows and the client's disk sees more data.
+//!
+//! That tension is the paper's Section 4.2 punchline: adapting on a single
+//! resource can aggravate another, so the server should decide using
+//! monitoring of *multiple* resources (Fig. 11).
+//!
+//! Three policies are compared, exactly as in the paper:
+//!
+//! * **no filter** — raw feed to everyone,
+//! * **static filter** — a client-chosen customization fixed a priori,
+//! * **dynamic filter** — the server re-decides each frame from dproc's
+//!   latest per-client CPU / network / disk values
+//!   ([`policy::MonitorSet::Cpu`], [`policy::MonitorSet::Net`],
+//!   [`policy::MonitorSet::Hybrid`]).
+//!
+//! Modules: [`data`] (frames, stream modes, cost model), [`policy`]
+//! (adaptation decisions), [`app`] (the server/client simulation glue over
+//! `dproc::ClusterSim`), [`scenarios`] (the Fig. 9/10/11 experiment
+//! drivers).
+
+pub mod app;
+pub mod data;
+pub mod policy;
+pub mod scenarios;
+
+pub use app::{ClientStats, SmartPointer, SmartPointerConfig};
+pub use data::{FrameSpec, StreamMode};
+pub use policy::{ClientView, MonitorSet, Policy};

@@ -1,0 +1,293 @@
+//! Stream-adaptation policies.
+//!
+//! The server decides each client's [`StreamMode`] from dproc's latest
+//! view of that client's resources. [`MonitorSet`] selects which resources
+//! the decision may look at — the independent variable of Fig. 11.
+
+use crate::data::{FrameSpec, StreamMode};
+
+/// How a client's stream is managed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// The original SmartPointer: raw feed, no customization.
+    NoFilter,
+    /// Client-specified customization fixed for the whole run.
+    Static(StreamMode),
+    /// Server re-decides from dproc monitoring before every frame.
+    Dynamic(MonitorSet),
+}
+
+/// Which resources a dynamic filter consults (Fig. 11's three curves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorSet {
+    /// CPU load only.
+    Cpu,
+    /// Network availability only.
+    Net,
+    /// CPU + network + disk.
+    Hybrid,
+}
+
+/// The server's current knowledge of one client, from dproc.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientView {
+    /// Client run-queue average (LOADAVG). `None` until first report.
+    pub loadavg: Option<f64>,
+    /// Client available bandwidth in bps (NET_AVAIL).
+    pub avail_bps: Option<f64>,
+    /// Client disk activity, sectors moved per second (DISKUSAGE).
+    pub disk_sectors_per_s: Option<f64>,
+    /// Client CPU count (known from deployment).
+    pub n_cpus: u32,
+    /// The stream's own current throughput to this client, bps (the server
+    /// knows what it sends). NET_AVAIL already excludes it, so capacity
+    /// checks add it back — otherwise the decision double-counts the
+    /// stream and spirals down.
+    pub stream_bps: f64,
+}
+
+/// Client CPU is considered saturated when the run queue exceeds the CPU
+/// count by this factor. The stream-processing task alone keeps a
+/// saturated uniprocessor at load ~1.0 (never above), so the threshold
+/// sits just below 1 CPU's worth.
+const LOAD_THRESHOLD_FACTOR: f64 = 0.9;
+/// Keep the stream under this fraction of the reported available
+/// bandwidth.
+const NET_HEADROOM: f64 = 0.9;
+/// Keep disk writes under this fraction of sustained disk throughput.
+const DISK_HEADROOM: f64 = 0.8;
+/// Sustained disk write throughput of the client's disk, bytes/sec
+/// (matches `simos::Disk::testbed`).
+const DISK_BPS: f64 = 20e6;
+/// Deepest subsampling the reconstruction code supports.
+const MAX_SUBSAMPLE: u32 = 16;
+/// Coarsest pre-render quality divisor.
+const MAX_QUALITY_DIV: u32 = 16;
+
+impl ClientView {
+    fn cpu_loaded(&self) -> bool {
+        match self.loadavg {
+            Some(la) => la > self.n_cpus as f64 * LOAD_THRESHOLD_FACTOR,
+            None => false,
+        }
+    }
+
+    fn net_fits(&self, bytes: usize, rate_hz: f64) -> bool {
+        match self.avail_bps {
+            Some(avail) => {
+                bytes as f64 * 8.0 * rate_hz <= (avail + self.stream_bps) * NET_HEADROOM
+            }
+            None => true,
+        }
+    }
+
+    fn disk_fits(&self, bytes: usize, rate_hz: f64) -> bool {
+        // The stream is written to client disk on arrival; the reported
+        // sector rate already includes it, so budget total disk activity.
+        let stream_bps = bytes as f64 * rate_hz;
+        let other_bps = self
+            .disk_sectors_per_s
+            .map(|s| s * 512.0)
+            .unwrap_or(0.0)
+            // Don't double-count the stream's own writes.
+            .max(stream_bps)
+            - stream_bps;
+        stream_bps + other_bps <= DISK_BPS * DISK_HEADROOM
+    }
+}
+
+/// Decide the stream mode for one client.
+///
+/// * [`MonitorSet::Cpu`]: pre-render as soon as the client CPU saturates —
+///   blind to what the bigger events do to the network and disk.
+/// * [`MonitorSet::Net`]: subsample until the stream fits the reported
+///   available bandwidth — blind to the reconstruction CPU it forces on a
+///   loaded client.
+/// * [`MonitorSet::Hybrid`]: satisfy all three constraints at once,
+///   degrading pre-render quality (server-paid) before pushing work onto
+///   the client.
+pub fn decide(set: MonitorSet, view: &ClientView, spec: &FrameSpec, rate_hz: f64) -> StreamMode {
+    match set {
+        MonitorSet::Cpu => {
+            if view.cpu_loaded() {
+                StreamMode::PreRender(1)
+            } else {
+                StreamMode::Raw
+            }
+        }
+        MonitorSet::Net => {
+            if view.net_fits(StreamMode::Raw.bytes(spec), rate_hz) {
+                StreamMode::Raw
+            } else {
+                for k in 1..=MAX_SUBSAMPLE {
+                    if view.net_fits(StreamMode::SubSample(k).bytes(spec), rate_hz) {
+                        return StreamMode::SubSample(k);
+                    }
+                }
+                StreamMode::SubSample(MAX_SUBSAMPLE)
+            }
+        }
+        MonitorSet::Hybrid => {
+            let fits = |mode: StreamMode| {
+                let b = mode.bytes(spec);
+                view.net_fits(b, rate_hz) && view.disk_fits(b, rate_hz)
+            };
+            if view.cpu_loaded() {
+                // Shrink the imagery until network and disk accept it; the
+                // server absorbs the rendering cost either way.
+                for q in 1..=MAX_QUALITY_DIV {
+                    let mode = StreamMode::PreRender(q);
+                    if fits(mode) {
+                        return mode;
+                    }
+                }
+                StreamMode::PreRender(MAX_QUALITY_DIV)
+            } else {
+                if fits(StreamMode::Raw) {
+                    return StreamMode::Raw;
+                }
+                // CPU is fine: mild subsampling is acceptable; prefer the
+                // shallowest level that fits.
+                for k in 1..=MAX_SUBSAMPLE {
+                    let mode = StreamMode::SubSample(k);
+                    if fits(mode) {
+                        return mode;
+                    }
+                }
+                StreamMode::SubSample(MAX_SUBSAMPLE)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(loadavg: f64, avail_mbps: f64) -> ClientView {
+        ClientView {
+            loadavg: Some(loadavg),
+            avail_bps: Some(avail_mbps * 1e6),
+            disk_sectors_per_s: Some(0.0),
+            n_cpus: 1,
+            stream_bps: 0.0,
+        }
+    }
+
+    const RATE: f64 = 5.0;
+
+    fn spec() -> FrameSpec {
+        FrameSpec::interactive()
+    }
+
+    #[test]
+    fn cpu_policy_switches_on_load() {
+        let s = spec();
+        assert_eq!(decide(MonitorSet::Cpu, &view(0.9, 100.0), &s, RATE), StreamMode::Raw);
+        assert_eq!(
+            decide(MonitorSet::Cpu, &view(3.0, 100.0), &s, RATE),
+            StreamMode::PreRender(1)
+        );
+        // ...even if the network is already congested (the pathology).
+        assert_eq!(
+            decide(MonitorSet::Cpu, &view(3.0, 1.0), &s, RATE),
+            StreamMode::PreRender(1)
+        );
+    }
+
+    #[test]
+    fn net_policy_subsamples_to_fit() {
+        let s = spec();
+        assert_eq!(decide(MonitorSet::Net, &view(0.5, 100.0), &s, RATE), StreamMode::Raw);
+        // Raw needs 38.5 KB * 8 * 5 = 1.54 Mbps; give it less.
+        let mode = decide(MonitorSet::Net, &view(0.5, 1.0), &s, RATE);
+        let StreamMode::SubSample(k) = mode else {
+            panic!("expected subsampling, got {mode:?}");
+        };
+        assert!(k >= 1);
+        // ...even if the client CPU is saturated (the other pathology).
+        let mode = decide(MonitorSet::Net, &view(5.0, 1.0), &s, RATE);
+        assert!(matches!(mode, StreamMode::SubSample(_)));
+        // Hopeless network: deepest level.
+        assert_eq!(
+            decide(MonitorSet::Net, &view(0.5, 0.001), &s, RATE),
+            StreamMode::SubSample(16)
+        );
+    }
+
+    #[test]
+    fn hybrid_prefers_raw_when_everything_fits() {
+        let s = spec();
+        assert_eq!(
+            decide(MonitorSet::Hybrid, &view(0.5, 100.0), &s, RATE),
+            StreamMode::Raw
+        );
+    }
+
+    #[test]
+    fn hybrid_prerenders_at_fitting_quality_under_cpu_load() {
+        let s = spec();
+        // Full-quality imagery: 50 KB * 8 * 5 = 2 Mbps. Give 1 Mbps: must
+        // degrade quality to q >= 3 (0.9 headroom).
+        let mode = decide(MonitorSet::Hybrid, &view(3.0, 1.0), &s, RATE);
+        let StreamMode::PreRender(q) = mode else {
+            panic!("expected pre-render, got {mode:?}");
+        };
+        assert!(q >= 2, "quality degraded to fit: q={q}");
+        // Plenty of bandwidth: full quality.
+        assert_eq!(
+            decide(MonitorSet::Hybrid, &view(3.0, 100.0), &s, RATE),
+            StreamMode::PreRender(1)
+        );
+    }
+
+    #[test]
+    fn hybrid_subsamples_when_only_net_is_tight() {
+        let s = spec();
+        let mode = decide(MonitorSet::Hybrid, &view(0.5, 1.0), &s, RATE);
+        assert!(matches!(mode, StreamMode::SubSample(_)), "got {mode:?}");
+    }
+
+    #[test]
+    fn hybrid_respects_disk_budget() {
+        // Bulk frames: raw = ~3.1 MB. At 5 Hz that is ~15.7 MB/s of disk
+        // writes — just under the 16 MB/s budget. Pre-rendered full
+        // quality (~4.1 MB) would exceed it, so a loaded client must get
+        // degraded imagery even with infinite bandwidth.
+        let s = FrameSpec::bulk();
+        let v = ClientView {
+            loadavg: Some(5.0),
+            avail_bps: Some(1e9),
+            disk_sectors_per_s: Some(0.0),
+            n_cpus: 1,
+            stream_bps: 0.0,
+        };
+        let mode = decide(MonitorSet::Hybrid, &v, &s, 5.0);
+        let StreamMode::PreRender(q) = mode else {
+            panic!("expected pre-render, got {mode:?}");
+        };
+        assert!(q >= 2, "disk budget forces smaller imagery: q={q}");
+    }
+
+    #[test]
+    fn unknown_view_defaults_to_raw() {
+        let s = spec();
+        let v = ClientView {
+            n_cpus: 1,
+            ..Default::default()
+        };
+        for set in [MonitorSet::Cpu, MonitorSet::Net, MonitorSet::Hybrid] {
+            assert_eq!(decide(set, &v, &s, RATE), StreamMode::Raw, "{set:?}");
+        }
+    }
+
+    #[test]
+    fn quad_cpu_client_tolerates_more_load() {
+        let s = spec();
+        let mut v = view(3.0, 100.0);
+        v.n_cpus = 4;
+        assert_eq!(decide(MonitorSet::Cpu, &v, &s, RATE), StreamMode::Raw);
+        v.loadavg = Some(6.0);
+        assert_eq!(decide(MonitorSet::Cpu, &v, &s, RATE), StreamMode::PreRender(1));
+    }
+}

@@ -1,0 +1,245 @@
+//! The three client scenarios of the paper's Section 4.2, as reusable
+//! experiment drivers. The figure harness (`dproc-bench`) calls these and
+//! formats the results; integration tests assert their shapes.
+
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::{SimDur, SimTime};
+use simnet::NodeId;
+use simos::host::HostConfig;
+
+use crate::app::{ClientStats, SmartPointer, SmartPointerConfig};
+use crate::data::FrameSpec;
+#[cfg(test)]
+use crate::data::StreamMode;
+use crate::policy::{MonitorSet, Policy};
+
+/// Result of a CPU-loaded run: the full latency log plus per-segment
+/// event rates.
+#[derive(Debug, Clone)]
+pub struct CpuLoadedResult {
+    /// Client stats at the end of the run.
+    pub stats: ClientStats,
+    /// `(linpack_threads, processed_events_per_second)` per load segment —
+    /// Fig. 9(b)'s series.
+    pub rate_by_threads: Vec<(usize, f64)>,
+}
+
+/// Fig. 9 scenario: a CPU-loaded client. One linpack thread is added at
+/// the start of each segment; the run has `max_threads + 1` segments
+/// (starting at zero threads) of `segment` seconds each.
+pub fn cpu_loaded(policy: Policy, max_threads: usize, segment_s: u64) -> CpuLoadedResult {
+    let cfg = ClusterConfig::named(&["server", "client", "aux"])
+        .host_cfg(1, HostConfig::uniprocessor());
+    let mut sim = ClusterSim::new(cfg);
+    sim.start();
+    // Fast CPU window so the server reacts within a few seconds.
+    sim.write_control(NodeId(1), "client", "window cpu 5");
+    let app = SmartPointer::install(
+        &mut sim,
+        SmartPointerConfig {
+            server: NodeId(0),
+            clients: vec![(NodeId(1), policy)],
+            spec: FrameSpec::interactive(),
+            rate_hz: 5.0,
+            write_to_disk: true,
+            queue_cap: 64,
+        },
+    );
+    let segment = SimDur::from_secs(segment_s);
+    let mut rate_by_threads = Vec::new();
+    let mut processed_before = 0;
+    for threads in 0..=max_threads {
+        if threads > 0 {
+            sim.start_linpack(NodeId(1), 1);
+        }
+        let end = SimTime::ZERO + segment * (threads as u64 + 1);
+        sim.run_until(end);
+        let st = app.client_stats(0);
+        let rate = (st.processed - processed_before) as f64 / segment.as_secs_f64();
+        processed_before = st.processed;
+        rate_by_threads.push((threads, rate));
+    }
+    CpuLoadedResult {
+        stats: app.client_stats(0),
+        rate_by_threads,
+    }
+}
+
+/// Fig. 10 scenario: a network-perturbed client receiving ~3 MB events
+/// and doing very little processing. Returns the mean latency (seconds)
+/// over the measurement window under `perturb_mbps` of Iperf UDP load
+/// sharing the client's link.
+pub fn net_perturbed(policy: Policy, perturb_mbps: f64, duration_s: u64) -> f64 {
+    let cfg = ClusterConfig::named(&["server", "client", "iperf-src", "aux"])
+        .host_cfg(1, HostConfig::uniprocessor());
+    let mut sim = ClusterSim::new(cfg);
+    sim.start();
+    let app = SmartPointer::install(
+        &mut sim,
+        SmartPointerConfig {
+            server: NodeId(0),
+            clients: vec![(NodeId(1), policy)],
+            spec: FrameSpec::bulk(),
+            rate_hz: 1.2,
+            write_to_disk: false,
+            queue_cap: 64,
+        },
+    );
+    // Let the stream and monitoring settle before perturbing.
+    sim.run_until(SimTime::from_secs(10));
+    if perturb_mbps > 0.0 {
+        sim.start_iperf(NodeId(2), NodeId(1), perturb_mbps * 1e6);
+    }
+    // Ignore the warm-up samples: measure only after perturbation starts.
+    let warmup = app.client_stats(0).processed;
+    sim.run_until(SimTime::from_secs(10 + duration_s));
+    let st = app.client_stats(0);
+    let samples: Vec<f64> = st.log.iter().skip(warmup as usize).map(|&(_, l)| l).collect();
+    if samples.is_empty() {
+        // Completely starved: report the age of the oldest unprocessed
+        // frame (the latency a completing frame would show).
+        return duration_s as f64;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// The frame spec of the hybrid scenario: bulk-sized data that still
+/// needs real client-side rendering.
+pub fn hybrid_spec() -> FrameSpec {
+    FrameSpec {
+        atoms: 65_535,
+        render_flops_per_atom: 40.0,
+    }
+}
+
+/// Fig. 11 scenario: combined perturbation step `k` = `k` linpack threads
+/// plus `k × 10` Mbps of Iperf load, with a dynamic filter consulting the
+/// given monitor set. Returns mean latency (seconds).
+pub fn hybrid(set: MonitorSet, k: usize, duration_s: u64) -> f64 {
+    let cfg = ClusterConfig::named(&["server", "client", "iperf-src", "aux"])
+        .host_cfg(1, HostConfig::uniprocessor());
+    let mut sim = ClusterSim::new(cfg);
+    sim.start();
+    sim.write_control(NodeId(1), "client", "window cpu 5");
+    let app = SmartPointer::install(
+        &mut sim,
+        SmartPointerConfig {
+            server: NodeId(0),
+            clients: vec![(NodeId(1), Policy::Dynamic(set))],
+            spec: hybrid_spec(),
+            rate_hz: 1.2,
+            write_to_disk: true,
+            queue_cap: 64,
+        },
+    );
+    sim.run_until(SimTime::from_secs(10));
+    if k > 0 {
+        sim.start_linpack(NodeId(1), k);
+        sim.start_iperf(NodeId(2), NodeId(1), k as f64 * 10e6);
+    }
+    let warmup = app.client_stats(0).processed;
+    sim.run_until(SimTime::from_secs(10 + duration_s));
+    let st = app.client_stats(0);
+    let samples: Vec<f64> = st.log.iter().skip(warmup as usize).map(|&(_, l)| l).collect();
+    if samples.is_empty() {
+        return duration_s as f64;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Down-sample a latency log into `(bucket_center_s, mean_latency_s)`
+/// points — the plottable form of Fig. 9(a).
+pub fn bucket_log(log: &[(f64, f64)], bucket_s: f64) -> Vec<(f64, f64)> {
+    if log.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut bucket_start = 0.0;
+    let mut sum = 0.0;
+    let mut count = 0u32;
+    for &(t, l) in log {
+        while t >= bucket_start + bucket_s {
+            if count > 0 {
+                out.push((bucket_start + bucket_s / 2.0, sum / count as f64));
+            }
+            bucket_start += bucket_s;
+            sum = 0.0;
+            count = 0;
+        }
+        sum += l;
+        count += 1;
+    }
+    if count > 0 {
+        out.push((bucket_start + bucket_s / 2.0, sum / count as f64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Scenario tests use shortened segments/durations; the bench harness
+    // runs the paper-length versions.
+
+    #[test]
+    fn fig9_shape_dynamic_beats_static_beats_none() {
+        let none = cpu_loaded(Policy::NoFilter, 4, 30);
+        let stat = cpu_loaded(Policy::Static(StreamMode::SubSample(2)), 4, 30);
+        let dynm = cpu_loaded(Policy::Dynamic(MonitorSet::Cpu), 4, 30);
+        let last = |r: &CpuLoadedResult| r.stats.log.last().unwrap().1;
+        assert!(
+            last(&dynm) < last(&stat) && last(&stat) < last(&none),
+            "dyn {} < static {} < none {}",
+            last(&dynm),
+            last(&stat),
+            last(&none)
+        );
+        // Fig 9b: dynamic sustains the server rate at max load, no-filter
+        // decays far below it.
+        let dyn_final_rate = dynm.rate_by_threads.last().unwrap().1;
+        let none_final_rate = none.rate_by_threads.last().unwrap().1;
+        assert!(dyn_final_rate > 4.0, "dynamic rate {dyn_final_rate}");
+        assert!(none_final_rate < 2.5, "no-filter rate {none_final_rate}");
+    }
+
+    #[test]
+    fn fig10_shape_flat_until_capacity_then_divergence() {
+        let none_low = net_perturbed(Policy::NoFilter, 30.0, 40);
+        let none_high = net_perturbed(Policy::NoFilter, 85.0, 40);
+        let dyn_high = net_perturbed(Policy::Dynamic(MonitorSet::Net), 85.0, 40);
+        assert!(none_low < 0.5, "uncongested baseline: {none_low}");
+        assert!(
+            none_high > none_low * 4.0,
+            "beyond capacity the no-filter latency blows up: {none_low} -> {none_high}"
+        );
+        assert!(
+            dyn_high < none_high / 2.0,
+            "dynamic filter stays ahead: {dyn_high} vs {none_high}"
+        );
+    }
+
+    #[test]
+    fn fig11_shape_hybrid_wins_at_high_perturbation() {
+        let k = 6;
+        let cpu = hybrid(MonitorSet::Cpu, k, 40);
+        let net = hybrid(MonitorSet::Net, k, 40);
+        let hyb = hybrid(MonitorSet::Hybrid, k, 40);
+        assert!(
+            hyb <= cpu * 1.05 && hyb <= net * 1.05,
+            "hybrid ({hyb}) <= cpu ({cpu}) and net ({net})"
+        );
+        assert!(
+            hyb < cpu.max(net) * 0.8,
+            "and strictly better than the worst single-resource choice: hyb {hyb}, cpu {cpu}, net {net}"
+        );
+    }
+
+    #[test]
+    fn bucket_log_means() {
+        let log = vec![(1.0, 10.0), (2.0, 20.0), (11.0, 30.0), (25.0, 40.0)];
+        let b = bucket_log(&log, 10.0);
+        assert_eq!(b, vec![(5.0, 15.0), (15.0, 30.0), (25.0, 40.0)]);
+        assert!(bucket_log(&[], 10.0).is_empty());
+    }
+}

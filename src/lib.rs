@@ -1,0 +1,12 @@
+//! Umbrella crate for the dproc reproduction workspace.
+//!
+//! Re-exports the public APIs of every member crate so that examples and
+//! integration tests can use a single dependency.
+
+pub use dproc;
+pub use ecode;
+pub use kecho;
+pub use simcore;
+pub use simnet;
+pub use simos;
+pub use smartpointer;

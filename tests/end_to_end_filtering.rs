@@ -1,0 +1,147 @@
+//! End-to-end customization: applications writing control files on one
+//! node reconfigure what a remote node's d-mon sends them — parameters,
+//! combinations, dynamic E-code filters, and their removal.
+
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::{SimDur, SimTime};
+use simnet::NodeId;
+
+fn cluster(n: usize) -> ClusterSim {
+    let mut sim = ClusterSim::new(ClusterConfig::new(n));
+    sim.start();
+    sim.run_until(SimTime::from_secs(3));
+    sim
+}
+
+/// Count monitoring events node `to` receives during `window`.
+fn events_in_window(sim: &mut ClusterSim, to: usize, window: SimDur) -> u64 {
+    let before = sim.world().dmons[to].stats.events_received;
+    sim.run_for(window);
+    sim.world().dmons[to].stats.events_received - before
+}
+
+#[test]
+fn period_parameter_thins_the_stream() {
+    let mut sim = cluster(2);
+    let baseline = events_in_window(&mut sim, 1, SimDur::from_secs(20));
+    assert!((18..=22).contains(&baseline), "1 Hz baseline: {baseline}");
+
+    sim.write_control(NodeId(1), "node0", "period * 5");
+    sim.run_for(SimDur::from_secs(3)); // control propagation
+    let thinned = events_in_window(&mut sim, 1, SimDur::from_secs(20));
+    assert!((3..=6).contains(&thinned), "0.2 Hz after period 5: {thinned}");
+}
+
+#[test]
+fn threshold_parameter_gates_on_value() {
+    let mut sim = cluster(2);
+    // node1 only wants node0's cpu when loadavg > 3; everything else off.
+    sim.write_control(NodeId(1), "node0", "above cpu 3");
+    sim.write_control(NodeId(1), "node0", "above mem 1e18");
+    sim.write_control(NodeId(1), "node0", "above disk 1e18");
+    sim.write_control(NodeId(1), "node0", "above net 1e18");
+    sim.write_control(NodeId(1), "node0", "above pmc 1e18");
+    sim.write_control(NodeId(1), "node0", "window cpu 5");
+    sim.run_for(SimDur::from_secs(5));
+
+    let quiet = events_in_window(&mut sim, 1, SimDur::from_secs(15));
+    assert_eq!(quiet, 0, "idle node0 sends nothing");
+
+    // Load node0 beyond the threshold; events resume.
+    sim.start_linpack(NodeId(0), 5);
+    sim.run_for(SimDur::from_secs(10)); // let the 5 s loadavg window rise
+    let busy = events_in_window(&mut sim, 1, SimDur::from_secs(15));
+    assert!(busy >= 10, "threshold opens under load: {busy}");
+}
+
+#[test]
+fn combination_period_and_threshold() {
+    let mut sim = cluster(2);
+    // The paper's example: "update the CPU information once every 2
+    // seconds IF the CPU utilization is above 80%". Other metrics muted.
+    for m in ["mem", "disk", "net", "pmc"] {
+        sim.write_control(NodeId(1), "node0", &format!("above {m} 1e18"));
+    }
+    sim.write_control(NodeId(1), "node0", "period cpu 2");
+    sim.write_control(NodeId(1), "node0", "and above cpu 0.8");
+    sim.write_control(NodeId(1), "node0", "window cpu 5");
+    sim.run_for(SimDur::from_secs(5));
+
+    let quiet = events_in_window(&mut sim, 1, SimDur::from_secs(20));
+    assert_eq!(quiet, 0, "below the load threshold: silent");
+
+    sim.start_linpack(NodeId(0), 4);
+    sim.run_for(SimDur::from_secs(10));
+    let busy = events_in_window(&mut sim, 1, SimDur::from_secs(20));
+    assert!(
+        (8..=12).contains(&busy),
+        "every 2 s while above threshold: {busy}"
+    );
+}
+
+#[test]
+fn deployed_filter_replaces_parameters_and_nofilter_restores() {
+    let mut sim = cluster(2);
+    // Block everything with a filter that never emits.
+    sim.write_control(NodeId(1), "node0", "filter { int x = 0; }");
+    sim.run_for(SimDur::from_secs(3));
+    assert!(sim.world().dmons[0].has_filter(NodeId(1)));
+    let blocked = events_in_window(&mut sim, 1, SimDur::from_secs(10));
+    assert_eq!(blocked, 0);
+
+    sim.write_control(NodeId(1), "node0", "nofilter");
+    sim.run_for(SimDur::from_secs(3));
+    assert!(!sim.world().dmons[0].has_filter(NodeId(1)));
+    let restored = events_in_window(&mut sim, 1, SimDur::from_secs(10));
+    assert!(restored >= 8, "stream resumes: {restored}");
+}
+
+#[test]
+fn filter_can_transform_values_in_flight() {
+    let mut sim = cluster(2);
+    // Forward FREEMEM in megabytes instead of bytes.
+    sim.write_control(
+        NodeId(1),
+        "node0",
+        "filter { output[0] = input[FREEMEM]; output[0].value = input[FREEMEM].value / 1e6; }",
+    );
+    sim.run_for(SimDur::from_secs(5));
+    let (v, _) = sim.world().dmons[1]
+        .remote_value(NodeId(0), "FREEMEM")
+        .expect("freemem delivered");
+    assert!(
+        v > 100.0 && v < 1000.0,
+        "value arrived transformed to MB: {v}"
+    );
+}
+
+#[test]
+fn per_subscriber_isolation() {
+    let mut sim = cluster(3);
+    // node1 mutes node0 entirely; node2 keeps the default stream.
+    sim.write_control(NodeId(1), "node0", "filter { int x = 0; }");
+    sim.run_for(SimDur::from_secs(3));
+    let before1 = sim.world().dmons[1].stats.events_received;
+    let before2 = sim.world().dmons[2].stats.events_received;
+    sim.run_for(SimDur::from_secs(10));
+    let from0_to1 = sim.world().dmons[1].stats.events_received - before1;
+    let from_to2 = sim.world().dmons[2].stats.events_received - before2;
+    // node1 still hears node2 (~10 events) but not node0.
+    assert!((8..=12).contains(&from0_to1), "node1 gets only node2's events: {from0_to1}");
+    // node2 hears both node0 and node1 (~20).
+    assert!((16..=24).contains(&from_to2), "node2 unaffected: {from_to2}");
+}
+
+#[test]
+fn broken_filter_writes_are_counted_not_fatal() {
+    let mut sim = cluster(2);
+    sim.write_control(NodeId(1), "node0", "filter { not e-code at all");
+    sim.write_control(NodeId(1), "node0", "complete gibberish");
+    sim.run_for(SimDur::from_secs(3));
+    let w = sim.world();
+    assert_eq!(w.dmons[0].stats.filter_errors, 1, "bad filter counted at publisher");
+    assert_eq!(w.dmons[1].stats.control_errors, 1, "bad command counted at writer");
+    assert!(!w.dmons[0].has_filter(NodeId(1)));
+    // The cluster is still alive.
+    assert!(w.mon_delivered > 0);
+}

@@ -1,0 +1,83 @@
+//! Figure-1 reproduction: the `/proc/cluster` hierarchy as seen from
+//! every node of the alan/maui/etna cluster.
+
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::SimTime;
+
+fn cluster() -> ClusterSim {
+    let mut sim = ClusterSim::new(ClusterConfig::named(&["alan", "maui", "etna"]));
+    sim.start();
+    sim.run_until(SimTime::from_secs(5));
+    sim
+}
+
+#[test]
+fn every_node_sees_every_node() {
+    let sim = cluster();
+    for host in &sim.world().hosts {
+        let nodes = host.proc.list("cluster").unwrap();
+        assert_eq!(nodes, vec!["alan", "etna", "maui"], "on {}", host.name);
+    }
+}
+
+#[test]
+fn per_node_entries_match_figure_1_layout() {
+    let sim = cluster();
+    let host = &sim.world().hosts[0];
+    for node in ["alan", "maui", "etna"] {
+        let entries = host.proc.list(&format!("cluster/{node}")).unwrap();
+        assert_eq!(
+            entries,
+            vec!["control", "cpu", "disk", "mem", "net", "pmc"],
+            "cluster/{node}"
+        );
+    }
+}
+
+#[test]
+fn remote_entries_carry_values_and_timestamps() {
+    let sim = cluster();
+    let host = &sim.world().hosts[1]; // maui's view
+    for metric in ["cpu", "mem", "disk", "net", "pmc"] {
+        let content = host.proc.read(&format!("cluster/alan/{metric}")).unwrap();
+        assert!(
+            content.starts_with(metric) && content.contains("ts"),
+            "cluster/alan/{metric}: {content}"
+        );
+    }
+}
+
+#[test]
+fn control_files_are_writable_pseudo_files() {
+    let mut sim = cluster();
+    let host = &mut sim.world_mut().hosts[2];
+    host.proc
+        .write("cluster/alan/control", "period cpu 2")
+        .expect("control file accepts writes");
+    assert_eq!(host.proc.pending_write_count(), 1);
+}
+
+#[test]
+fn local_standard_proc_entries_coexist() {
+    let mut sim = cluster();
+    let now = sim.now();
+    let host = &mut sim.world_mut().hosts[0];
+    host.refresh_local_proc(now);
+    // Stock Linux-style entries live next to the dproc extension.
+    assert!(host.proc.exists("loadavg"));
+    assert!(host.proc.exists("meminfo"));
+    assert!(host.proc.exists("cluster"));
+    let root = host.proc.list_root();
+    assert!(root.contains(&"cluster".to_string()));
+    assert!(root.contains(&"loadavg".to_string()));
+}
+
+#[test]
+fn tree_rendering_shows_fig1_shape() {
+    let sim = cluster();
+    let tree = sim.world().hosts[0].proc.render_tree();
+    assert!(tree.contains("cluster/"));
+    for name in ["alan/", "maui/", "etna/"] {
+        assert!(tree.contains(name), "missing {name} in:\n{tree}");
+    }
+}
