@@ -1,0 +1,48 @@
+//! Static-analysis microbenchmarks: what filter admission costs at
+//! deploy time. The verifier (lint + cost certification + read-set
+//! extraction) runs once per `DeployFilter`, so its cost rides on the
+//! paper's filter-deployment path — these benches keep it honest
+//! against plain compilation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecode::parser::parse;
+use ecode::sema::analyze;
+use ecode::{analysis, fig3_env, EnvSpec, Filter, FIG3_SOURCE};
+
+/// A loop-heavy filter: the worst case for the affine trip-count
+/// inference and the interval walk.
+const LOOPY: &str = "{ int s = 0; for (int i = 0; i < 1000; i = i + 1) { s = s + i; } if (s > 0) { output[0] = input[X]; } }";
+
+fn bench_lint(c: &mut Criterion) {
+    let env = fig3_env();
+    let prog = analyze(&parse(FIG3_SOURCE).unwrap(), &env).unwrap();
+    c.bench_function("analysis/lint_fig3", |b| {
+        b.iter(|| analysis::lint(black_box(&prog)))
+    });
+}
+
+fn bench_certify(c: &mut Criterion) {
+    let env = fig3_env();
+    let folded = ecode::opt::fold_program(analyze(&parse(FIG3_SOURCE).unwrap(), &env).unwrap());
+    c.bench_function("analysis/certify_fig3", |b| {
+        b.iter(|| analysis::certify(black_box(&folded)))
+    });
+}
+
+fn bench_deploy_analysis(c: &mut Criterion) {
+    // The full admission pipeline as Filter::compile runs it, for the
+    // paper's Figure 3 filter and for a loop-heavy one.
+    let mut group = c.benchmark_group("analysis/compile_with_verifier");
+    let fig3 = fig3_env();
+    group.bench_function("fig3", |b| {
+        b.iter(|| Filter::compile(black_box(FIG3_SOURCE), &fig3).unwrap())
+    });
+    let env = EnvSpec::new(["X"]);
+    group.bench_function("loop_1000", |b| {
+        b.iter(|| Filter::compile(black_box(LOOPY), &env).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lint, bench_certify, bench_deploy_analysis);
+criterion_main!(benches);

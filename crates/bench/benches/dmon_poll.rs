@@ -12,12 +12,7 @@ use simos::host::{Host, HostConfig};
 
 fn setup(n_subs: usize) -> (DMon, Host, Directory, kecho::ChannelId, kecho::ChannelId) {
     let names: Vec<String> = (0..=n_subs).map(|i| format!("node{i}")).collect();
-    let dmon = DMon::new(
-        NodeId(0),
-        names,
-        standard_modules(),
-        SimDur::from_secs(1),
-    );
+    let dmon = DMon::new(NodeId(0), names, standard_modules(), SimDur::from_secs(1));
     let host = Host::new("node0", NodeId(0), &HostConfig::testbed());
     let mut dir = Directory::default();
     let mon = dir.open("mon");

@@ -44,7 +44,9 @@ fn bench_execute(c: &mut Criterion) {
     let inputs = fig3_inputs();
     let mut group = c.benchmark_group("ecode/execute_fig3");
     group.bench_function("vm", |b| b.iter(|| filter.run(black_box(&inputs)).unwrap()));
-    group.bench_function("native_rust", |b| b.iter(|| fig3_native(black_box(&inputs))));
+    group.bench_function("native_rust", |b| {
+        b.iter(|| fig3_native(black_box(&inputs)))
+    });
     group.finish();
 }
 

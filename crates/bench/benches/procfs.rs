@@ -44,12 +44,21 @@ fn bench_control_write(c: &mut Criterion) {
     let mut fs = populated();
     c.bench_function("procfs/control_write_and_drain", |b| {
         b.iter(|| {
-            fs.write(black_box("cluster/node3/control"), black_box("period cpu 2"))
-                .unwrap();
+            fs.write(
+                black_box("cluster/node3/control"),
+                black_box("period cpu 2"),
+            )
+            .unwrap();
             fs.drain_writes()
         })
     });
 }
 
-criterion_group!(benches, bench_read, bench_set, bench_list, bench_control_write);
+criterion_group!(
+    benches,
+    bench_read,
+    bench_set,
+    bench_list,
+    bench_control_write
+);
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn bench_encode(c: &mut Criterion) {
     let small = event(5, 0);
     let large = event(5, 4900);
     let mut group = c.benchmark_group("wire/encode");
-    group.bench_function("small_event", |b| b.iter(|| encode_event(black_box(&small))));
+    group.bench_function("small_event", |b| {
+        b.iter(|| encode_event(black_box(&small)))
+    });
     group.bench_function("5kb_event", |b| b.iter(|| encode_event(black_box(&large))));
     group.finish();
 }

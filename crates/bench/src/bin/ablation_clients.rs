@@ -82,7 +82,9 @@ fn main() {
         ("no filter", Policy::NoFilter),
         ("dynamic hybrid", Policy::Dynamic(MonitorSet::Hybrid)),
     ] {
-        let outcomes = run_sweep(sizes.to_vec(), suggested_threads(6), move |n| run(n, policy));
+        let outcomes = run_sweep(sizes.to_vec(), suggested_threads(6), move |n| {
+            run(n, policy)
+        });
         let mut rate = Series::new(label);
         let mut lat = Series::new(label);
         let mut drops = Series::new(label);

@@ -35,10 +35,7 @@ fn main() {
         "Ablation: busiest node's link messages in 60 s (hot-spot growth)",
         "nodes",
     );
-    let mut latency = Table::new(
-        "Ablation: mean end-to-end monitoring latency (us)",
-        "nodes",
-    );
+    let mut latency = Table::new("Ablation: mean end-to-end monitoring latency (us)", "nodes");
     let mut p2p_t = Series::new("peer-to-peer");
     let mut hub_t = Series::new("central collector");
     let mut p2p_l = Series::new("peer-to-peer");

@@ -25,15 +25,44 @@ use simnet::NodeId;
 /// One parsed shell command.
 #[derive(Debug, Clone, PartialEq)]
 enum Cmd {
-    Cluster { n: usize, names: Vec<String> },
-    Run { seconds: f64 },
-    Cat { node: String, path: String },
-    Ls { node: String, path: Option<String> },
-    Tree { node: String },
-    Ctl { node: String, target: String, text: String },
-    Linpack { node: String, threads: usize },
-    Iperf { from: String, to: String, mbps: f64 },
-    Kill { node: String },
+    Cluster {
+        n: usize,
+        names: Vec<String>,
+    },
+    Run {
+        seconds: f64,
+    },
+    Cat {
+        node: String,
+        path: String,
+    },
+    Ls {
+        node: String,
+        path: Option<String>,
+    },
+    Tree {
+        node: String,
+    },
+    Ctl {
+        node: String,
+        target: String,
+        text: String,
+    },
+    Linpack {
+        node: String,
+        threads: usize,
+    },
+    Iperf {
+        from: String,
+        to: String,
+        mbps: f64,
+    },
+    Kill {
+        node: String,
+    },
+    Lint {
+        source: String,
+    },
     Stats,
     Latency,
     Help,
@@ -131,6 +160,17 @@ fn parse(line: &str) -> Result<Cmd, String> {
             [node] => Ok(Cmd::Kill { node: node.into() }),
             _ => Err("usage: kill <node>".into()),
         },
+        "lint" => {
+            if rest.is_empty() {
+                return Err(
+                    "usage: lint <filter source>  (e.g. lint { output[0] = input[LOADAVG]; })"
+                        .into(),
+                );
+            }
+            Ok(Cmd::Lint {
+                source: rest.join(" "),
+            })
+        }
         "stats" => Ok(Cmd::Stats),
         "latency" => Ok(Cmd::Latency),
         "help" | "?" => Ok(Cmd::Help),
@@ -150,6 +190,7 @@ ctl <node> <target> <cmd>   write a control command (period/delta/above/
 linpack <node> <threads>    start linpack threads on a node
 iperf <from> <to> <mbps>    start a UDP flood between nodes
 kill <node>                 crash a node
+lint <filter source>        run the static verifier on an E-code filter
 stats                       per-node d-mon counters
 latency                     monitoring latency summary
 quit                        leave";
@@ -164,10 +205,18 @@ impl Shell {
     }
 
     fn node(&self, name: &str) -> Result<NodeId, String> {
-        let sim = self.sim.as_ref().ok_or("no cluster yet (try `cluster 3`)")?;
+        let sim = self
+            .sim
+            .as_ref()
+            .ok_or("no cluster yet (try `cluster 3`)")?;
         sim.world()
             .node_by_name(name)
-            .or_else(|| name.parse::<usize>().ok().filter(|&i| i < sim.world().len()).map(NodeId))
+            .or_else(|| {
+                name.parse::<usize>()
+                    .ok()
+                    .filter(|&i| i < sim.world().len())
+                    .map(NodeId)
+            })
             .ok_or_else(|| format!("unknown node `{name}`"))
     }
 
@@ -191,8 +240,7 @@ impl Shell {
                 };
                 let mut sim = ClusterSim::new(cfg);
                 sim.start();
-                let names: Vec<String> =
-                    sim.world().hosts.iter().map(|h| h.name.clone()).collect();
+                let names: Vec<String> = sim.world().hosts.iter().map(|h| h.name.clone()).collect();
                 self.sim = Some(sim);
                 Ok(Some(format!("cluster up: {}", names.join(", "))))
             }
@@ -234,13 +282,17 @@ impl Shell {
                 }
                 let sim = self.sim.as_mut().expect("checked");
                 sim.write_control(id, &target, &text);
-                Ok(Some(format!("queued for {target} (applies at its next poll)")))
+                Ok(Some(format!(
+                    "queued for {target} (applies at its next poll)"
+                )))
             }
             Cmd::Linpack { node, threads } => {
                 let id = self.node(&node)?;
                 let sim = self.sim.as_mut().expect("checked");
                 sim.start_linpack(id, threads);
-                Ok(Some(format!("{threads} linpack thread(s) running on {node}")))
+                Ok(Some(format!(
+                    "{threads} linpack thread(s) running on {node}"
+                )))
             }
             Cmd::Iperf { from, to, mbps } => {
                 let f = self.node(&from)?;
@@ -255,20 +307,25 @@ impl Shell {
                 sim.world_mut().kill_node(id);
                 Ok(Some(format!("{node} is down")))
             }
+            Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
             Cmd::Stats => match &self.sim {
                 Some(sim) => {
                     let mut out = String::new();
-                    out.push_str("node           sent    recv  ctl  filters_err  alive\n");
+                    out.push_str(
+                        "node           sent    recv  ctl  filters_err  rejected  skipped  alive\n",
+                    );
                     let w = sim.world();
                     for i in 0..w.len() {
                         let d = &w.dmons[i];
                         out.push_str(&format!(
-                            "{:<12} {:>6} {:>7} {:>4} {:>12} {:>6}\n",
+                            "{:<12} {:>6} {:>7} {:>4} {:>12} {:>9} {:>8} {:>6}\n",
                             w.hosts[i].name,
                             d.stats.events_sent,
                             d.stats.events_received,
                             d.stats.control_handled,
                             d.stats.filter_errors,
+                            d.stats.filters_rejected,
+                            d.stats.modules_skipped,
                             w.is_alive(NodeId(i)),
                         ));
                     }
@@ -296,6 +353,53 @@ impl Shell {
             },
         }
     }
+}
+
+/// Run the static verifier on filter source against the standard d-mon
+/// metric environment; the report matches what a publisher would decide
+/// at deploy time.
+fn lint_report(source: &str) -> Result<String, String> {
+    use ecode::{vm, CostBound, EnvSpec, Filter, MetricSet};
+
+    let names: Vec<&str> = dproc::modules::standard_modules()
+        .iter()
+        .map(|m| m.metric_name())
+        .collect();
+    let env = EnvSpec::new(names);
+    let filter = Filter::compile(source, &env).map_err(|e| format!("lint: compile error: {e}"))?;
+    let cert = filter.cert();
+    let mut out = String::new();
+    for d in &cert.diagnostics {
+        out.push_str(&format!("{d}\n"));
+    }
+    match &cert.cost {
+        CostBound::Bounded(n) => out.push_str(&format!(
+            "cost: at most {n} VM instructions (budget {})\n",
+            vm::DEFAULT_BUDGET
+        )),
+        CostBound::Unbounded { pos, reason } => {
+            out.push_str(&format!("cost: unbounded (at {pos}): {reason}\n"));
+        }
+    }
+    match &cert.reads {
+        MetricSet::All => out.push_str("reads: all metrics (dynamic input index)\n"),
+        MetricSet::Fixed(set) if set.is_empty() => out.push_str("reads: nothing\n"),
+        MetricSet::Fixed(set) => {
+            let names: Vec<String> = set
+                .iter()
+                .map(|&i| {
+                    env.name_of(i)
+                        .map_or_else(|| format!("#{i}"), str::to_string)
+                })
+                .collect();
+            out.push_str(&format!("reads: {}\n", names.join(", ")));
+        }
+    }
+    match filter.admission_error() {
+        None => out.push_str("verdict: admitted"),
+        Some(reason) => out.push_str(&format!("verdict: rejected — {reason}")),
+    }
+    Ok(out)
 }
 
 fn main() {
@@ -424,6 +528,26 @@ mod tests {
         // The control write installed a policy at etna.
         let sim = shell.sim.as_ref().unwrap();
         assert!(sim.world().dmons[2].policy_for(NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn lint_command_reports_verdicts() {
+        let mut shell = Shell::new();
+        // Works with no cluster: lint is purely static.
+        let ok = shell
+            .exec(parse("lint { output[0] = input[LOADAVG]; }").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(ok.contains("verdict: admitted"), "{ok}");
+        assert!(ok.contains("reads: LOADAVG"), "{ok}");
+        let bad = shell
+            .exec(parse("lint { while (1) { } }").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(bad.contains("cost: unbounded"), "{bad}");
+        assert!(bad.contains("verdict: rejected"), "{bad}");
+        // Compile errors surface as recoverable shell errors.
+        assert!(shell.exec(parse("lint { nonsense").unwrap()).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each `figN_data` function rebuilds the corresponding figure of the
 //! paper's evaluation as a [`simcore::series::Table`]; the `fig*` binaries
 //! print them. Independent configuration points run in parallel on a
-//! crossbeam pool (`simcore::parallel`), while each simulation itself
+//! scoped thread pool (`simcore::parallel`), while each simulation itself
 //! stays single-threaded and deterministic.
 
 use dproc::cluster::{ClusterConfig, ClusterSim};
@@ -32,7 +32,11 @@ pub enum MonConfig {
 impl MonConfig {
     /// All three, in the paper's legend order.
     pub fn all() -> [MonConfig; 3] {
-        [MonConfig::Period1, MonConfig::Period2, MonConfig::Differential]
+        [
+            MonConfig::Period1,
+            MonConfig::Period2,
+            MonConfig::Differential,
+        ]
     }
 
     /// Legend label.
@@ -109,9 +113,8 @@ pub fn fig4_data() -> Table {
         let results = run_sweep(points.clone(), suggested_threads(8), |n| {
             if n == 0 {
                 // No dproc at all: bare host, bare linpack.
-                let mut sim = ClusterSim::new(
-                    ClusterConfig::new(1).host_cfg(0, HostConfig::uniprocessor()),
-                );
+                let mut sim =
+                    ClusterSim::new(ClusterConfig::new(1).host_cfg(0, HostConfig::uniprocessor()));
                 sim.start_linpack(NodeId(0), 1);
                 sim.mark_linpack(NodeId(0));
                 sim.run_until(SimTime::from_secs(60));
@@ -242,9 +245,11 @@ pub fn fig9a_data(segment_s: u64, threads: usize) -> Table {
         "time_s",
     );
     let policies = stream_policies();
-    let results = run_sweep(policies.to_vec(), suggested_threads(3), move |(_, policy)| {
-        scenarios::cpu_loaded(policy, threads, segment_s)
-    });
+    let results = run_sweep(
+        policies.to_vec(),
+        suggested_threads(3),
+        move |(_, policy)| scenarios::cpu_loaded(policy, threads, segment_s),
+    );
     for ((name, _), result) in policies.iter().zip(results) {
         let mut s = Series::new(*name);
         for (t, lat) in scenarios::bucket_log(&result.stats.log, segment_s as f64 / 2.0) {
@@ -262,9 +267,11 @@ pub fn fig9b_data(segment_s: u64, threads: usize) -> Table {
         "linpack_threads",
     );
     let policies = stream_policies();
-    let results = run_sweep(policies.to_vec(), suggested_threads(3), move |(_, policy)| {
-        scenarios::cpu_loaded(policy, threads, segment_s)
-    });
+    let results = run_sweep(
+        policies.to_vec(),
+        suggested_threads(3),
+        move |(_, policy)| scenarios::cpu_loaded(policy, threads, segment_s),
+    );
     for ((name, _), result) in policies.iter().zip(results) {
         let mut s = Series::new(*name);
         for (k, rate) in &result.rate_by_threads {

@@ -111,9 +111,17 @@ mod tests {
         assert!(small > SimDur::from_micros(230));
         assert!(large > small + SimDur::from_micros(300));
         // Fig. 6 magnitude check: 7 events of ~90 B within ~1.8 ms.
-        assert!(small * 7 < SimDur::from_millis(2), "7x small = {}", small * 7);
+        assert!(
+            small * 7 < SimDur::from_millis(2),
+            "7x small = {}",
+            small * 7
+        );
         // Fig. 7: 7 events of 5 KB within ~5 ms.
-        assert!(large * 7 < SimDur::from_millis(5), "7x large = {}", large * 7);
+        assert!(
+            large * 7 < SimDur::from_millis(5),
+            "7x large = {}",
+            large * 7
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use simos::host::{Host, HostConfig};
 use simos::workload::Linpack;
 use simos::TaskId;
 
-use kecho::{ChannelId, Directory, Event, EventKind, Hop, Topology};
+use kecho::{wire, ChannelId, Directory, Event, EventKind, Hop, Topology};
 
 use crate::calib::Calib;
 use crate::dmon::DMon;
@@ -56,7 +56,7 @@ impl ClusterConfig {
 
     /// Nodes with explicit names.
     pub fn named(names: &[&str]) -> Self {
-        Self::with_names(names.iter().map(|s| s.to_string()).collect())
+        Self::with_names(names.iter().map(std::string::ToString::to_string).collect())
     }
 
     fn with_names(names: Vec<String>) -> Self {
@@ -168,8 +168,7 @@ impl ClusterWorld {
 
     /// Events per second (sent + received) a node handled recently.
     pub fn event_rate(&mut self, node: NodeId, now: SimTime) -> f64 {
-        self.event_meter[node.0].bytes(now) as f64
-            / self.event_meter[node.0].window().as_secs_f64()
+        self.event_meter[node.0].bytes(now) as f64 / self.event_meter[node.0].window().as_secs_f64()
     }
 
     /// Charge CPU time to a node's d-mon kernel thread. Charges drain
@@ -203,21 +202,18 @@ impl ClusterWorld {
             host.cpu.set_state(now, task, TaskState::Runnable);
         }
         let wall = SimDur::from_secs_f64(cost.as_secs_f64() / self.hosts[i].cpu.share());
-        sim.schedule_in(wall, move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-            w.svc_drain(sim, i);
-        });
+        sim.schedule_in(
+            wall,
+            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+                w.svc_drain(sim, i);
+            },
+        );
     }
 
     /// Send an event over the network and schedule its delivery. In the
     /// central-concentrator topology, leaf-to-leaf hops detour via the
     /// hub, which relays them onward at delivery time.
-    pub fn transmit(
-        &mut self,
-        sim: &mut Sim<ClusterWorld>,
-        mut hop: Hop,
-        ev: Event,
-        bytes: usize,
-    ) {
+    pub fn transmit(&mut self, sim: &mut Sim<ClusterWorld>, mut hop: Hop, ev: Event, bytes: usize) {
         if let Topology::Central(hub) = self.dir.topology() {
             if hop.from != hub && hop.to != hub {
                 hop = Hop {
@@ -235,9 +231,12 @@ impl ClusterWorld {
         let delivery: Delivery = self.net.send(now, hop.from, hop.to, bytes);
         let sent_at = now;
         let queued = delivery.queued;
-        sim.schedule_at(delivery.deliver_at, move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-            w.deliver(sim, hop, ev, bytes, sent_at, queued);
-        });
+        sim.schedule_at(
+            delivery.deliver_at,
+            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+                w.deliver(sim, hop, ev, bytes, sent_at, queued);
+            },
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -265,10 +264,10 @@ impl ClusterWorld {
             if to == hub {
                 if let Some(target) = ev.target {
                     if target != hub {
-                        let relay_cost =
-                            self.calib.receive_cost(bytes) + self.calib.submit_cost(bytes)
-                                + self.calib.kernel_path_recv
-                                + self.calib.kernel_path_send;
+                        let relay_cost = self.calib.receive_cost(bytes)
+                            + self.calib.submit_cost(bytes)
+                            + self.calib.kernel_path_recv
+                            + self.calib.kernel_path_send;
                         self.charge_cpu(sim, hub, relay_cost);
                         // Relay directly (not via transmit) so the final
                         // delivery keeps the original send time and the
@@ -342,8 +341,22 @@ impl ClusterWorld {
                 self.ctl_delivered += 1;
                 if let Some(msg) = ev.as_control() {
                     let calib = self.calib.clone();
-                    let cost = self.dmons[to.0].on_control(ev.sender, msg, &calib);
-                    self.charge_cpu(sim, to, cost + self.calib.kernel_path_recv);
+                    let outcome = self.dmons[to.0].on_control(ev.sender, msg, &calib);
+                    self.charge_cpu(sim, to, outcome.cpu + self.calib.kernel_path_recv);
+                    if let Some(reply) = outcome.reply {
+                        // E.g. a filter rejection travelling back to the
+                        // subscriber that tried to deploy it.
+                        let rev =
+                            self.dmons[to.0].make_control_event(self.ctl_chan, ev.sender, reply);
+                        let bytes = wire::encoded_size(&rev);
+                        let send_cost = self.calib.submit_cost(bytes) + self.calib.kernel_path_send;
+                        self.charge_cpu(sim, to, send_cost);
+                        let hop = Hop {
+                            from: to,
+                            to: ev.sender,
+                        };
+                        self.transmit(sim, hop, rev, bytes);
+                    }
                 }
             }
         }
@@ -596,7 +609,9 @@ mod tests {
         for host_idx in 0..3 {
             for name in ["alan", "maui", "etna"] {
                 assert!(
-                    w.hosts[host_idx].proc.exists(&format!("cluster/{name}/cpu")),
+                    w.hosts[host_idx]
+                        .proc
+                        .exists(&format!("cluster/{name}/cpu")),
                     "host {host_idx} missing cluster/{name}/cpu"
                 );
             }
@@ -667,11 +682,27 @@ mod tests {
     }
 
     #[test]
+    fn filter_rejection_travels_back_to_subscriber() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(2));
+        sim.start();
+        sim.run_until(SimTime::from_secs(2));
+        sim.write_control(NodeId(1), "node0", "filter { while (1) { } }");
+        sim.run_until(SimTime::from_secs(6));
+        // The publisher refused the filter and never installed it...
+        assert!(!sim.world().dmons[0].has_filter(NodeId(1)));
+        assert_eq!(sim.world().dmons[0].stats.filters_rejected, 1);
+        // ...and the subscriber learned why, over the control channel.
+        let reason = sim.world().dmons[1]
+            .filter_rejection(NodeId(0))
+            .expect("rejection reply delivered");
+        assert!(reason.contains("unbounded"), "reason: {reason}");
+    }
+
+    #[test]
     fn linpack_feels_monitoring_load() {
         // One node, no monitoring traffic: full speed.
-        let mut quiet = ClusterSim::new(
-            ClusterConfig::new(1).host_cfg(0, HostConfig::uniprocessor()),
-        );
+        let mut quiet =
+            ClusterSim::new(ClusterConfig::new(1).host_cfg(0, HostConfig::uniprocessor()));
         quiet.start();
         quiet.start_linpack(NodeId(0), 1);
         quiet.mark_linpack(NodeId(0));
@@ -679,9 +710,8 @@ mod tests {
         let mflops_quiet = quiet.linpack_mflops(NodeId(0));
 
         // Eight nodes: node 0 handles 7 incoming + 7 outgoing events/s.
-        let mut busy = ClusterSim::new(
-            ClusterConfig::new(8).host_cfg(0, HostConfig::uniprocessor()),
-        );
+        let mut busy =
+            ClusterSim::new(ClusterConfig::new(8).host_cfg(0, HostConfig::uniprocessor()));
         busy.start();
         busy.start_linpack(NodeId(0), 1);
         busy.mark_linpack(NodeId(0));

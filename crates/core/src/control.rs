@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn nofilter_and_clear_and_window() {
-        assert_eq!(parse_control("nofilter").unwrap().msg, ControlMsg::RemoveFilter);
+        assert_eq!(
+            parse_control("nofilter").unwrap().msg,
+            ControlMsg::RemoveFilter
+        );
         let d = parse_control("clear cpu").unwrap();
         assert!(matches!(d.msg, ControlMsg::SetParam { ref metric, .. } if metric == "clear:cpu"));
         let d = parse_control("window cpu 5").unwrap();

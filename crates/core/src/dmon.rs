@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use ecode::{EnvSpec, Filter, MetricRecord};
+use ecode::{EnvSpec, Filter, MetricRecord, MetricSet};
 use kecho::{
     ChannelId, ControlMsg, Directory, Event, Hop, MonRecord, MonitoringPayload, ParamSpec,
 };
@@ -47,6 +47,12 @@ pub struct DmonStats {
     pub control_handled: u64,
     /// Filter deployments that failed to compile.
     pub filter_errors: u64,
+    /// Filter deployments that compiled but were refused by the static
+    /// verifier (unbounded or over-budget worst-case cost).
+    pub filters_rejected: u64,
+    /// Module samplings skipped because no subscriber's stream could
+    /// consume the metric (read-set-driven sampling).
+    pub modules_skipped: u64,
     /// Malformed control-file writes.
     pub control_errors: u64,
     /// Per-iteration event-submission CPU cost in microseconds (what the
@@ -69,6 +75,24 @@ pub struct PollOutcome {
     /// collection + policy/filter evaluation + submission handlers +
     /// kernel network path).
     pub cpu_cost: SimDur,
+}
+
+/// What handling one control message wants the glue to do.
+#[derive(Debug)]
+pub struct ControlOutcome {
+    /// CPU cost of the handler (compilation is expensive; parameter
+    /// updates are cheap).
+    pub cpu: SimDur,
+    /// A message to send back to the originator — e.g.
+    /// [`ControlMsg::FilterRejected`] when a deployment fails the static
+    /// verifier.
+    pub reply: Option<ControlMsg>,
+}
+
+impl ControlOutcome {
+    fn cost(cpu: SimDur) -> Self {
+        ControlOutcome { cpu, reply: None }
+    }
 }
 
 /// The d-mon module of one node.
@@ -96,6 +120,9 @@ pub struct DMon {
     /// Number of modules present at construction (the cluster-wide
     /// standard set); ids beyond this need schema info on the wire.
     base_modules: usize,
+    /// Why a remote publisher last refused this node's filter, keyed by
+    /// publisher (populated by incoming [`ControlMsg::FilterRejected`]).
+    rejections: HashMap<NodeId, String>,
     seq: u64,
     /// Self-observability.
     pub stats: DmonStats,
@@ -125,6 +152,7 @@ impl DMon {
             remote_values: HashMap::new(),
             remote_ext: HashMap::new(),
             base_modules,
+            rejections: HashMap::new(),
             seq: 0,
             stats: DmonStats::default(),
         }
@@ -223,6 +251,29 @@ impl DMon {
         self.filters.contains_key(&subscriber)
     }
 
+    /// The deployed filter of a subscriber, certificate included.
+    pub fn filter_for(&self, subscriber: NodeId) -> Option<&Filter> {
+        self.filters.get(&subscriber)
+    }
+
+    /// Why `publisher` last refused this node's filter deployment, if it
+    /// did (cleared by a subsequent successful deployment).
+    pub fn filter_rejection(&self, publisher: NodeId) -> Option<&str> {
+        self.rejections.get(&publisher).map(String::as_str)
+    }
+
+    /// Build a targeted control event from this node (allocates the next
+    /// sequence number).
+    pub fn make_control_event(
+        &mut self,
+        ctl_chan: ChannelId,
+        target: NodeId,
+        msg: ControlMsg,
+    ) -> Event {
+        self.seq += 1;
+        Event::control(ctl_chan.0, self.seq, self.node, target, msg)
+    }
+
     /// One polling iteration at `now`: collect, decide, build events.
     /// Also drains pending `/proc` control-file writes on this host into
     /// outgoing control events (that is how applications reach remote
@@ -239,16 +290,28 @@ impl DMon {
         let mut cpu = SimDur::ZERO;
         let mut sends: Vec<(Hop, Event, usize)> = Vec::new();
 
-        // 1. Collect one sample per module and refresh local /proc views.
-        let mut samples = Vec::with_capacity(self.modules.len());
+        // 1. Collect one sample per module some subscriber can actually
+        // consume (certified filter read sets prove the rest unread) and
+        // refresh local /proc views.
+        let needed = self.needed_modules(dir, mon_chan);
+        let mut samples: Vec<Option<crate::modules::Sample>> =
+            Vec::with_capacity(self.modules.len());
         let own_name = self.cluster_names[self.node.0].clone();
-        for module in &mut self.modules {
+        for (module, &need) in self.modules.iter_mut().zip(&needed) {
+            if !need {
+                self.stats.modules_skipped += 1;
+                samples.push(None);
+                continue;
+            }
             let sample = module.collect(host, now);
             cpu += calib.collect_per_module;
             host.proc
-                .set(&format!("cluster/{own_name}/{}", module.file_name()), sample.detail.clone())
+                .set(
+                    &format!("cluster/{own_name}/{}", module.file_name()),
+                    sample.detail.clone(),
+                )
                 .expect("own cluster path");
-            samples.push(sample);
+            samples.push(Some(sample));
         }
         host.proc
             .set(&format!("cluster/{own_name}/control"), "")
@@ -304,7 +367,14 @@ impl DMon {
             self.stats.events_sent += 1;
             self.stats.bytes_sent += bytes as u64;
             self.stats.submit_cost_partial(handler);
-            sends.push((Hop { from: self.node, to: sub }, ev, bytes));
+            sends.push((
+                Hop {
+                    from: self.node,
+                    to: sub,
+                },
+                ev,
+                bytes,
+            ));
         }
 
         // 3. Drain application control-file writes into control events.
@@ -330,11 +400,42 @@ impl DMon {
         }
     }
 
+    /// Which modules at least one remote subscriber's stream can consume.
+    /// A subscriber with a certified filter consumes exactly the filter's
+    /// read set; any other subscriber (parameter rules or defaults)
+    /// receives every metric. With no remote subscribers everything is
+    /// collected so local `/proc` views stay fresh.
+    fn needed_modules(&self, dir: &Directory, mon_chan: ChannelId) -> Vec<bool> {
+        let n = self.modules.len();
+        let mut any_remote = false;
+        let mut needed = vec![false; n];
+        for sub in dir.subscribers(mon_chan) {
+            if sub == self.node {
+                continue;
+            }
+            any_remote = true;
+            match self.filters.get(&sub).map(|f| &f.cert().reads) {
+                Some(MetricSet::Fixed(set)) => {
+                    for &i in set {
+                        if i < n {
+                            needed[i] = true;
+                        }
+                    }
+                }
+                Some(MetricSet::All) | None => return vec![true; n],
+            }
+        }
+        if !any_remote {
+            return vec![true; n];
+        }
+        needed
+    }
+
     /// Decide which metric records to send to one subscriber.
     fn select_records(
         &mut self,
         sub: NodeId,
-        samples: &[crate::modules::Sample],
+        samples: &[Option<crate::modules::Sample>],
         now: SimTime,
         calib: &Calib,
         cpu: &mut SimDur,
@@ -347,7 +448,10 @@ impl DMon {
         };
 
         if let Some(filter) = self.filters.get(&sub) {
-            // A deployed filter takes over the decision entirely.
+            // A deployed filter takes over the decision entirely. Skipped
+            // slots get a zero placeholder: a module is only skipped when
+            // every deployed filter's certificate proves it unread, so the
+            // placeholder is unobservable.
             let inputs: Vec<MetricRecord> = samples
                 .iter()
                 .enumerate()
@@ -359,7 +463,7 @@ impl DMon {
                         .unwrap_or(0.0);
                     MetricRecord {
                         id: i as u32,
-                        value: s.value,
+                        value: s.as_ref().map_or(0.0, |s| s.value),
                         last_value_sent: last,
                         timestamp: now.as_secs_f64(),
                     }
@@ -389,6 +493,9 @@ impl DMon {
             let policy = self.policies.get(&sub);
             let mut records = Vec::new();
             for (i, (sample, module)) in samples.iter().zip(&self.modules).enumerate() {
+                // Policy-driven subscribers force every module to be
+                // sampled; `None` only defends against future callers.
+                let Some(sample) = sample else { continue };
                 let (last_value, last_at) = self
                     .last_sent
                     .get(&(sub, i as u32))
@@ -402,7 +509,8 @@ impl DMon {
                 };
                 let admit = match policy {
                     Some(p) => {
-                        *cpu += calib.policy_eval * (p.rule_count(module.metric_name()).max(1) as u64);
+                        *cpu +=
+                            calib.policy_eval * (p.rule_count(module.metric_name()).max(1) as u64);
                         p.decide(module.metric_name(), &ctx)
                     }
                     None => {
@@ -447,7 +555,12 @@ impl DMon {
             directive.msg
         };
         if target == self.node {
-            self.on_control(self.node, &msg, calib);
+            let outcome = self.on_control(self.node, &msg, calib);
+            if let Some(reply) = outcome.reply {
+                // Self-directed control short-circuits the wire, so any
+                // rejection reply is applied locally too.
+                self.on_control(self.node, &reply, calib);
+            }
             return Ok(None);
         }
         self.seq += 1;
@@ -482,7 +595,8 @@ impl DMon {
                 .insert((origin, *id), (metric.clone(), file.clone()));
         }
         for r in &payload.records {
-            self.remote_values.insert((origin, r.metric_id), (r.value, now));
+            self.remote_values
+                .insert((origin, r.metric_id), (r.value, now));
             let file: &str = if (r.metric_id as usize) < self.base_modules {
                 self.modules
                     .get(r.metric_id as usize)
@@ -516,8 +630,8 @@ impl DMon {
 
     /// Handle an incoming control event sent by subscriber `from`.
     /// Returns the CPU cost (compilation is expensive; parameter updates
-    /// are cheap).
-    pub fn on_control(&mut self, from: NodeId, msg: &ControlMsg, calib: &Calib) -> SimDur {
+    /// are cheap) plus an optional reply for the glue to send back.
+    pub fn on_control(&mut self, from: NodeId, msg: &ControlMsg, calib: &Calib) -> ControlOutcome {
         self.stats.control_handled += 1;
         match msg {
             ControlMsg::SetParam { metric, param } => {
@@ -529,7 +643,7 @@ impl DMon {
                         .map(|m| m.metric_name().to_string())
                         .unwrap_or_else(|| rest.to_string());
                     self.policies.entry(from).or_default().clear_metric(&name);
-                    return calib.policy_eval;
+                    return ControlOutcome::cost(calib.policy_eval);
                 }
                 if let Some(rest) = metric.strip_prefix("window:") {
                     let window = match param {
@@ -541,7 +655,7 @@ impl DMon {
                             m.set_window(window);
                         }
                     }
-                    return calib.policy_eval;
+                    return ControlOutcome::cost(calib.policy_eval);
                 }
                 let (metric, additive) = match metric.strip_prefix("and:") {
                     Some(rest) => (rest, true),
@@ -564,24 +678,41 @@ impl DMon {
                 } else {
                     policy.set_rule(metric, rule);
                 }
-                calib.policy_eval
+                ControlOutcome::cost(calib.policy_eval)
             }
             ControlMsg::DeployFilter { source } => {
                 match Filter::compile(source, &self.env) {
                     Ok(f) => {
+                        // Admission control: a filter only runs if the static
+                        // verifier produced a finite worst-case instruction
+                        // bound that fits the VM budget. A rejected filter is
+                        // never installed (any previously deployed filter
+                        // stays in force) and the subscriber is told why.
+                        if let Some(reason) = f.admission_error() {
+                            self.stats.filters_rejected += 1;
+                            return ControlOutcome {
+                                cpu: calib.filter_compile,
+                                reply: Some(ControlMsg::FilterRejected { reason }),
+                            };
+                        }
                         self.filters.insert(from, f);
                     }
                     Err(_) => {
                         self.stats.filter_errors += 1;
                     }
                 }
-                calib.filter_compile
+                ControlOutcome::cost(calib.filter_compile)
             }
             ControlMsg::RemoveFilter => {
                 self.filters.remove(&from);
-                calib.policy_eval
+                ControlOutcome::cost(calib.policy_eval)
             }
-            ControlMsg::Announce => SimDur::ZERO,
+            ControlMsg::Announce => ControlOutcome::cost(SimDur::ZERO),
+            ControlMsg::FilterRejected { reason } => {
+                // We are the subscriber: a publisher refused our filter.
+                self.rejections.insert(from, reason.clone());
+                ControlOutcome::cost(calib.policy_eval)
+            }
         }
     }
 }
@@ -652,9 +783,17 @@ mod tests {
     fn poll_updates_own_proc_tree() {
         let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
         dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
-        assert!(host.proc.read("cluster/alan/cpu").unwrap().contains("loadavg"));
+        assert!(host
+            .proc
+            .read("cluster/alan/cpu")
+            .unwrap()
+            .contains("loadavg"));
         assert!(host.proc.exists("cluster/alan/control"));
-        assert!(host.proc.read("cluster/alan/mem").unwrap().contains("free_bytes"));
+        assert!(host
+            .proc
+            .read("cluster/alan/mem")
+            .unwrap()
+            .contains("free_bytes"));
     }
 
     #[test]
@@ -724,8 +863,16 @@ mod tests {
         host.cpu.spawn_compute(SimTime::from_secs(1), "c");
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(100), &calib);
         assert_eq!(out.sends.len(), 2);
-        let to1 = out.sends.iter().find(|(h, _, _)| h.to == NodeId(1)).unwrap();
-        assert_eq!(to1.1.as_monitoring().unwrap().records.len(), 1, "filtered to LOADAVG");
+        let to1 = out
+            .sends
+            .iter()
+            .find(|(h, _, _)| h.to == NodeId(1))
+            .unwrap();
+        assert_eq!(
+            to1.1.as_monitoring().unwrap().records.len(),
+            1,
+            "filtered to LOADAVG"
+        );
     }
 
     #[test]
@@ -742,6 +889,149 @@ mod tests {
         assert!(!dmon.has_filter(NodeId(1)));
         // RemoveFilter on nothing is fine.
         dmon.on_control(NodeId(1), &ControlMsg::RemoveFilter, &calib);
+    }
+
+    #[test]
+    fn unbounded_filter_rejected_before_reaching_vm() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        let out = dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: "{ while (1) { } }".into(),
+            },
+            &calib,
+        );
+        assert_eq!(dmon.stats.filters_rejected, 1);
+        assert_eq!(
+            dmon.stats.filter_errors, 0,
+            "it compiles; the verifier refused it"
+        );
+        assert!(
+            !dmon.has_filter(NodeId(1)),
+            "rejected filter never installed"
+        );
+        let Some(ControlMsg::FilterRejected { reason }) = out.reply else {
+            panic!("expected a FilterRejected reply, got {:?}", out.reply);
+        };
+        assert!(reason.contains("unbounded"), "reason: {reason}");
+    }
+
+    #[test]
+    fn rejected_filter_keeps_previously_deployed_one() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: "{ if (input[LOADAVG].value > 2.0) { output[0] = input[LOADAVG]; } }"
+                    .into(),
+            },
+            &calib,
+        );
+        assert!(dmon.has_filter(NodeId(1)));
+        let old_reads = dmon.filter_for(NodeId(1)).unwrap().cert().reads.clone();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: "{ int i; for (i = 0; 1; i = i + 0) { } }".into(),
+            },
+            &calib,
+        );
+        assert_eq!(dmon.stats.filters_rejected, 1);
+        assert!(dmon.has_filter(NodeId(1)), "old filter stays in force");
+        assert_eq!(dmon.filter_for(NodeId(1)).unwrap().cert().reads, old_reads);
+    }
+
+    #[test]
+    fn fig3_filter_certifies_and_deploys() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        let out = dmon.on_control(
+            NodeId(1),
+            &ControlMsg::DeployFilter {
+                source: ecode::FIG3_SOURCE.into(),
+            },
+            &calib,
+        );
+        assert!(out.reply.is_none());
+        assert_eq!(dmon.stats.filters_rejected, 0);
+        assert!(dmon.has_filter(NodeId(1)));
+        let cert = dmon.filter_for(NodeId(1)).unwrap().cert();
+        assert!(cert.is_certified());
+        assert!(cert.bound().unwrap() <= ecode::vm::DEFAULT_BUDGET);
+    }
+
+    #[test]
+    fn readset_skips_modules_no_subscriber_consumes() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Both remote subscribers deploy filters whose certified read set
+        // is exactly {LOADAVG} — the other four modules are provably
+        // unread, so d-mon must not sample them.
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: "{ output[0] = input[LOADAVG]; }".into(),
+                },
+                &calib,
+            );
+        }
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.stats.modules_skipped, 4, "mem/disk/net/pmc skipped");
+        assert!(
+            host.proc.exists("cluster/alan/cpu"),
+            "consumed module still sampled"
+        );
+        assert!(
+            !host.proc.exists("cluster/alan/mem"),
+            "unread module never collected"
+        );
+        assert!(!host.proc.exists("cluster/alan/pmc"));
+        // The streams themselves still flow.
+        assert_eq!(out.sends.len(), 2);
+        for (_, ev, _) in &out.sends {
+            let recs = &ev.as_monitoring().unwrap().records;
+            assert_eq!(recs.len(), 1);
+            assert_eq!(recs[0].metric_id, 0);
+        }
+        // Removing one filter widens the need back to everything.
+        dmon.on_control(NodeId(2), &ControlMsg::RemoveFilter, &calib);
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(2), &calib);
+        assert_eq!(
+            dmon.stats.modules_skipped, 4,
+            "no new skips once a default subscriber exists"
+        );
+        assert!(host.proc.exists("cluster/alan/mem"));
+    }
+
+    #[test]
+    fn dynamic_read_filter_keeps_all_modules_sampled() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    // Dynamic input index => read set is All.
+                    source: "{ int i; i = 2; output[0] = input[i]; }".into(),
+                },
+                &calib,
+            );
+        }
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.stats.modules_skipped, 0);
+    }
+
+    #[test]
+    fn self_deploy_rejection_recorded_locally() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        host.proc.set("cluster/alan/control", "").unwrap();
+        host.proc
+            .write("cluster/alan/control", "filter { while (1) { } }")
+            .unwrap();
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.stats.filters_rejected, 1);
+        let reason = dmon
+            .filter_rejection(NodeId(0))
+            .expect("self rejection recorded");
+        assert!(reason.contains("unbounded"));
     }
 
     #[test]
@@ -780,7 +1070,9 @@ mod tests {
         // appear on first received event; create manually as the app would
         // find them after an event.
         host.proc.set("cluster/maui/control", "").unwrap();
-        host.proc.write("cluster/maui/control", "period cpu 2").unwrap();
+        host.proc
+            .write("cluster/maui/control", "period cpu 2")
+            .unwrap();
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
         let ctl_sends: Vec<_> = out
             .sends
@@ -802,7 +1094,9 @@ mod tests {
     fn control_write_to_self_applies_locally() {
         let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
         host.proc.set("cluster/alan/control", "").unwrap();
-        host.proc.write("cluster/alan/control", "window cpu 5").unwrap();
+        host.proc
+            .write("cluster/alan/control", "window cpu 5")
+            .unwrap();
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
         assert!(out.sends.iter().all(|(_, ev, _)| ev.as_control().is_none()));
         assert_eq!(dmon.stats.control_handled, 1);
@@ -812,7 +1106,9 @@ mod tests {
     fn malformed_control_write_counts_error() {
         let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
         host.proc.set("cluster/maui/control", "").unwrap();
-        host.proc.write("cluster/maui/control", "gibberish").unwrap();
+        host.proc
+            .write("cluster/maui/control", "gibberish")
+            .unwrap();
         dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
         assert_eq!(dmon.stats.control_errors, 1);
     }

@@ -180,7 +180,7 @@ impl MonitorModule for NetMon {
                     id.local,
                     id.remote,
                     id.tag,
-                    st.rtt().map(|r| r.as_micros()).unwrap_or(0),
+                    st.rtt().map(simcore::SimDur::as_micros).unwrap_or(0),
                     st.retransmissions(),
                     st.losses()
                 )
@@ -326,15 +326,20 @@ mod tests {
         h.mem.alloc("x", 64 * 1024 * 1024);
         let after = m.collect(&mut h, SimTime::ZERO).value;
         assert_eq!(before - after, (64 * 1024 * 1024) as f64);
-        assert!(m.collect(&mut h, SimTime::ZERO).detail.contains("free_pages"));
+        assert!(m
+            .collect(&mut h, SimTime::ZERO)
+            .detail
+            .contains("free_pages"));
     }
 
     #[test]
     fn disk_mon_counts_window_sectors() {
         let mut h = host();
         let mut m = DiskMon;
-        h.disk.submit(SimTime::ZERO, simos::disk::IoDir::Write, 512 * 20);
-        h.disk.submit(SimTime::ZERO, simos::disk::IoDir::Read, 512 * 5);
+        h.disk
+            .submit(SimTime::ZERO, simos::disk::IoDir::Write, 512 * 20);
+        h.disk
+            .submit(SimTime::ZERO, simos::disk::IoDir::Read, 512 * 5);
         let s = m.collect(&mut h, SimTime::from_millis(100));
         assert_eq!(s.value, 25.0);
         // window slides off

@@ -101,7 +101,10 @@ impl PolicySet {
         if metric == "*" {
             self.wildcard.push(rule);
         } else {
-            self.per_metric.entry(metric.to_string()).or_default().push(rule);
+            self.per_metric
+                .entry(metric.to_string())
+                .or_default()
+                .push(rule);
         }
     }
 
@@ -142,7 +145,7 @@ impl PolicySet {
 
     /// True if no rules are configured at all.
     pub fn is_empty(&self) -> bool {
-        self.wildcard.is_empty() && self.per_metric.values().all(|v| v.is_empty())
+        self.wildcard.is_empty() && self.per_metric.values().all(std::vec::Vec::is_empty)
     }
 }
 
@@ -184,7 +187,10 @@ mod tests {
         p.set_rule("*", Rule::DeltaFraction(0.15));
         assert!(!p.decide("cpu", &ctx(1.10, 1.0, Some(0), 1)), "10% < 15%");
         assert!(p.decide("cpu", &ctx(1.20, 1.0, Some(0), 1)), "20% > 15%");
-        assert!(p.decide("cpu", &ctx(0.80, 1.0, Some(0), 1)), "drop counts too");
+        assert!(
+            p.decide("cpu", &ctx(0.80, 1.0, Some(0), 1)),
+            "drop counts too"
+        );
         // zero last value: any change admits, no change rejects
         assert!(p.decide("cpu", &ctx(0.01, 0.0, None, 1)));
         assert!(!p.decide("cpu", &ctx(0.0, 0.0, None, 1)));
@@ -227,10 +233,19 @@ mod tests {
         let mut p = PolicySet::new();
         p.set_rule("*", Rule::Above(100.0));
         p.set_rule("cpu", Rule::Above(1.0));
-        assert!(p.decide("cpu", &ctx(2.0, 0.0, None, 0)), "cpu uses own rule");
-        assert!(!p.decide("mem", &ctx(2.0, 0.0, None, 0)), "mem falls to wildcard");
+        assert!(
+            p.decide("cpu", &ctx(2.0, 0.0, None, 0)),
+            "cpu uses own rule"
+        );
+        assert!(
+            !p.decide("mem", &ctx(2.0, 0.0, None, 0)),
+            "mem falls to wildcard"
+        );
         p.clear_metric("cpu");
-        assert!(!p.decide("cpu", &ctx(2.0, 0.0, None, 0)), "back to wildcard");
+        assert!(
+            !p.decide("cpu", &ctx(2.0, 0.0, None, 0)),
+            "back to wildcard"
+        );
     }
 
     #[test]
@@ -253,8 +268,14 @@ mod tests {
             Rule::from_spec(ParamSpec::DeltaFraction { fraction: 0.15 }),
             Rule::DeltaFraction(0.15)
         );
-        assert_eq!(Rule::from_spec(ParamSpec::Above { bound: 1.0 }), Rule::Above(1.0));
-        assert_eq!(Rule::from_spec(ParamSpec::Below { bound: 1.0 }), Rule::Below(1.0));
+        assert_eq!(
+            Rule::from_spec(ParamSpec::Above { bound: 1.0 }),
+            Rule::Above(1.0)
+        );
+        assert_eq!(
+            Rule::from_spec(ParamSpec::Below { bound: 1.0 }),
+            Rule::Below(1.0)
+        );
         assert_eq!(
             Rule::from_spec(ParamSpec::Range { lo: 1.0, hi: 2.0 }),
             Rule::Range(1.0, 2.0)

@@ -1,0 +1,271 @@
+//! Control-flow graph construction over the resolved IR.
+//!
+//! The IR is structured (no `goto`), so the CFG is built by a single
+//! recursive lowering: statements become [`Atom`]s (read/write/emit
+//! events with positions) grouped into basic blocks, and `if`/loops/
+//! `break`/`continue`/`return` become edges. Conditions that are literal
+//! constants prune their dead edge at construction time, which is what
+//! lets the reachability pass see through `while (1) { }` and `if (0)`.
+
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
+use crate::token::Pos;
+
+/// One dataflow-relevant event inside a basic block.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    /// Source position of the originating statement or expression.
+    pub pos: Pos,
+    /// Local slots read.
+    pub reads: Vec<u16>,
+    /// Local slot written, with the `synthetic` flag of the store.
+    pub write: Option<(u16, bool)>,
+    /// True for `output[i] = input[j];`.
+    pub emits: bool,
+}
+
+/// A basic block: straight-line atoms plus successor edges.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Events in execution order.
+    pub atoms: Vec<Atom>,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// The graph. Block 0 is the entry; [`Cfg::exit`] is the single exit.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All blocks, indexed by id.
+    pub blocks: Vec<Block>,
+    /// Exit block id.
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Build the CFG of a resolved program.
+    pub fn build(prog: &RProgram) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![Block::default(), Block::default()],
+            cur: 0,
+            loops: Vec::new(),
+        };
+        let exit = 1;
+        b.stmts(&prog.body);
+        b.edge(b.cur, exit);
+        Cfg {
+            blocks: b.blocks,
+            exit,
+        }
+    }
+
+    /// Block ids reachable from the entry.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack = vec![0usize];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id], true) {
+                continue;
+            }
+            stack.extend(self.blocks[id].succs.iter().copied());
+        }
+        seen
+    }
+
+    /// Predecessor lists for every block.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (id, block) in self.blocks.iter().enumerate() {
+            for &s in &block.succs {
+                preds[s].push(id);
+            }
+        }
+        preds
+    }
+}
+
+/// Truthiness of a condition that is a literal constant.
+fn const_truthy(e: &RExpr) -> Option<bool> {
+    match e.kind {
+        RExprKind::ConstI(v) => Some(v != 0),
+        RExprKind::ConstF(v) => Some(v != 0.0),
+        _ => None,
+    }
+}
+
+/// Collect every local slot read by an expression.
+pub fn expr_reads(e: &RExpr, out: &mut Vec<u16>) {
+    match &e.kind {
+        RExprKind::ConstI(_) | RExprKind::ConstF(_) => {}
+        RExprKind::Local(slot) => out.push(*slot),
+        RExprKind::InputField(index, _) => expr_reads(index, out),
+        RExprKind::Binary(_, l, r) => {
+            expr_reads(l, out);
+            expr_reads(r, out);
+        }
+        RExprKind::Unary(_, inner) => expr_reads(inner, out),
+    }
+}
+
+struct Builder {
+    blocks: Vec<Block>,
+    cur: usize,
+    /// (continue target, break target) per enclosing loop.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        self.blocks[from].succs.push(to);
+    }
+
+    fn push_atom(&mut self, atom: Atom) {
+        self.blocks[self.cur].atoms.push(atom);
+    }
+
+    fn read_atom(&mut self, pos: Pos, exprs: &[&RExpr]) {
+        let mut reads = Vec::new();
+        for e in exprs {
+            expr_reads(e, &mut reads);
+        }
+        self.push_atom(Atom {
+            pos,
+            reads,
+            write: None,
+            emits: false,
+        });
+    }
+
+    fn stmts(&mut self, stmts: &[RStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &RStmt) {
+        match &stmt.kind {
+            RStmtKind::Store {
+                slot,
+                value,
+                synthetic,
+                ..
+            } => {
+                let mut reads = Vec::new();
+                expr_reads(value, &mut reads);
+                self.push_atom(Atom {
+                    pos: stmt.pos,
+                    reads,
+                    write: Some((*slot, *synthetic)),
+                    emits: false,
+                });
+            }
+            RStmtKind::OutputRecord { index, input_index } => {
+                let mut reads = Vec::new();
+                expr_reads(index, &mut reads);
+                expr_reads(input_index, &mut reads);
+                self.push_atom(Atom {
+                    pos: stmt.pos,
+                    reads,
+                    write: None,
+                    emits: true,
+                });
+            }
+            RStmtKind::OutputField { index, value, .. } => {
+                self.read_atom(stmt.pos, &[index, value]);
+            }
+            RStmtKind::If { cond, then, else_ } => {
+                self.read_atom(cond.pos, &[cond]);
+                let from = self.cur;
+                let then_b = self.new_block();
+                let else_b = self.new_block();
+                let join = self.new_block();
+                match const_truthy(cond) {
+                    Some(true) => self.edge(from, then_b),
+                    Some(false) => self.edge(from, else_b),
+                    None => {
+                        self.edge(from, then_b);
+                        self.edge(from, else_b);
+                    }
+                }
+                self.cur = then_b;
+                self.stmts(then);
+                self.edge(self.cur, join);
+                self.cur = else_b;
+                self.stmts(else_);
+                self.edge(self.cur, join);
+                self.cur = join;
+            }
+            RStmtKind::Loop {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                let check = self.new_block();
+                let body_b = self.new_block();
+                let step_b = self.new_block();
+                let exit_b = self.new_block();
+                self.edge(self.cur, check);
+                self.cur = check;
+                match cond {
+                    Some(c) => {
+                        self.read_atom(c.pos, &[c]);
+                        match const_truthy(c) {
+                            Some(true) => self.edge(check, body_b),
+                            Some(false) => self.edge(check, exit_b),
+                            None => {
+                                self.edge(check, body_b);
+                                self.edge(check, exit_b);
+                            }
+                        }
+                    }
+                    None => self.edge(check, body_b),
+                }
+                self.cur = body_b;
+                self.loops.push((step_b, exit_b));
+                self.stmts(body);
+                self.loops.pop();
+                self.edge(self.cur, step_b);
+                self.cur = step_b;
+                if let Some(step) = step {
+                    self.stmt(step);
+                }
+                self.edge(self.cur, check);
+                self.cur = exit_b;
+            }
+            RStmtKind::Return(value) => {
+                if let Some(v) = value {
+                    self.read_atom(stmt.pos, &[v]);
+                } else {
+                    self.read_atom(stmt.pos, &[]);
+                }
+                // Exit is always block 1; anything after is unreachable.
+                self.edge(self.cur, 1);
+                self.cur = self.new_block();
+            }
+            RStmtKind::Break => {
+                let (_, brk) = *self.loops.last().expect("break outside loop survived sema");
+                self.read_atom(stmt.pos, &[]);
+                self.edge(self.cur, brk);
+                self.cur = self.new_block();
+            }
+            RStmtKind::Continue => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .expect("continue outside loop survived sema");
+                self.read_atom(stmt.pos, &[]);
+                self.edge(self.cur, cont);
+                self.cur = self.new_block();
+            }
+            RStmtKind::Block(stmts) => self.stmts(stmts),
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! CFG-based dataflow lints: use-before-init (reaching synthetic
+//! definitions), unreachable code, dead stores (backward liveness), and
+//! never-emits.
+
+use std::collections::BTreeSet;
+
+use super::cfg::Cfg;
+use super::{Diagnostic, LintKind, Severity};
+use crate::sema::RProgram;
+use crate::token::Pos;
+
+/// Run every dataflow lint and collect the findings.
+pub fn lint(prog: &RProgram, cfg: &Cfg) -> Vec<Diagnostic> {
+    let reachable = cfg.reachable();
+    let mut diags = Vec::new();
+    unreachable_code(cfg, &reachable, &mut diags);
+    use_before_init(prog, cfg, &reachable, &mut diags);
+    dead_stores(prog, cfg, &reachable, &mut diags);
+    never_emits(cfg, &reachable, &mut diags);
+    diags
+}
+
+fn slot_name(prog: &RProgram, slot: u16) -> &str {
+    prog.slot_names
+        .get(slot as usize)
+        .map(String::as_str)
+        .unwrap_or("?")
+}
+
+/// Report the frontier of unreachable blocks: unreachable, non-empty,
+/// and with no unreachable predecessor (so one region = one report).
+fn unreachable_code(cfg: &Cfg, reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+    let preds = cfg.preds();
+    for (id, block) in cfg.blocks.iter().enumerate() {
+        if reachable[id] || block.atoms.is_empty() {
+            continue;
+        }
+        if preds[id]
+            .iter()
+            .any(|&p| !reachable[p] && !cfg.blocks[p].atoms.is_empty())
+        {
+            continue;
+        }
+        diags.push(Diagnostic {
+            pos: block.atoms[0].pos,
+            kind: LintKind::UnreachableCode,
+            severity: Severity::Warning,
+            message: "statement can never execute".to_string(),
+        });
+    }
+}
+
+/// Forward may-analysis: which slots still hold their implicit zero
+/// (their *synthetic* store is a reaching definition). A read of such a
+/// slot is a use-before-init.
+fn use_before_init(prog: &RProgram, cfg: &Cfg, reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    let mut out: Vec<BTreeSet<u16>> = vec![BTreeSet::new(); n];
+    let transfer = |input: &BTreeSet<u16>, id: usize| -> BTreeSet<u16> {
+        let mut state = input.clone();
+        for atom in &cfg.blocks[id].atoms {
+            if let Some((slot, synthetic)) = atom.write {
+                if synthetic {
+                    state.insert(slot);
+                } else {
+                    state.remove(&slot);
+                }
+            }
+        }
+        state
+    };
+    let preds = cfg.preds();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            if !reachable[id] {
+                continue;
+            }
+            let mut input = BTreeSet::new();
+            for &p in &preds[id] {
+                input.extend(out[p].iter().copied());
+            }
+            let new_out = transfer(&input, id);
+            if new_out != out[id] {
+                out[id] = new_out;
+                changed = true;
+            }
+        }
+    }
+    // Final pass: walk each reachable block from its in-state and flag
+    // reads of still-synthetic slots.
+    for id in 0..n {
+        if !reachable[id] {
+            continue;
+        }
+        let mut state = BTreeSet::new();
+        for &p in &preds[id] {
+            state.extend(out[p].iter().copied());
+        }
+        for atom in &cfg.blocks[id].atoms {
+            for &slot in &atom.reads {
+                if state.contains(&slot) {
+                    diags.push(Diagnostic {
+                        pos: atom.pos,
+                        kind: LintKind::UseBeforeInit,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "variable `{}` may be read before it is assigned (it still holds the implicit zero)",
+                            slot_name(prog, slot)
+                        ),
+                    });
+                }
+            }
+            if let Some((slot, synthetic)) = atom.write {
+                if synthetic {
+                    state.insert(slot);
+                } else {
+                    state.remove(&slot);
+                }
+            }
+        }
+    }
+}
+
+/// Backward may-analyses: `live` = slot may be read before its next
+/// redefinition; `escapes` = slot may reach program exit without being
+/// redefined. A non-synthetic store to a slot that is neither live nor
+/// escaping is guaranteed to be overwritten before any read.
+fn dead_stores(prog: &RProgram, cfg: &Cfg, reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    let all: BTreeSet<u16> = (0..prog.n_locals).collect();
+    let mut inb: Vec<(BTreeSet<u16>, BTreeSet<u16>)> = vec![Default::default(); n];
+    inb[cfg.exit] = (BTreeSet::new(), all);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in (0..n).rev() {
+            if id == cfg.exit {
+                continue;
+            }
+            let mut live = BTreeSet::new();
+            let mut escapes = BTreeSet::new();
+            for &s in &cfg.blocks[id].succs {
+                live.extend(inb[s].0.iter().copied());
+                escapes.extend(inb[s].1.iter().copied());
+            }
+            for atom in cfg.blocks[id].atoms.iter().rev() {
+                if let Some((slot, _)) = atom.write {
+                    live.remove(&slot);
+                    escapes.remove(&slot);
+                }
+                for &slot in &atom.reads {
+                    live.insert(slot);
+                }
+            }
+            if (live.clone(), escapes.clone()) != inb[id] {
+                inb[id] = (live, escapes);
+                changed = true;
+            }
+        }
+    }
+    for (id, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[id] || id == cfg.exit {
+            continue;
+        }
+        let mut live = BTreeSet::new();
+        let mut escapes = BTreeSet::new();
+        for &s in &block.succs {
+            live.extend(inb[s].0.iter().copied());
+            escapes.extend(inb[s].1.iter().copied());
+        }
+        for atom in block.atoms.iter().rev() {
+            // `live`/`escapes` currently describe the program point just
+            // *after* this atom.
+            if let Some((slot, synthetic)) = atom.write {
+                if !synthetic && !live.contains(&slot) && !escapes.contains(&slot) {
+                    diags.push(Diagnostic {
+                        pos: atom.pos,
+                        kind: LintKind::DeadStore,
+                        severity: Severity::Note,
+                        message: format!(
+                            "value stored to `{}` is overwritten before it is ever read",
+                            slot_name(prog, slot)
+                        ),
+                    });
+                }
+                live.remove(&slot);
+                escapes.remove(&slot);
+            }
+            for &slot in &atom.reads {
+                live.insert(slot);
+            }
+        }
+    }
+}
+
+/// Flag filters with no reachable emit statement: they can never place a
+/// record on the channel, which usually means the output clause was
+/// optimized away or forgotten.
+fn never_emits(cfg: &Cfg, reachable: &[bool], diags: &mut Vec<Diagnostic>) {
+    let mut first_pos: Option<Pos> = None;
+    for (id, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[id] {
+            continue;
+        }
+        for atom in &block.atoms {
+            first_pos.get_or_insert(atom.pos);
+            if atom.emits {
+                return;
+            }
+        }
+    }
+    diags.push(Diagnostic {
+        pos: first_pos.unwrap_or_default(),
+        kind: LintKind::NeverEmits,
+        severity: Severity::Warning,
+        message: "filter never emits an output record; it will suppress every submission"
+            .to_string(),
+    });
+}

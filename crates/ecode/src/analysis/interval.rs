@@ -1,0 +1,368 @@
+//! Interval abstract interpretation over the resolved IR.
+//!
+//! A single forward walk tracks, per local slot, either an integer
+//! interval, an exact float constant, or Top. It powers two lints:
+//! `if` conditions that are provably always true/false, and integer
+//! division/modulo whose divisor is (or may be) zero. Loops are handled
+//! conservatively: every slot assigned anywhere inside the loop is
+//! widened to Top before the body is examined, so no claim depends on
+//! iteration count.
+
+use std::collections::BTreeSet;
+
+use super::{Diagnostic, LintKind, Severity};
+use crate::ast::{BinOp, Ty, UnOp};
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
+
+/// Largest magnitude where i64→f64 conversion is exact; beyond it the
+/// analysis degrades to Top instead of making inexact claims.
+const EXACT: i128 = 1 << 53;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AbsVal {
+    /// Integer in `lo..=hi` (inclusive, both within i64).
+    Int(i128, i128),
+    /// Exactly this float.
+    FConst(f64),
+    /// Anything.
+    Top,
+}
+
+impl AbsVal {
+    fn singleton(self) -> Option<i128> {
+        match self {
+            AbsVal::Int(lo, hi) if lo == hi => Some(lo),
+            _ => None,
+        }
+    }
+
+    /// Definite truthiness, if known.
+    fn truthy(self) -> Option<bool> {
+        match self {
+            AbsVal::Int(lo, hi) => {
+                if lo > 0 || hi < 0 {
+                    Some(true)
+                } else if lo == 0 && hi == 0 {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            AbsVal::FConst(v) => Some(v != 0.0),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// Exact `(lo, hi)` bounds as f64, when representable exactly.
+    fn bounds(self) -> Option<(f64, f64)> {
+        match self {
+            AbsVal::Int(lo, hi) if lo.abs() <= EXACT && hi.abs() <= EXACT => {
+                Some((lo as f64, hi as f64))
+            }
+            AbsVal::FConst(v) => Some((v, v)),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Int(a, b), AbsVal::Int(c, d)) => AbsVal::Int(a.min(c), b.max(d)),
+            (AbsVal::FConst(x), AbsVal::FConst(y)) if x == y => AbsVal::FConst(x),
+            _ => AbsVal::Top,
+        }
+    }
+}
+
+/// Clamp an i128 interval back into i64 (the VM wraps outside it, so
+/// anything wider becomes Top).
+fn int_iv(lo: i128, hi: i128) -> AbsVal {
+    if lo < i64::MIN as i128 || hi > i64::MAX as i128 {
+        AbsVal::Top
+    } else {
+        AbsVal::Int(lo, hi)
+    }
+}
+
+fn bool_iv(b: Option<bool>) -> AbsVal {
+    match b {
+        Some(true) => AbsVal::Int(1, 1),
+        Some(false) => AbsVal::Int(0, 0),
+        None => AbsVal::Int(0, 1),
+    }
+}
+
+struct Walker {
+    env: Vec<AbsVal>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Run the interval lints over a resolved (unfolded) program.
+pub fn lint(prog: &RProgram) -> Vec<Diagnostic> {
+    let mut w = Walker {
+        env: vec![AbsVal::Top; prog.n_locals as usize],
+        diags: Vec::new(),
+    };
+    w.stmts(&prog.body);
+    w.diags
+}
+
+/// Every slot stored anywhere inside `stmts`, including nested control
+/// flow and loop init/step statements.
+fn assigned_slots(stmts: &[RStmt], out: &mut BTreeSet<u16>) {
+    for s in stmts {
+        match &s.kind {
+            RStmtKind::Store { slot, .. } => {
+                out.insert(*slot);
+            }
+            RStmtKind::If { then, else_, .. } => {
+                assigned_slots(then, out);
+                assigned_slots(else_, out);
+            }
+            RStmtKind::Loop {
+                init, step, body, ..
+            } => {
+                if let Some(init) = init {
+                    assigned_slots(std::slice::from_ref(init), out);
+                }
+                if let Some(step) = step {
+                    assigned_slots(std::slice::from_ref(step), out);
+                }
+                assigned_slots(body, out);
+            }
+            RStmtKind::Block(body) => assigned_slots(body, out),
+            RStmtKind::OutputRecord { .. }
+            | RStmtKind::OutputField { .. }
+            | RStmtKind::Return(_)
+            | RStmtKind::Break
+            | RStmtKind::Continue => {}
+        }
+    }
+}
+
+impl Walker {
+    fn stmts(&mut self, stmts: &[RStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &RStmt) {
+        match &stmt.kind {
+            RStmtKind::Store {
+                slot,
+                value,
+                truncate,
+                ..
+            } => {
+                let mut v = self.eval(value);
+                if *truncate {
+                    v = match v {
+                        AbsVal::FConst(f) if f.abs() <= EXACT as f64 => {
+                            let t = f.trunc() as i128;
+                            AbsVal::Int(t, t)
+                        }
+                        AbsVal::Int(lo, hi) => AbsVal::Int(lo, hi),
+                        _ => AbsVal::Top,
+                    };
+                }
+                self.env[*slot as usize] = v;
+            }
+            RStmtKind::OutputRecord { index, input_index } => {
+                self.eval(index);
+                self.eval(input_index);
+            }
+            RStmtKind::OutputField { index, value, .. } => {
+                self.eval(index);
+                self.eval(value);
+            }
+            RStmtKind::If { cond, then, else_ } => {
+                let c = self.eval(cond);
+                if let Some(t) = c.truthy() {
+                    self.diags.push(Diagnostic {
+                        pos: cond.pos,
+                        kind: LintKind::ConstantCondition,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "condition is always {}; the {} branch never runs",
+                            if t { "true" } else { "false" },
+                            if t { "else" } else { "then" },
+                        ),
+                    });
+                }
+                let saved = self.env.clone();
+                self.stmts(then);
+                let after_then = std::mem::replace(&mut self.env, saved);
+                self.stmts(else_);
+                for (slot, t) in after_then.into_iter().enumerate() {
+                    self.env[slot] = self.env[slot].join(t);
+                }
+            }
+            RStmtKind::Loop {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                let mut assigned = BTreeSet::new();
+                assigned_slots(body, &mut assigned);
+                if let Some(step) = step {
+                    assigned_slots(std::slice::from_ref(step), &mut assigned);
+                }
+                for &slot in &assigned {
+                    self.env[slot as usize] = AbsVal::Top;
+                }
+                // No constant-condition lint on loop conditions: `while
+                // (1) { ... break; }` is idiomatic, and the cost
+                // certificate already polices non-terminating loops.
+                if let Some(c) = cond {
+                    self.eval(c);
+                }
+                let widened = self.env.clone();
+                self.stmts(body);
+                if let Some(step) = step {
+                    self.stmt(step);
+                }
+                // The loop may run zero times; every widened fact is the
+                // only safe post-state.
+                self.env = widened;
+            }
+            RStmtKind::Return(value) => {
+                if let Some(v) = value {
+                    self.eval(v);
+                }
+            }
+            RStmtKind::Break | RStmtKind::Continue => {}
+            RStmtKind::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn eval(&mut self, e: &RExpr) -> AbsVal {
+        match &e.kind {
+            RExprKind::ConstI(v) => AbsVal::Int(*v as i128, *v as i128),
+            RExprKind::ConstF(v) => AbsVal::FConst(*v),
+            RExprKind::Local(slot) => self.env[*slot as usize],
+            RExprKind::InputField(index, _) => {
+                self.eval(index);
+                AbsVal::Top
+            }
+            RExprKind::Unary(op, inner) => {
+                let v = self.eval(inner);
+                match op {
+                    UnOp::Neg => match v {
+                        AbsVal::Int(lo, hi) => int_iv(-hi, -lo),
+                        AbsVal::FConst(f) => AbsVal::FConst(-f),
+                        AbsVal::Top => AbsVal::Top,
+                    },
+                    UnOp::Not => bool_iv(v.truthy().map(|t| !t)),
+                }
+            }
+            RExprKind::Binary(op, lhs, rhs) => {
+                let l = self.eval(lhs);
+                let r = self.eval(rhs);
+                if matches!(op, BinOp::Div | BinOp::Rem) && e.ty == Ty::Int {
+                    self.check_divisor(rhs, r);
+                }
+                self.binary(*op, l, r)
+            }
+        }
+    }
+
+    fn check_divisor(&mut self, rhs: &RExpr, r: AbsVal) {
+        match r {
+            AbsVal::Int(0, 0) => self.diags.push(Diagnostic {
+                pos: rhs.pos,
+                kind: LintKind::PossibleDivisionByZero,
+                severity: Severity::Warning,
+                message: "integer division by zero: this always fails at run time".to_string(),
+            }),
+            AbsVal::Int(lo, hi) if lo <= 0 && 0 <= hi => self.diags.push(Diagnostic {
+                pos: rhs.pos,
+                kind: LintKind::PossibleDivisionByZero,
+                severity: Severity::Note,
+                message: format!("divisor ranges over {lo}..={hi}, which includes zero"),
+            }),
+            _ => {}
+        }
+    }
+
+    fn binary(&mut self, op: BinOp, l: AbsVal, r: AbsVal) -> AbsVal {
+        use BinOp::*;
+        match op {
+            And => match (l.truthy(), r.truthy()) {
+                (Some(false), _) | (_, Some(false)) => AbsVal::Int(0, 0),
+                (Some(true), Some(true)) => AbsVal::Int(1, 1),
+                _ => AbsVal::Int(0, 1),
+            },
+            Or => match (l.truthy(), r.truthy()) {
+                (Some(true), _) | (_, Some(true)) => AbsVal::Int(1, 1),
+                (Some(false), Some(false)) => AbsVal::Int(0, 0),
+                _ => AbsVal::Int(0, 1),
+            },
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let (Some((llo, lhi)), Some((rlo, rhi))) = (l.bounds(), r.bounds()) else {
+                    return AbsVal::Int(0, 1);
+                };
+                let verdict = match op {
+                    Lt => cmp_verdict(lhi < rlo, llo >= rhi),
+                    Le => cmp_verdict(lhi <= rlo, llo > rhi),
+                    Gt => cmp_verdict(llo > rhi, lhi <= rlo),
+                    Ge => cmp_verdict(llo >= rhi, lhi < rlo),
+                    Eq => cmp_verdict(
+                        llo == lhi && rlo == rhi && llo == rlo,
+                        lhi < rlo || llo > rhi,
+                    ),
+                    Ne => cmp_verdict(
+                        lhi < rlo || llo > rhi,
+                        llo == lhi && rlo == rhi && llo == rlo,
+                    ),
+                    _ => unreachable!(),
+                };
+                bool_iv(verdict)
+            }
+            Add | Sub | Mul => match (l, r) {
+                (AbsVal::Int(a, b), AbsVal::Int(c, d)) => match op {
+                    Add => int_iv(a + c, b + d),
+                    Sub => int_iv(a - d, b - c),
+                    Mul => {
+                        let corners = [a * c, a * d, b * c, b * d];
+                        int_iv(
+                            corners.iter().copied().min().unwrap(),
+                            corners.iter().copied().max().unwrap(),
+                        )
+                    }
+                    _ => unreachable!(),
+                },
+                (AbsVal::FConst(x), AbsVal::FConst(y)) => AbsVal::FConst(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    _ => unreachable!(),
+                }),
+                _ => AbsVal::Top,
+            },
+            Div | Rem => match (l.singleton(), r.singleton()) {
+                (Some(a), Some(b)) if b != 0 => {
+                    let v = match op {
+                        Div => a / b,
+                        _ => a % b,
+                    };
+                    int_iv(v, v)
+                }
+                _ => AbsVal::Top,
+            },
+        }
+    }
+}
+
+fn cmp_verdict(definitely_true: bool, definitely_false: bool) -> Option<bool> {
+    if definitely_true {
+        Some(true)
+    } else if definitely_false {
+        Some(false)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,220 @@
+//! Static analysis over the resolved filter IR: cost certification,
+//! dataflow diagnostics, and metric read-set extraction.
+//!
+//! The paper compiles operator-supplied E-code and runs it inside the
+//! monitoring path — kernel-resident in the original dproc. Running
+//! untrusted code there needs the same discipline an in-kernel eBPF
+//! verifier applies: prove, *before* admission, that every execution
+//! terminates within a budget, and learn what the program touches so the
+//! host can specialize around it. This module is that verifier:
+//!
+//! * [`certify`] runs on the **folded** program (exactly what the
+//!   bytecode compiler sees) and produces a [`FilterCert`]: a worst-case
+//!   instruction bound mirroring the VM's per-op budget accounting, the
+//!   set of metric indices the filter reads, and whether it can emit
+//!   records at all. Loops must have inferable trip counts (affine
+//!   induction variables over constant bounds); anything else is
+//!   [`CostBound::Unbounded`] and the deployment layer rejects it.
+//! * [`lint`] runs on the **unfolded** program (so constant conditions
+//!   the optimizer would erase are still visible) and reports
+//!   [`Diagnostic`]s with source positions: use of a variable before
+//!   initialization, unreachable statements, always-true/false
+//!   conditions, possible integer division by zero, stores whose value
+//!   is overwritten before any use, and filters that can never emit.
+//!
+//! Both run automatically in [`crate::Filter::compile`]; the result is
+//! attached to the [`crate::Filter`].
+
+mod cfg;
+mod cost;
+mod dataflow;
+mod interval;
+mod readset;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::sema::RProgram;
+use crate::token::Pos;
+
+pub use cost::CostBound;
+
+/// How serious a diagnostic is. Lints never block deployment (that is
+/// the cost certificate's job); severity is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Almost certainly a mistake.
+    Warning,
+    /// Worth a look.
+    Note,
+}
+
+/// What a diagnostic is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintKind {
+    /// A variable may be read while still holding its implicit zero.
+    UseBeforeInit,
+    /// Statement can never execute.
+    UnreachableCode,
+    /// `if` condition is provably always true or always false.
+    ConstantCondition,
+    /// Integer division or modulo whose divisor may be zero.
+    PossibleDivisionByZero,
+    /// Stored value is overwritten on every path before being read.
+    DeadStore,
+    /// The filter contains no reachable `output[...] = input[...];`.
+    NeverEmits,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LintKind::UseBeforeInit => "use-before-init",
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::ConstantCondition => "constant-condition",
+            LintKind::PossibleDivisionByZero => "possible-division-by-zero",
+            LintKind::DeadStore => "dead-store",
+            LintKind::NeverEmits => "never-emits",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where in the filter source.
+    pub pos: Pos,
+    /// Category.
+    pub kind: LintKind,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        };
+        write!(f, "{sev}[{}] at {}: {}", self.kind, self.pos, self.message)
+    }
+}
+
+/// The set of metric input indices a filter reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricSet {
+    /// At least one `input[...]` index is not a compile-time constant —
+    /// assume everything is read.
+    All,
+    /// Exactly these indices (empty = reads nothing).
+    Fixed(BTreeSet<usize>),
+}
+
+impl MetricSet {
+    /// The empty read set.
+    pub fn empty() -> Self {
+        MetricSet::Fixed(BTreeSet::new())
+    }
+
+    /// Whether metric `index` may be read.
+    pub fn contains(&self, index: usize) -> bool {
+        match self {
+            MetricSet::All => true,
+            MetricSet::Fixed(s) => s.contains(&index),
+        }
+    }
+
+    /// Add one index.
+    pub fn insert(&mut self, index: usize) {
+        if let MetricSet::Fixed(s) = self {
+            s.insert(index);
+        }
+    }
+
+    /// Collapse to [`MetricSet::All`].
+    pub fn make_all(&mut self) {
+        *self = MetricSet::All;
+    }
+}
+
+/// The certificate attached to every compiled filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterCert {
+    /// Worst-case VM instruction count, or why none could be proven.
+    pub cost: CostBound,
+    /// Metric indices the filter may read.
+    pub reads: MetricSet,
+    /// Whether any reachable statement emits an output record.
+    pub emits: bool,
+    /// Lint findings (advisory; never block deployment by themselves).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FilterCert {
+    /// True when a finite worst-case instruction bound was proven.
+    pub fn is_certified(&self) -> bool {
+        matches!(self.cost, CostBound::Bounded(_))
+    }
+
+    /// The proven bound, if any.
+    pub fn bound(&self) -> Option<u64> {
+        match self.cost {
+            CostBound::Bounded(n) => Some(n),
+            CostBound::Unbounded { .. } => None,
+        }
+    }
+
+    /// Why this filter must be refused under `budget`, or `None` when it
+    /// is admissible. The string is what travels back over the control
+    /// channel on rejection.
+    pub fn admission_error(&self, budget: u64) -> Option<String> {
+        match &self.cost {
+            CostBound::Unbounded { pos, reason } => {
+                Some(format!("filter cost is unbounded (at {pos}): {reason}"))
+            }
+            CostBound::Bounded(n) if *n > budget => Some(format!(
+                "filter worst-case cost {n} exceeds the instruction budget {budget}"
+            )),
+            CostBound::Bounded(_) => None,
+        }
+    }
+}
+
+/// Lint a resolved (unfolded) program. Runs the CFG/dataflow pass and
+/// the interval walk, merges their findings, and sorts by position.
+pub fn lint(prog: &RProgram) -> Vec<Diagnostic> {
+    let graph = cfg::Cfg::build(prog);
+    let mut diags = dataflow::lint(prog, &graph);
+    diags.extend(interval::lint(prog));
+    diags.sort_by_key(|d| (d.pos.line, d.pos.col, d.kind));
+    diags.dedup_by(|a, b| a.pos == b.pos && a.kind == b.kind);
+    diags
+}
+
+/// Certify a **folded** program: worst-case cost bound plus read/emit
+/// sets. Run this on exactly the program the bytecode compiler compiles,
+/// or the bound will not cover the emitted instruction stream.
+pub fn certify(prog: &RProgram) -> FilterCert {
+    let (reads, emits) = readset::scan(prog);
+    FilterCert {
+        cost: cost::bound_program(prog),
+        reads,
+        emits,
+        diagnostics: Vec::new(),
+    }
+}
+
+/// Full analysis as [`crate::Filter::compile`] runs it: lint the
+/// unfolded program, certify the folded one, attach the lints to the
+/// certificate.
+pub fn analyze_for_deploy(unfolded: &RProgram, folded: &RProgram) -> FilterCert {
+    let mut cert = certify(folded);
+    cert.diagnostics = lint(unfolded);
+    cert
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,101 @@
+//! Metric read-set and emit-set extraction.
+//!
+//! Walks the folded program and records which `input[...]` indices the
+//! filter can touch. Indices that are compile-time constants go into a
+//! [`MetricSet::Fixed`]; a single dynamic index (e.g. `input[i]` in a
+//! loop) collapses the set to [`MetricSet::All`]. DMon uses the result
+//! to skip sampling modules no deployed filter reads.
+
+use super::MetricSet;
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
+
+/// `(reads, emits)` of a folded program.
+pub fn scan(prog: &RProgram) -> (MetricSet, bool) {
+    let mut scanner = Scanner {
+        reads: MetricSet::empty(),
+        emits: false,
+    };
+    scanner.stmts(&prog.body);
+    (scanner.reads, scanner.emits)
+}
+
+struct Scanner {
+    reads: MetricSet,
+    emits: bool,
+}
+
+impl Scanner {
+    fn stmts(&mut self, stmts: &[RStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &RStmt) {
+        match &stmt.kind {
+            RStmtKind::Store { value, .. } => self.expr(value),
+            RStmtKind::OutputRecord { index, input_index } => {
+                self.emits = true;
+                self.expr(index);
+                self.input_index(input_index);
+            }
+            RStmtKind::OutputField { index, value, .. } => {
+                self.expr(index);
+                self.expr(value);
+            }
+            RStmtKind::If { cond, then, else_ } => {
+                self.expr(cond);
+                self.stmts(then);
+                self.stmts(else_);
+            }
+            RStmtKind::Loop {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.expr(cond);
+                }
+                if let Some(step) = step {
+                    self.stmt(step);
+                }
+                self.stmts(body);
+            }
+            RStmtKind::Return(value) => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            RStmtKind::Break | RStmtKind::Continue => {}
+            RStmtKind::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn expr(&mut self, e: &RExpr) {
+        match &e.kind {
+            RExprKind::ConstI(_) | RExprKind::ConstF(_) | RExprKind::Local(_) => {}
+            RExprKind::InputField(index, _) => self.input_index(index),
+            RExprKind::Binary(_, l, r) => {
+                self.expr(l);
+                self.expr(r);
+            }
+            RExprKind::Unary(_, inner) => self.expr(inner),
+        }
+    }
+
+    /// Record a read of `input[index]` (whole record or field).
+    fn input_index(&mut self, index: &RExpr) {
+        match index.kind {
+            RExprKind::ConstI(v) if v >= 0 => self.reads.insert(v as usize),
+            // Dynamic or negative index: assume anything may be read.
+            _ => {
+                self.reads.make_all();
+                self.expr(index);
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! quantifies the VM-vs-native execution gap as an ablation.
 
 use crate::ast::{BinOp, Field, Ty, UnOp};
-use crate::sema::{RExpr, RExprKind, RProgram, RStmt};
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
 
 /// One VM instruction. Jump targets are absolute instruction indices.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +106,10 @@ impl Chunk {
 
 /// Compile a resolved program to bytecode.
 pub fn compile(prog: &RProgram) -> Chunk {
-    let mut c = Compiler { ops: Vec::new(), loops: Vec::new() };
+    let mut c = Compiler {
+        ops: Vec::new(),
+        loops: Vec::new(),
+    };
     for stmt in &prog.body {
         c.stmt(stmt);
     }
@@ -151,11 +154,12 @@ impl Compiler {
     }
 
     fn stmt(&mut self, stmt: &RStmt) {
-        match stmt {
-            RStmt::Store {
+        match &stmt.kind {
+            RStmtKind::Store {
                 slot,
                 value,
                 truncate,
+                ..
             } => {
                 self.expr(value);
                 self.ops.push(if *truncate {
@@ -164,12 +168,12 @@ impl Compiler {
                     Op::Store(*slot)
                 });
             }
-            RStmt::OutputRecord { index, input_index } => {
+            RStmtKind::OutputRecord { index, input_index } => {
                 self.expr(index);
                 self.expr(input_index);
                 self.ops.push(Op::EmitRecord);
             }
-            RStmt::OutputField {
+            RStmtKind::OutputField {
                 index,
                 field,
                 value,
@@ -178,7 +182,7 @@ impl Compiler {
                 self.expr(value);
                 self.ops.push(Op::EmitField(*field));
             }
-            RStmt::If { cond, then, else_ } => {
+            RStmtKind::If { cond, then, else_ } => {
                 self.expr(cond);
                 let to_else = self.emit_patch(Op::JumpIfFalse);
                 for s in then {
@@ -198,7 +202,7 @@ impl Compiler {
                     self.patch(to_end, end);
                 }
             }
-            RStmt::Loop {
+            RStmtKind::Loop {
                 init,
                 cond,
                 step,
@@ -237,14 +241,14 @@ impl Compiler {
                     self.patch(p, end);
                 }
             }
-            RStmt::Return(value) => match value {
+            RStmtKind::Return(value) => match value {
                 Some(v) => {
                     self.expr(v);
                     self.ops.push(Op::ReturnValue);
                 }
                 None => self.ops.push(Op::ReturnVoid),
             },
-            RStmt::Break => {
+            RStmtKind::Break => {
                 let p = self.emit_patch(Op::Jump);
                 self.loops
                     .last_mut()
@@ -252,7 +256,7 @@ impl Compiler {
                     .break_patches
                     .push(p);
             }
-            RStmt::Continue => {
+            RStmtKind::Continue => {
                 let p = self.emit_patch(Op::Jump);
                 self.loops
                     .last_mut()
@@ -260,7 +264,7 @@ impl Compiler {
                     .continue_target_patch
                     .push(p);
             }
-            RStmt::Block(stmts) => {
+            RStmtKind::Block(stmts) => {
                 for s in stmts {
                     self.stmt(s);
                 }
@@ -389,10 +393,7 @@ mod tests {
     #[test]
     fn and_emits_peek_jump() {
         let c = chunk("{ int x = 1 && 0; }");
-        assert!(c
-            .ops
-            .iter()
-            .any(|op| matches!(op, Op::JumpIfFalsePeek(_))));
+        assert!(c.ops.iter().any(|op| matches!(op, Op::JumpIfFalsePeek(_))));
     }
 
     #[test]

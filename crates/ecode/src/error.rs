@@ -76,7 +76,10 @@ impl fmt::Display for RuntimeError {
                 write!(f, "output[{index}] out of range")
             }
             RuntimeError::OutputSlotEmpty { index } => {
-                write!(f, "output[{index}] written by field before being assigned a record")
+                write!(
+                    f,
+                    "output[{index}] written by field before being assigned a record"
+                )
             }
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
             RuntimeError::Internal(what) => write!(f, "internal VM error: {what}"),

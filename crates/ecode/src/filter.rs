@@ -1,5 +1,6 @@
 //! The public filter API: environments, records, compilation, execution.
 
+use crate::analysis::{self, FilterCert};
 use crate::bytecode::{self, Chunk};
 use crate::error::{CompileError, RuntimeError};
 use crate::parser::parse;
@@ -142,6 +143,7 @@ pub struct Filter {
     env: EnvSpec,
     source: String,
     budget: u64,
+    cert: FilterCert,
 }
 
 impl Filter {
@@ -158,13 +160,15 @@ impl Filter {
     ) -> Result<Filter, CompileError> {
         let ast = parse(source)?;
         let resolved = analyze(&ast, env)?;
-        let resolved = crate::opt::fold_program(resolved);
-        let chunk = bytecode::compile(&resolved);
+        let folded = crate::opt::fold_program(resolved.clone());
+        let cert = analysis::analyze_for_deploy(&resolved, &folded);
+        let chunk = bytecode::compile(&folded);
         Ok(Filter {
             chunk,
             env: env.clone(),
             source: source.to_string(),
             budget,
+            cert,
         })
     }
 
@@ -201,6 +205,18 @@ impl Filter {
     /// Instruction budget per execution.
     pub fn budget(&self) -> u64 {
         self.budget
+    }
+
+    /// The static-analysis certificate: worst-case cost bound, metric
+    /// read set, emit flag, and lint diagnostics.
+    pub fn cert(&self) -> &FilterCert {
+        &self.cert
+    }
+
+    /// Why this filter must be refused under its own budget, or `None`
+    /// when it is admissible (finite worst-case cost within budget).
+    pub fn admission_error(&self) -> Option<String> {
+        self.cert.admission_error(self.budget)
     }
 }
 
@@ -249,7 +265,9 @@ mod tests {
 
     #[test]
     fn record_builders() {
-        let r = MetricRecord::new(2, 1.5).with_last_sent(1.0).with_timestamp(3.0);
+        let r = MetricRecord::new(2, 1.5)
+            .with_last_sent(1.0)
+            .with_timestamp(3.0);
         assert_eq!(r.id, 2);
         assert_eq!(r.value, 1.5);
         assert_eq!(r.last_value_sent, 1.0);
@@ -260,9 +278,9 @@ mod tests {
     fn fig3_quiet_system_sends_nothing() {
         let f = Filter::compile(FIG3_SOURCE, &fig3_env()).unwrap();
         let inputs = [
-            MetricRecord::new(0, 1.0),                      // loadavg low
-            MetricRecord::new(1, 500.0),                    // disk usage low
-            MetricRecord::new(2, 400e6),                    // plenty of memory
+            MetricRecord::new(0, 1.0),                         // loadavg low
+            MetricRecord::new(1, 500.0),                       // disk usage low
+            MetricRecord::new(2, 400e6),                       // plenty of memory
             MetricRecord::new(3, 100.0).with_last_sent(200.0), // misses not rising
         ];
         let out = f.run(&inputs).unwrap();

@@ -276,10 +276,7 @@ mod tests {
         assert_eq!(toks("1.5E-3")[0], Tok::Float(1.5e-3));
         assert_eq!(toks("2e+2")[0], Tok::Float(200.0));
         // `e` not followed by digits is separate ident
-        assert_eq!(
-            toks("2e")[..2],
-            [Tok::Int(2), Tok::Ident("e".into())]
-        );
+        assert_eq!(toks("2e")[..2], [Tok::Int(2), Tok::Ident("e".into())]);
     }
 
     #[test]
@@ -287,7 +284,10 @@ mod tests {
         assert_eq!(toks("3.25")[0], Tok::Float(3.25));
         assert_eq!(toks("42")[0], Tok::Int(42));
         // `1.` without digits is int then dot (field access style)
-        assert_eq!(toks("1.x")[..3], [Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+        assert_eq!(
+            toks("1.x")[..3],
+            [Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]
+        );
     }
 
     #[test]

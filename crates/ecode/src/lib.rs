@@ -54,6 +54,7 @@
 //! assert_eq!(out.records()[0].value, 3.5);
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod bytecode;
 pub mod error;
@@ -65,5 +66,6 @@ pub mod sema;
 pub mod token;
 pub mod vm;
 
+pub use analysis::{CostBound, Diagnostic, FilterCert, LintKind, MetricSet, Severity};
 pub use error::{CompileError, RuntimeError};
 pub use filter::{fig3_env, EnvSpec, Filter, FilterOutput, MetricRecord, FIG3_SOURCE};

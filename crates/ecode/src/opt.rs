@@ -16,13 +16,15 @@
 //!   must match the unfolded one).
 
 use crate::ast::{BinOp, Ty, UnOp};
-use crate::sema::{RExpr, RExprKind, RProgram, RStmt};
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
+use crate::token::Pos;
 
 /// Fold a whole program.
 pub fn fold_program(prog: RProgram) -> RProgram {
     RProgram {
         body: prog.body.into_iter().flat_map(fold_stmt).collect(),
         n_locals: prog.n_locals,
+        slot_names: prog.slot_names,
     }
 }
 
@@ -48,13 +50,15 @@ impl Const {
         }
     }
 
-    fn to_expr(self) -> RExpr {
+    fn to_expr(self, pos: Pos) -> RExpr {
         match self {
             Const::I(v) => RExpr {
+                pos,
                 ty: Ty::Int,
                 kind: RExprKind::ConstI(v),
             },
             Const::F(v) => RExpr {
+                pos,
                 ty: Ty::Double,
                 kind: RExprKind::ConstF(v),
             },
@@ -71,43 +75,51 @@ fn as_const(e: &RExpr) -> Option<Const> {
 }
 
 fn fold_stmt(stmt: RStmt) -> Vec<RStmt> {
-    match stmt {
-        RStmt::Store {
+    let pos = stmt.pos;
+    let rebuild = |kind: RStmtKind| RStmt { pos, kind };
+    match stmt.kind {
+        RStmtKind::Store {
             slot,
             value,
             truncate,
+            synthetic,
         } => {
             let value = fold_expr(value);
             // A constant double stored into an int slot can truncate now.
             if truncate {
                 if let Some(c) = as_const(&value) {
-                    return vec![RStmt::Store {
+                    let vpos = value.pos;
+                    return vec![rebuild(RStmtKind::Store {
                         slot,
-                        value: Const::I(c.as_f64().trunc() as i64).to_expr(),
+                        value: Const::I(c.as_f64().trunc() as i64).to_expr(vpos),
                         truncate: false,
-                    }];
+                        synthetic,
+                    })];
                 }
             }
-            vec![RStmt::Store {
+            vec![rebuild(RStmtKind::Store {
                 slot,
                 value,
                 truncate,
-            }]
+                synthetic,
+            })]
         }
-        RStmt::OutputRecord { index, input_index } => vec![RStmt::OutputRecord {
-            index: fold_expr(index),
-            input_index: fold_expr(input_index),
-        }],
-        RStmt::OutputField {
+        RStmtKind::OutputRecord { index, input_index } => {
+            vec![rebuild(RStmtKind::OutputRecord {
+                index: fold_expr(index),
+                input_index: fold_expr(input_index),
+            })]
+        }
+        RStmtKind::OutputField {
             index,
             field,
             value,
-        } => vec![RStmt::OutputField {
+        } => vec![rebuild(RStmtKind::OutputField {
             index: fold_expr(index),
             field,
             value: fold_expr(value),
-        }],
-        RStmt::If { cond, then, else_ } => {
+        })],
+        RStmtKind::If { cond, then, else_ } => {
             let cond = fold_expr(cond);
             let then: Vec<RStmt> = then.into_iter().flat_map(fold_stmt).collect();
             let else_: Vec<RStmt> = else_.into_iter().flat_map(fold_stmt).collect();
@@ -119,18 +131,18 @@ fn fold_stmt(stmt: RStmt) -> Vec<RStmt> {
                         else_
                     }
                 }
-                None => vec![RStmt::If { cond, then, else_ }],
+                None => vec![rebuild(RStmtKind::If { cond, then, else_ })],
             }
         }
-        RStmt::Loop {
+        RStmtKind::Loop {
             init,
             cond,
             step,
             body,
         } => {
-            let init = init.map(|s| Box::new(first_or_block(fold_stmt(*s))));
+            let init = init.map(|s| Box::new(first_or_block(fold_stmt(*s), pos)));
             let cond = cond.map(fold_expr);
-            let step = step.map(|s| Box::new(first_or_block(fold_stmt(*s))));
+            let step = step.map(|s| Box::new(first_or_block(fold_stmt(*s), pos)));
             let body: Vec<RStmt> = body.into_iter().flat_map(fold_stmt).collect();
             // A constant-false condition never enters the loop; the init
             // still runs (its declaration scopes away, but side effects on
@@ -144,40 +156,44 @@ fn fold_stmt(stmt: RStmt) -> Vec<RStmt> {
                     };
                 }
             }
-            vec![RStmt::Loop {
+            vec![rebuild(RStmtKind::Loop {
                 init,
                 cond,
                 step,
                 body,
-            }]
+            })]
         }
-        RStmt::Return(value) => vec![RStmt::Return(value.map(fold_expr))],
-        RStmt::Break => vec![RStmt::Break],
-        RStmt::Continue => vec![RStmt::Continue],
-        RStmt::Block(body) => {
+        RStmtKind::Return(value) => vec![rebuild(RStmtKind::Return(value.map(fold_expr)))],
+        RStmtKind::Break => vec![rebuild(RStmtKind::Break)],
+        RStmtKind::Continue => vec![rebuild(RStmtKind::Continue)],
+        RStmtKind::Block(body) => {
             let body: Vec<RStmt> = body.into_iter().flat_map(fold_stmt).collect();
             if body.is_empty() {
                 Vec::new()
             } else {
-                vec![RStmt::Block(body)]
+                vec![rebuild(RStmtKind::Block(body))]
             }
         }
     }
 }
 
-fn first_or_block(mut stmts: Vec<RStmt>) -> RStmt {
+fn first_or_block(mut stmts: Vec<RStmt>, pos: Pos) -> RStmt {
     if stmts.len() == 1 {
         stmts.remove(0)
     } else {
-        RStmt::Block(stmts)
+        RStmt {
+            pos,
+            kind: RStmtKind::Block(stmts),
+        }
     }
 }
 
 fn fold_expr(e: RExpr) -> RExpr {
-    let ty = e.ty;
+    let (pos, ty) = (e.pos, e.ty);
     match e.kind {
         RExprKind::ConstI(_) | RExprKind::ConstF(_) | RExprKind::Local(_) => e,
         RExprKind::InputField(index, field) => RExpr {
+            pos,
             ty,
             kind: RExprKind::InputField(Box::new(fold_expr(*index)), field),
         },
@@ -189,9 +205,10 @@ fn fold_expr(e: RExpr) -> RExpr {
                     (UnOp::Neg, Const::F(v)) => Const::F(-v),
                     (UnOp::Not, c) => Const::I(!c.truthy() as i64),
                 };
-                return folded.to_expr();
+                return folded.to_expr(pos);
             }
             RExpr {
+                pos,
                 ty,
                 kind: RExprKind::Unary(op, Box::new(inner)),
             }
@@ -203,13 +220,14 @@ fn fold_expr(e: RExpr) -> RExpr {
             if matches!(op, BinOp::And | BinOp::Or) {
                 if let Some(l) = as_const(&lhs) {
                     return match (op, l.truthy()) {
-                        (BinOp::And, false) => Const::I(0).to_expr(),
-                        (BinOp::Or, true) => Const::I(1).to_expr(),
+                        (BinOp::And, false) => Const::I(0).to_expr(pos),
+                        (BinOp::Or, true) => Const::I(1).to_expr(pos),
                         // `const_true && rhs` = truthiness of rhs; fold if
                         // rhs is constant too, else keep the normalization.
                         _ => match as_const(&rhs) {
-                            Some(r) => Const::I(r.truthy() as i64).to_expr(),
+                            Some(r) => Const::I(r.truthy() as i64).to_expr(pos),
                             None => RExpr {
+                                pos,
                                 ty,
                                 kind: RExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
                             },
@@ -219,10 +237,11 @@ fn fold_expr(e: RExpr) -> RExpr {
             }
             if let (Some(l), Some(r)) = (as_const(&lhs), as_const(&rhs)) {
                 if let Some(folded) = fold_binary(op, l, r) {
-                    return folded.to_expr();
+                    return folded.to_expr(pos);
                 }
             }
             RExpr {
+                pos,
                 ty,
                 kind: RExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
             }
@@ -293,7 +312,9 @@ mod tests {
     }
 
     fn folded_chunk(src: &str) -> crate::bytecode::Chunk {
-        compile(&fold_program(analyze(&parse(src).unwrap(), &env()).unwrap()))
+        compile(&fold_program(
+            analyze(&parse(src).unwrap(), &env()).unwrap(),
+        ))
     }
 
     fn unfolded_chunk(src: &str) -> crate::bytecode::Chunk {
@@ -329,7 +350,12 @@ mod tests {
     fn division_by_zero_stays_runtime() {
         let c = folded_chunk("{ int x = 1 / 0; }");
         assert!(c.ops.contains(&Op::Div), "kept for the runtime error");
-        let err = vm::run(&c, &[MetricRecord::new(0, 0.0), MetricRecord::new(1, 0.0)], 100).unwrap_err();
+        let err = vm::run(
+            &c,
+            &[MetricRecord::new(0, 0.0), MetricRecord::new(1, 0.0)],
+            100,
+        )
+        .unwrap_err();
         assert_eq!(err, crate::RuntimeError::DivisionByZero);
     }
 
@@ -391,7 +417,10 @@ mod tests {
         for (src, env4) in [
             (crate::filter::FIG3_SOURCE, crate::filter::fig3_env()),
             ("{ int x = 1 + 2 + 3 + 4; }", env()),
-            ("{ if (input[A].value > 1.0) { output[0] = input[A]; } }", env()),
+            (
+                "{ if (input[A].value > 1.0) { output[0] = input[A]; } }",
+                env(),
+            ),
         ] {
             let parsed = parse(src).unwrap();
             let resolved = analyze(&parsed, &env4).unwrap();

@@ -170,7 +170,10 @@ impl Parser {
             Tok::KwInt => Ty::Int,
             Tok::KwDouble => Ty::Double,
             other => {
-                return Err(CompileError::new(pos, format!("expected type, found `{other}`")))
+                return Err(CompileError::new(
+                    pos,
+                    format!("expected type, found `{other}`"),
+                ))
             }
         };
         let name_tok = self.bump();
@@ -659,7 +662,8 @@ mod tests {
 
     #[test]
     fn else_if_chains() {
-        let p = parse("{ int x = 0; if (x > 1) x = 1; else if (x > 0) x = 2; else x = 3; }").unwrap();
+        let p =
+            parse("{ int x = 0; if (x > 1) x = 1; else if (x > 0) x = 2; else x = 3; }").unwrap();
         let StmtKind::If { else_, .. } = &p.body[1].kind else {
             panic!()
         };

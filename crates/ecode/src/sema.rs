@@ -17,10 +17,13 @@
 use crate::ast::{BinOp, Expr, ExprKind, Field, Program, Stmt, StmtKind, Ty, UnOp};
 use crate::error::CompileError;
 use crate::filter::EnvSpec;
+use crate::token::Pos;
 
-/// A resolved expression with its computed type.
+/// A resolved expression with its computed type and source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RExpr {
+    /// Source position (for diagnostics).
+    pub pos: Pos,
     /// Result type.
     pub ty: Ty,
     /// The resolved expression.
@@ -44,9 +47,22 @@ pub enum RExprKind {
     Unary(UnOp, Box<RExpr>),
 }
 
+/// A resolved statement: a source position plus the statement itself.
+///
+/// Positions survive resolution so the static analyzer
+/// ([`crate::analysis`]) can report diagnostics with spans against the
+/// original filter source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RStmt {
+    /// Source position (for diagnostics).
+    pub pos: Pos,
+    /// The statement.
+    pub kind: RStmtKind,
+}
+
 /// Resolved statement variants.
 #[derive(Debug, Clone, PartialEq)]
-pub enum RStmt {
+pub enum RStmtKind {
     /// Store into a local slot; `truncate` if an int target receives a
     /// double.
     Store {
@@ -56,6 +72,10 @@ pub enum RStmt {
         value: RExpr,
         /// Apply C truncation (double → int).
         truncate: bool,
+        /// True for the implicit zero-initialization of a declaration
+        /// without an initializer (`int x;`); lets the analyzer
+        /// distinguish "never explicitly assigned" from real stores.
+        synthetic: bool,
     },
     /// `output[index] = input[input_index];`
     OutputRecord {
@@ -110,6 +130,10 @@ pub struct RProgram {
     pub body: Vec<RStmt>,
     /// Number of local slots to allocate.
     pub n_locals: u16,
+    /// Source name of each slot, indexed by slot number (slots are never
+    /// reused, so this is one entry per declaration). Diagnostics use
+    /// these to talk about variables instead of slot numbers.
+    pub slot_names: Vec<String>,
 }
 
 struct Scope {
@@ -159,6 +183,7 @@ struct Analyzer<'a> {
     scope: Scope,
     next_slot: u16,
     loop_depth: u32,
+    slot_names: Vec<String>,
 }
 
 /// Analyze a parsed program against a metric environment.
@@ -168,11 +193,13 @@ pub fn analyze(prog: &Program, env: &EnvSpec) -> Result<RProgram, CompileError> 
         scope: Scope::new(),
         next_slot: 0,
         loop_depth: 0,
+        slot_names: Vec::new(),
     };
     let body = a.stmts(&prog.body)?;
     Ok(RProgram {
         body,
         n_locals: a.next_slot,
+        slot_names: a.slot_names,
     })
 }
 
@@ -185,18 +212,24 @@ impl<'a> Analyzer<'a> {
         match &stmt.kind {
             StmtKind::Decl { ty, name, init } => {
                 let slot = self.next_slot;
-                self.next_slot = self.next_slot.checked_add(1).ok_or_else(|| {
-                    CompileError::new(stmt.pos, "too many local variables")
-                })?;
-                let value = match init {
-                    Some(e) => self.expr(e)?,
-                    None => RExpr {
-                        ty: *ty,
-                        kind: match ty {
-                            Ty::Int => RExprKind::ConstI(0),
-                            Ty::Double => RExprKind::ConstF(0.0),
+                self.next_slot = self
+                    .next_slot
+                    .checked_add(1)
+                    .ok_or_else(|| CompileError::new(stmt.pos, "too many local variables"))?;
+                self.slot_names.push(name.clone());
+                let (value, synthetic) = match init {
+                    Some(e) => (self.expr(e)?, false),
+                    None => (
+                        RExpr {
+                            pos: stmt.pos,
+                            ty: *ty,
+                            kind: match ty {
+                                Ty::Int => RExprKind::ConstI(0),
+                                Ty::Double => RExprKind::ConstF(0.0),
+                            },
                         },
-                    },
+                        true,
+                    ),
                 };
                 if !self.scope.declare(name, slot, *ty) {
                     return Err(CompileError::new(
@@ -205,22 +238,33 @@ impl<'a> Analyzer<'a> {
                     ));
                 }
                 let truncate = *ty == Ty::Int && value.ty == Ty::Double;
-                Ok(RStmt::Store {
-                    slot,
-                    value,
-                    truncate,
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Store {
+                        slot,
+                        value,
+                        truncate,
+                        synthetic,
+                    },
                 })
             }
             StmtKind::Assign { name, value } => {
                 let (slot, ty) = self.scope.lookup(name).ok_or_else(|| {
-                    CompileError::new(stmt.pos, format!("assignment to undeclared variable `{name}`"))
+                    CompileError::new(
+                        stmt.pos,
+                        format!("assignment to undeclared variable `{name}`"),
+                    )
                 })?;
                 let value = self.expr(value)?;
                 let truncate = ty == Ty::Int && value.ty == Ty::Double;
-                Ok(RStmt::Store {
-                    slot,
-                    value,
-                    truncate,
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Store {
+                        slot,
+                        value,
+                        truncate,
+                        synthetic: false,
+                    },
                 })
             }
             StmtKind::OutputRecord { index, record } => {
@@ -233,7 +277,10 @@ impl<'a> Analyzer<'a> {
                     ));
                 };
                 let input_index = self.numeric(input_index, "input index")?;
-                Ok(RStmt::OutputRecord { index, input_index })
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::OutputRecord { index, input_index },
+                })
             }
             StmtKind::OutputField {
                 index,
@@ -242,10 +289,13 @@ impl<'a> Analyzer<'a> {
             } => {
                 let index = self.numeric(index, "output index")?;
                 let value = self.numeric(value, "field value")?;
-                Ok(RStmt::OutputField {
-                    index,
-                    field: *field,
-                    value,
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::OutputField {
+                        index,
+                        field: *field,
+                        value,
+                    },
                 })
             }
             StmtKind::If { cond, then, else_ } => {
@@ -256,7 +306,10 @@ impl<'a> Analyzer<'a> {
                 self.scope.enter();
                 let else_ = self.stmts(else_)?;
                 self.scope.leave();
-                Ok(RStmt::If { cond, then, else_ })
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::If { cond, then, else_ },
+                })
             }
             StmtKind::For {
                 init,
@@ -284,11 +337,14 @@ impl<'a> Analyzer<'a> {
                 self.scope.leave();
                 self.loop_depth -= 1;
                 self.scope.leave();
-                Ok(RStmt::Loop {
-                    init,
-                    cond,
-                    step,
-                    body,
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Loop {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    },
                 })
             }
             StmtKind::While { cond, body } => {
@@ -298,11 +354,14 @@ impl<'a> Analyzer<'a> {
                 let body = self.stmts(body)?;
                 self.scope.leave();
                 self.loop_depth -= 1;
-                Ok(RStmt::Loop {
-                    init: None,
-                    cond: Some(cond),
-                    step: None,
-                    body,
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Loop {
+                        init: None,
+                        cond: Some(cond),
+                        step: None,
+                        body,
+                    },
                 })
             }
             StmtKind::Return(value) => {
@@ -310,25 +369,37 @@ impl<'a> Analyzer<'a> {
                     Some(e) => Some(self.numeric(e, "return value")?),
                     None => None,
                 };
-                Ok(RStmt::Return(value))
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Return(value),
+                })
             }
             StmtKind::Break => {
                 if self.loop_depth == 0 {
                     return Err(CompileError::new(stmt.pos, "`break` outside of a loop"));
                 }
-                Ok(RStmt::Break)
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Break,
+                })
             }
             StmtKind::Continue => {
                 if self.loop_depth == 0 {
                     return Err(CompileError::new(stmt.pos, "`continue` outside of a loop"));
                 }
-                Ok(RStmt::Continue)
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Continue,
+                })
             }
             StmtKind::Block(stmts) => {
                 self.scope.enter();
                 let body = self.stmts(stmts)?;
                 self.scope.leave();
-                Ok(RStmt::Block(body))
+                Ok(RStmt {
+                    pos: stmt.pos,
+                    kind: RStmtKind::Block(body),
+                })
             }
         }
     }
@@ -347,24 +418,29 @@ impl<'a> Analyzer<'a> {
     }
 
     fn expr(&mut self, expr: &Expr) -> Result<RExpr, CompileError> {
+        let pos = expr.pos;
         match &expr.kind {
             ExprKind::IntLit(v) => Ok(RExpr {
+                pos,
                 ty: Ty::Int,
                 kind: RExprKind::ConstI(*v),
             }),
             ExprKind::FloatLit(v) => Ok(RExpr {
+                pos,
                 ty: Ty::Double,
                 kind: RExprKind::ConstF(*v),
             }),
             ExprKind::Var(name) => {
                 if let Some((slot, ty)) = self.scope.lookup(name) {
                     return Ok(RExpr {
+                        pos,
                         ty,
                         kind: RExprKind::Local(slot),
                     });
                 }
                 if let Some(idx) = self.env.index_of(name) {
                     return Ok(RExpr {
+                        pos,
                         ty: Ty::Int,
                         kind: RExprKind::ConstI(idx as i64),
                     });
@@ -387,6 +463,7 @@ impl<'a> Analyzer<'a> {
                     _ => Ty::Double,
                 };
                 Ok(RExpr {
+                    pos,
                     ty,
                     kind: RExprKind::InputField(Box::new(index), *field),
                 })
@@ -412,6 +489,7 @@ impl<'a> Analyzer<'a> {
                     }
                 };
                 Ok(RExpr {
+                    pos,
                     ty,
                     kind: RExprKind::Binary(*op, Box::new(l), Box::new(r)),
                 })
@@ -423,6 +501,7 @@ impl<'a> Analyzer<'a> {
                     UnOp::Neg => i.ty,
                 };
                 Ok(RExpr {
+                    pos,
                     ty,
                     kind: RExprKind::Unary(*op, Box::new(i)),
                 })
@@ -447,12 +526,12 @@ mod tests {
     #[test]
     fn resolves_metric_constants() {
         let p = check("{ int x = LOADAVG; }").unwrap();
-        let RStmt::Store { value, .. } = &p.body[0] else {
+        let RStmtKind::Store { value, .. } = &p.body[0].kind else {
             panic!()
         };
         assert_eq!(value.kind, RExprKind::ConstI(0));
         let p = check("{ int x = CACHE_MISS; }").unwrap();
-        let RStmt::Store { value, .. } = &p.body[0] else {
+        let RStmtKind::Store { value, .. } = &p.body[0].kind else {
             panic!()
         };
         assert_eq!(value.kind, RExprKind::ConstI(3));
@@ -481,7 +560,7 @@ mod tests {
         let p = check("{ int x = 1; { int x = 2; x = 3; } x = 4; }").unwrap();
         assert_eq!(p.n_locals, 2);
         // The final `x = 4` must target slot 0.
-        let RStmt::Store { slot, .. } = &p.body[2] else {
+        let RStmtKind::Store { slot, .. } = &p.body[2].kind else {
             panic!()
         };
         assert_eq!(*slot, 0);
@@ -518,12 +597,12 @@ mod tests {
     #[test]
     fn int_from_double_truncates() {
         let p = check("{ int x = 2.7; }").unwrap();
-        let RStmt::Store { truncate, .. } = &p.body[0] else {
+        let RStmtKind::Store { truncate, .. } = &p.body[0].kind else {
             panic!()
         };
         assert!(truncate);
         let p = check("{ double y = 2; }").unwrap();
-        let RStmt::Store { truncate, .. } = &p.body[0] else {
+        let RStmtKind::Store { truncate, .. } = &p.body[0].kind else {
             panic!()
         };
         assert!(!truncate);
@@ -541,11 +620,11 @@ mod tests {
     #[test]
     fn arithmetic_type_promotion() {
         let p = check("{ double d = 1 + 2.5; int i = 1 + 2; }").unwrap();
-        let RStmt::Store { value, .. } = &p.body[0] else {
+        let RStmtKind::Store { value, .. } = &p.body[0].kind else {
             panic!()
         };
         assert_eq!(value.ty, Ty::Double);
-        let RStmt::Store { value, .. } = &p.body[1] else {
+        let RStmtKind::Store { value, .. } = &p.body[1].kind else {
             panic!()
         };
         assert_eq!(value.ty, Ty::Int);
@@ -554,9 +633,9 @@ mod tests {
     #[test]
     fn comparisons_are_int() {
         let p = check("{ int b = 1.5 > 1.0; }").unwrap();
-        let RStmt::Store {
+        let RStmtKind::Store {
             value, truncate, ..
-        } = &p.body[0]
+        } = &p.body[0].kind
         else {
             panic!()
         };
@@ -567,7 +646,7 @@ mod tests {
     #[test]
     fn field_types() {
         let p = check("{ int i = input[0].id; double v = input[0].value; }").unwrap();
-        let RStmt::Store { value, .. } = &p.body[0] else {
+        let RStmtKind::Store { value, .. } = &p.body[0].kind else {
             panic!()
         };
         assert_eq!(value.ty, Ty::Int);

@@ -61,7 +61,9 @@ pub fn run(
 
     macro_rules! pop {
         () => {
-            stack.pop().ok_or(RuntimeError::Internal("stack underflow"))?
+            stack
+                .pop()
+                .ok_or(RuntimeError::Internal("stack underflow"))?
         };
     }
 
@@ -161,9 +163,12 @@ pub fn run(
                     Field::Id => rec.id = value.as_index() as u32,
                 }
             }
-            Op::Add => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_add(b))), |a, b| a + b),
-            Op::Sub => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_sub(b))), |a, b| a - b),
-            Op::Mul => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_mul(b))), |a, b| a * b),
+            Op::Add => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_add(b))), |a, b| a
+                + b),
+            Op::Sub => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_sub(b))), |a, b| a
+                - b),
+            Op::Mul => arith!(|a: i64, b: i64| Ok(Value::I(a.wrapping_mul(b))), |a, b| a
+                * b),
             Op::Div => arith!(
                 |a: i64, b: i64| {
                     if b == 0 {
@@ -209,13 +214,17 @@ pub fn run(
                 }
             }
             Op::JumpIfFalsePeek(t) => {
-                let v = *stack.last().ok_or(RuntimeError::Internal("peek underflow"))?;
+                let v = *stack
+                    .last()
+                    .ok_or(RuntimeError::Internal("peek underflow"))?;
                 if !v.truthy() {
                     pc = t as usize;
                 }
             }
             Op::JumpIfTruePeek(t) => {
-                let v = *stack.last().ok_or(RuntimeError::Internal("peek underflow"))?;
+                let v = *stack
+                    .last()
+                    .ok_or(RuntimeError::Internal("peek underflow"))?;
                 if v.truthy() {
                     pc = t as usize;
                 }
@@ -273,7 +282,11 @@ mod tests {
 
     #[test]
     fn conditional_suppression() {
-        let out = exec("{ if (input[A].value > 100) { output[0] = input[A]; } }", &recs()).unwrap();
+        let out = exec(
+            "{ if (input[A].value > 100) { output[0] = input[A]; } }",
+            &recs(),
+        )
+        .unwrap();
         assert!(out.records().is_empty());
     }
 
@@ -345,27 +358,36 @@ mod tests {
     #[test]
     fn short_circuit_and_skips_rhs() {
         // If && did not short-circuit, input[99] would be an index error.
-        let out = exec("{ if (0 && input[99].value > 0) { output[0] = input[A]; } }", &recs());
+        let out = exec(
+            "{ if (0 && input[99].value > 0) { output[0] = input[A]; } }",
+            &recs(),
+        );
         assert!(out.unwrap().records().is_empty());
-        let out = exec("{ if (1 || input[99].value > 0) { output[0] = input[A]; } }", &recs());
+        let out = exec(
+            "{ if (1 || input[99].value > 0) { output[0] = input[A]; } }",
+            &recs(),
+        );
         assert_eq!(out.unwrap().records().len(), 1);
     }
 
     #[test]
     fn input_index_out_of_range() {
         let err = exec("{ double v = input[7].value; }", &recs()).unwrap_err();
-        assert_eq!(
-            err,
-            RuntimeError::InputIndexOutOfRange { index: 7, len: 3 }
-        );
+        assert_eq!(err, RuntimeError::InputIndexOutOfRange { index: 7, len: 3 });
         let err = exec("{ double v = input[-1].value; }", &recs()).unwrap_err();
-        assert!(matches!(err, RuntimeError::InputIndexOutOfRange { index: -1, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::InputIndexOutOfRange { index: -1, .. }
+        ));
     }
 
     #[test]
     fn output_index_bounds() {
         let err = exec("{ output[-1] = input[A]; }", &recs()).unwrap_err();
-        assert!(matches!(err, RuntimeError::OutputIndexOutOfRange { index: -1 }));
+        assert!(matches!(
+            err,
+            RuntimeError::OutputIndexOutOfRange { index: -1 }
+        ));
         let err = exec("{ output[10000] = input[A]; }", &recs()).unwrap_err();
         assert!(matches!(err, RuntimeError::OutputIndexOutOfRange { .. }));
     }

@@ -225,7 +225,9 @@ mod tests {
         }
         let hops = d.plan_submission(c, NodeId(2));
         assert_eq!(hops.len(), 3);
-        assert!(hops.iter().all(|h| h.from == NodeId(2) && h.to != NodeId(2)));
+        assert!(hops
+            .iter()
+            .all(|h| h.from == NodeId(2) && h.to != NodeId(2)));
         // deterministic order
         assert_eq!(
             hops.iter().map(|h| h.to).collect::<Vec<_>>(),
@@ -243,14 +245,26 @@ mod tests {
         }
         // Publisher 2 sends one hop to the hub...
         let hops = d.plan_submission(c, NodeId(2));
-        assert_eq!(hops, vec![Hop { from: NodeId(2), to: NodeId(0) }]);
+        assert_eq!(
+            hops,
+            vec![Hop {
+                from: NodeId(2),
+                to: NodeId(0)
+            }]
+        );
         // ...and the hub forwards to everyone except origin and itself.
         let fwd = d.plan_forward(c, NodeId(2));
         assert_eq!(
             fwd,
             vec![
-                Hop { from: NodeId(0), to: NodeId(1) },
-                Hop { from: NodeId(0), to: NodeId(3) },
+                Hop {
+                    from: NodeId(0),
+                    to: NodeId(1)
+                },
+                Hop {
+                    from: NodeId(0),
+                    to: NodeId(3)
+                },
             ]
         );
     }

@@ -96,6 +96,12 @@ pub enum ControlMsg {
     /// Ask the target to (re)announce its subscriptions — used when a node
     /// joins late.
     Announce,
+    /// Sent back to a subscriber whose `DeployFilter` was refused by the
+    /// publisher's static verifier (unbounded or over-budget cost).
+    FilterRejected {
+        /// Why the filter was not admitted.
+        reason: String,
+    },
 }
 
 /// A complete event as it travels between kernels.
@@ -139,7 +145,13 @@ impl Event {
     }
 
     /// Construct a targeted control event.
-    pub fn control(channel: u32, seq: u64, sender: NodeId, target: NodeId, msg: ControlMsg) -> Self {
+    pub fn control(
+        channel: u32,
+        seq: u64,
+        sender: NodeId,
+        target: NodeId,
+        msg: ControlMsg,
+    ) -> Self {
         Event {
             kind: EventKind::Control,
             channel,

@@ -135,6 +135,10 @@ pub fn encode_event(ev: &Event) -> Bytes {
             }
             ControlMsg::RemoveFilter => buf.put_u8(2),
             ControlMsg::Announce => buf.put_u8(3),
+            ControlMsg::FilterRejected { reason } => {
+                buf.put_u8(4);
+                put_string(&mut buf, reason);
+            }
         },
     }
     buf.freeze()
@@ -253,6 +257,9 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
                 },
                 2 => ControlMsg::RemoveFilter,
                 3 => ControlMsg::Announce,
+                4 => ControlMsg::FilterRejected {
+                    reason: get_string(&mut buf)?,
+                },
                 t => return Err(WireError::BadTag(t)),
             };
             Payload::Control(msg)
@@ -279,8 +286,7 @@ pub fn encoded_size(ev: &Event) -> usize {
                 + 4
                 + m.pad_bytes as usize
                 + 2
-                + m
-                    .ext_names
+                + m.ext_names
                     .iter()
                     .map(|(_, metric, file)| 4 + 4 + metric.len() + 4 + file.len())
                     .sum::<usize>()
@@ -296,6 +302,7 @@ pub fn encoded_size(ev: &Event) -> usize {
                     }
             }
             ControlMsg::DeployFilter { source } => 1 + 4 + source.len(),
+            ControlMsg::FilterRejected { reason } => 1 + 4 + reason.len(),
             ControlMsg::RemoveFilter | ControlMsg::Announce => 1,
         },
     };
@@ -379,6 +386,9 @@ mod tests {
             },
             ControlMsg::RemoveFilter,
             ControlMsg::Announce,
+            ControlMsg::FilterRejected {
+                reason: "filter cost is unbounded".into(),
+            },
         ];
         for msg in msgs {
             let ev = Event::control(2, 1, NodeId(0), NodeId(5), msg.clone());
@@ -412,7 +422,10 @@ mod tests {
     fn bad_kind_rejected() {
         let mut raw = encode_event(&mon_event(0)).to_vec();
         raw[1] = 7;
-        assert_eq!(decode_event(Bytes::from(raw)).unwrap_err(), WireError::BadTag(7));
+        assert_eq!(
+            decode_event(Bytes::from(raw)).unwrap_err(),
+            WireError::BadTag(7)
+        );
     }
 
     #[test]

@@ -192,10 +192,7 @@ impl<W> Sim<W> {
     pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events {
-            let ev = match self.queue.pop() {
-                Some(ev) => ev,
-                None => break,
-            };
+            let Some(ev) = self.queue.pop() else { break };
             if self.cancelled.remove(&ev.seq) {
                 continue;
             }

@@ -15,7 +15,7 @@
 //! * [`series`] — time-series recording and tabular export used by the
 //!   figure-regeneration harness,
 //! * [`ratelimit`] — a token bucket used by the network model,
-//! * [`parallel`] — a crossbeam-based replica runner used by parameter
+//! * [`parallel`] — a scoped-thread replica runner used by parameter
 //!   sweeps (the DES itself is strictly single-threaded for determinism).
 //!
 //! # Determinism

@@ -3,10 +3,10 @@
 //! The discrete-event simulation itself is single-threaded (determinism),
 //! but parameter sweeps run many *independent* simulations — one per
 //! configuration point or seed. [`run_sweep`] distributes those across a
-//! crossbeam scoped-thread pool and returns results in input order.
+//! scoped thread pool (`std::thread::scope`) and returns results in input
+//! order.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Run `f` over every item of `inputs` using up to `threads` worker
 /// threads. Results are returned in the same order as `inputs`. Panics in a
@@ -27,30 +27,33 @@ where
         return inputs.into_iter().map(f).collect();
     }
 
-    let (tx, rx) = channel::unbounded::<(usize, I)>();
-    for item in inputs.into_iter().enumerate() {
-        tx.send(item).expect("queue send");
-    }
-    drop(tx);
-
+    // Shared work queue: workers pop from the front until it drains. Items
+    // carry their input index so results land in input order regardless of
+    // which worker finishes first.
+    let queue: Mutex<std::vec::IntoIter<(usize, I)>> = Mutex::new(
+        inputs
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter(),
+    );
     let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((idx, input)) = rx.recv() {
-                    let out = f(input);
-                    results.lock()[idx] = Some(out);
-                }
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("sweep queue poisoned").next();
+                let Some((idx, input)) = item else {
+                    break;
+                };
+                let out = f(input);
+                results.lock().expect("sweep results poisoned")[idx] = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep results poisoned")
         .into_iter()
         .map(|o| o.expect("missing sweep result"))
         .collect()
@@ -59,7 +62,7 @@ where
 /// Suggested worker count: available parallelism capped at `max`.
 pub fn suggested_threads(max: usize) -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
         .min(max)
         .max(1)

@@ -201,7 +201,12 @@ mod tests {
         let mut ct = ConnTrack::new();
         ct.open(cid(1), SimTime::ZERO);
         assert_eq!(ct.len(), 1);
-        ct.record_delivery(cid(1), SimTime::from_millis(10), 1000, SimDur::from_millis(5));
+        ct.record_delivery(
+            cid(1),
+            SimTime::from_millis(10),
+            1000,
+            SimDur::from_millis(5),
+        );
         let s = ct.get(cid(1)).unwrap();
         assert_eq!(s.messages(), 1);
         assert_eq!(s.bytes_total(), 1000);
@@ -229,7 +234,10 @@ mod tests {
         let mut ct = ConnTrack::new();
         ct.open(cid(1), SimTime::ZERO);
         ct.record_delivery(cid(1), SimTime::ZERO, 125_000, SimDur::from_millis(1));
-        let bps = ct.get_mut(cid(1)).unwrap().used_bps(SimTime::from_millis(500));
+        let bps = ct
+            .get_mut(cid(1))
+            .unwrap()
+            .used_bps(SimTime::from_millis(500));
         assert!((bps - 1e6).abs() < 1.0, "bps {bps}");
         // Window slides off.
         let bps = ct.get_mut(cid(1)).unwrap().used_bps(SimTime::from_secs(3));
@@ -275,7 +283,11 @@ mod tests {
         ct.open(cid(1), SimTime::ZERO);
         ct.record_delivery(cid(1), SimTime::ZERO, 5, SimDur::from_millis(1));
         ct.open(cid(1), SimTime::from_secs(9));
-        assert_eq!(ct.get(cid(1)).unwrap().messages(), 1, "stats survive re-open");
+        assert_eq!(
+            ct.get(cid(1)).unwrap().messages(),
+            1,
+            "stats survive re-open"
+        );
         assert_eq!(ct.get(cid(1)).unwrap().opened_at(), SimTime::ZERO);
         assert_eq!(ct.iter().count(), 1);
     }

@@ -243,7 +243,10 @@ mod tests {
         assert!(t2 > t1);
         // 100 Mbps: 1 MB payload ≈ 80 ms + overheads
         let t = s.tx_time(1_000_000);
-        assert!(t > SimDur::from_millis(80) && t < SimDur::from_millis(90), "{t}");
+        assert!(
+            t > SimDur::from_millis(80) && t < SimDur::from_millis(90),
+            "{t}"
+        );
     }
 
     #[test]

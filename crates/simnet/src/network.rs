@@ -217,7 +217,10 @@ mod tests {
         // ~2 serializations of ~1078 wire bytes at 100 Mbps + 2*30us
         let expect_us = 2.0 * 1078.0 * 8.0 / 100.0 + 60.0;
         let got_us = d.latency(SimTime::ZERO).as_micros_f64();
-        assert!((got_us - expect_us).abs() < 2.0, "got {got_us} vs {expect_us}");
+        assert!(
+            (got_us - expect_us).abs() < 2.0,
+            "got {got_us} vs {expect_us}"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl Disk {
     /// A disk with the given sustained transfer rate and per-request seek
     /// cost; windowed rates use `window`.
     pub fn new(transfer_bytes_per_sec: f64, seek: SimDur, window: SimDur) -> Self {
-        assert!(transfer_bytes_per_sec > 0.0, "transfer rate must be positive");
+        assert!(
+            transfer_bytes_per_sec > 0.0,
+            "transfer rate must be positive"
+        );
         Disk {
             transfer_bps: transfer_bytes_per_sec,
             seek,

@@ -226,7 +226,8 @@ mod tests {
     fn refresh_reflects_activity() {
         let mut h = Host::new("etna", NodeId(1), &HostConfig::uniprocessor());
         h.mem.alloc("app", 1024 * 1024);
-        h.disk.submit(SimTime::ZERO, crate::disk::IoDir::Write, 4096);
+        h.disk
+            .submit(SimTime::ZERO, crate::disk::IoDir::Write, 4096);
         h.pmc.on_data_moved(4096);
         h.refresh_local_proc(SimTime::from_secs(1));
         assert!(h.proc.read("diskstats").unwrap().contains("writes 1"));

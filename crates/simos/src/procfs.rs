@@ -267,7 +267,10 @@ mod tests {
             writes,
             vec![
                 ("cluster/alan/control".to_string(), "period=2".to_string()),
-                ("cluster/alan/control".to_string(), "threshold=0.8".to_string()),
+                (
+                    "cluster/alan/control".to_string(),
+                    "threshold=0.8".to_string()
+                ),
             ]
         );
         assert_eq!(fs.pending_write_count(), 0);

@@ -55,10 +55,7 @@ impl Linpack {
     /// Total flops completed by all threads so far.
     pub fn total_flops(&self, cpu: &mut CpuSched, now: SimTime) -> f64 {
         cpu.advance(now);
-        self.threads
-            .iter()
-            .map(|&t| cpu.work_done(now, t))
-            .sum()
+        self.threads.iter().map(|&t| cpu.work_done(now, t)).sum()
     }
 
     /// Begin a measurement interval at `now`.

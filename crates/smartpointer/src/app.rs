@@ -192,7 +192,14 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
         let (server, spec, rate_hz, node, policy, last_mode) = {
             let st = state.borrow();
             let c = &st.clients[idx];
-            (st.server, st.spec, st.rate_hz, c.node, c.policy, c.stats.last_mode)
+            (
+                st.server,
+                st.spec,
+                st.rate_hz,
+                c.node,
+                c.policy,
+                c.stats.last_mode,
+            )
         };
         let mode = match policy {
             Policy::NoFilter => StreamMode::Raw,

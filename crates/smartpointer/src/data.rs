@@ -157,10 +157,16 @@ mod tests {
         let spec = FrameSpec::interactive();
         let raw_b = StreamMode::Raw.bytes(&spec);
         let img_b = StreamMode::PreRender(1).bytes(&spec);
-        assert!(img_b > raw_b, "full-quality imagery is bigger: {img_b} vs {raw_b}");
+        assert!(
+            img_b > raw_b,
+            "full-quality imagery is bigger: {img_b} vs {raw_b}"
+        );
         let raw_c = StreamMode::Raw.client_flops(&spec);
         let img_c = StreamMode::PreRender(1).client_flops(&spec);
-        assert!(img_c < raw_c * 0.1, "client CPU collapses: {img_c} vs {raw_c}");
+        assert!(
+            img_c < raw_c * 0.1,
+            "client CPU collapses: {img_c} vs {raw_c}"
+        );
         // Reduced quality shrinks the image below raw.
         assert!(StreamMode::PreRender(4).bytes(&spec) < raw_b);
         // The server pays for it.

@@ -74,9 +74,7 @@ impl ClientView {
 
     fn net_fits(&self, bytes: usize, rate_hz: f64) -> bool {
         match self.avail_bps {
-            Some(avail) => {
-                bytes as f64 * 8.0 * rate_hz <= (avail + self.stream_bps) * NET_HEADROOM
-            }
+            Some(avail) => bytes as f64 * 8.0 * rate_hz <= (avail + self.stream_bps) * NET_HEADROOM,
             None => true,
         }
     }
@@ -183,7 +181,10 @@ mod tests {
     #[test]
     fn cpu_policy_switches_on_load() {
         let s = spec();
-        assert_eq!(decide(MonitorSet::Cpu, &view(0.9, 100.0), &s, RATE), StreamMode::Raw);
+        assert_eq!(
+            decide(MonitorSet::Cpu, &view(0.9, 100.0), &s, RATE),
+            StreamMode::Raw
+        );
         assert_eq!(
             decide(MonitorSet::Cpu, &view(3.0, 100.0), &s, RATE),
             StreamMode::PreRender(1)
@@ -198,7 +199,10 @@ mod tests {
     #[test]
     fn net_policy_subsamples_to_fit() {
         let s = spec();
-        assert_eq!(decide(MonitorSet::Net, &view(0.5, 100.0), &s, RATE), StreamMode::Raw);
+        assert_eq!(
+            decide(MonitorSet::Net, &view(0.5, 100.0), &s, RATE),
+            StreamMode::Raw
+        );
         // Raw needs 38.5 KB * 8 * 5 = 1.54 Mbps; give it less.
         let mode = decide(MonitorSet::Net, &view(0.5, 1.0), &s, RATE);
         let StreamMode::SubSample(k) = mode else {
@@ -288,6 +292,9 @@ mod tests {
         v.n_cpus = 4;
         assert_eq!(decide(MonitorSet::Cpu, &v, &s, RATE), StreamMode::Raw);
         v.loadavg = Some(6.0);
-        assert_eq!(decide(MonitorSet::Cpu, &v, &s, RATE), StreamMode::PreRender(1));
+        assert_eq!(
+            decide(MonitorSet::Cpu, &v, &s, RATE),
+            StreamMode::PreRender(1)
+        );
     }
 }

@@ -28,8 +28,8 @@ pub struct CpuLoadedResult {
 /// the start of each segment; the run has `max_threads + 1` segments
 /// (starting at zero threads) of `segment` seconds each.
 pub fn cpu_loaded(policy: Policy, max_threads: usize, segment_s: u64) -> CpuLoadedResult {
-    let cfg = ClusterConfig::named(&["server", "client", "aux"])
-        .host_cfg(1, HostConfig::uniprocessor());
+    let cfg =
+        ClusterConfig::named(&["server", "client", "aux"]).host_cfg(1, HostConfig::uniprocessor());
     let mut sim = ClusterSim::new(cfg);
     sim.start();
     // Fast CPU window so the server reacts within a few seconds.
@@ -94,7 +94,12 @@ pub fn net_perturbed(policy: Policy, perturb_mbps: f64, duration_s: u64) -> f64 
     let warmup = app.client_stats(0).processed;
     sim.run_until(SimTime::from_secs(10 + duration_s));
     let st = app.client_stats(0);
-    let samples: Vec<f64> = st.log.iter().skip(warmup as usize).map(|&(_, l)| l).collect();
+    let samples: Vec<f64> = st
+        .log
+        .iter()
+        .skip(warmup as usize)
+        .map(|&(_, l)| l)
+        .collect();
     if samples.is_empty() {
         // Completely starved: report the age of the oldest unprocessed
         // frame (the latency a completing frame would show).
@@ -140,7 +145,12 @@ pub fn hybrid(set: MonitorSet, k: usize, duration_s: u64) -> f64 {
     let warmup = app.client_stats(0).processed;
     sim.run_until(SimTime::from_secs(10 + duration_s));
     let st = app.client_stats(0);
-    let samples: Vec<f64> = st.log.iter().skip(warmup as usize).map(|&(_, l)| l).collect();
+    let samples: Vec<f64> = st
+        .log
+        .iter()
+        .skip(warmup as usize)
+        .map(|&(_, l)| l)
+        .collect();
     if samples.is_empty() {
         return duration_s as f64;
     }

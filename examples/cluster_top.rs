@@ -28,8 +28,7 @@ fn dashboard(sim: &ClusterSim) -> String {
             .map(|(v, _)| v)
             .unwrap_or(f64::NAN);
         out.push_str(&format!(
-            "{:>12}  {:>5.2}  {:>7.0}  {:>10.0}\n",
-            name, load, free, disk
+            "{name:>12}  {load:>5.2}  {free:>7.0}  {disk:>10.0}\n"
         ));
     }
     out
@@ -45,7 +44,9 @@ fn main() {
     println!("== idle cluster ==\n{}", dashboard(&sim));
 
     sim.start_linpack(NodeId(3), 6);
-    sim.world_mut().hosts[5].mem.alloc("simulation", 400 * 1024 * 1024);
+    sim.world_mut().hosts[5]
+        .mem
+        .alloc("simulation", 400 * 1024 * 1024);
     // Disk churn on node 7: a burst of writes every 500 ms (scheduled
     // through the event loop so DISK MON's sliding window sees it live).
     sim.at(SimTime::from_secs(70), |_w, s| {
@@ -55,7 +56,9 @@ fn main() {
             |w: &mut dproc::ClusterWorld, s: &mut simcore::Sim<dproc::ClusterWorld>| {
                 let now = s.now();
                 for _ in 0..4 {
-                    w.hosts[7].disk.submit(now, simos::disk::IoDir::Write, 512 * 128);
+                    w.hosts[7]
+                        .disk
+                        .submit(now, simos::disk::IoDir::Write, 512 * 128);
                 }
                 simcore::Repeat::Continue
             },
@@ -98,11 +101,7 @@ fn main() {
     }
     sim.run_for(SimDur::from_secs(65));
     let events_diff = sim.world().dmons[0].stats.events_received;
-    println!(
-        "node0 received {events_diff} events in the same window with the differential filter"
-    );
+    println!("node0 received {events_diff} events in the same window with the differential filter");
     println!("{}", dashboard(&sim));
-    println!(
-        "traffic reduction: the stable metrics stopped flowing; only changes propagate."
-    );
+    println!("traffic reduction: the stable metrics stopped flowing; only changes propagate.");
 }

@@ -69,9 +69,18 @@ fn main() {
             "  {:>4}  {:>7.1}  {:<7}  {:>7.2}{}",
             step * 120,
             battery * 100.0,
-            st.mode_log.last().map(|(_, m)| m.clone()).unwrap_or_default(),
+            st.mode_log
+                .last()
+                .map(|(_, m)| m.clone())
+                .unwrap_or_default(),
             rate,
-            if throttled && battery >= 0.5 { "" } else if throttled { "   <- throttled to save radio+CPU" } else { "" }
+            if throttled && battery >= 0.5 {
+                ""
+            } else if throttled {
+                "   <- throttled to save radio+CPU"
+            } else {
+                ""
+            }
         );
     }
 

@@ -13,8 +13,8 @@ use smartpointer::policy::{MonitorSet, Policy};
 use smartpointer::{FrameSpec, SmartPointer, SmartPointerConfig};
 
 fn run(policy: Policy, label: &str) {
-    let cfg = ClusterConfig::named(&["server", "client", "aux"])
-        .host_cfg(1, HostConfig::uniprocessor());
+    let cfg =
+        ClusterConfig::named(&["server", "client", "aux"]).host_cfg(1, HostConfig::uniprocessor());
     let mut sim = ClusterSim::new(cfg);
     sim.start();
     sim.write_control(NodeId(1), "client", "window cpu 5");

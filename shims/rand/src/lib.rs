@@ -1,0 +1,27 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The workspace builds hermetically (no registry access), so the external
+//! crates it names are provided as local shims implementing exactly the API
+//! surface used here: `simcore::SimRng` implements [`RngCore`] so downstream
+//! code can stay generic over RNG sources.
+
+/// Error type for fallible RNG operations (never produced by this workspace's
+/// generators; present for trait compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait, mirroring `rand::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -110,9 +110,8 @@ fn parameter_and_filter_deployments_send_identical_event_counts() {
     // variant replaces the mute rules too, so it must also express them:
     // only the CPU record above the bound.)
     let via_param = run("above cpu 2");
-    let via_filter = run(
-        "filter { if (input[LOADAVG].value > 2.0) { output[0] = input[LOADAVG]; } }",
-    );
+    let via_filter =
+        run("filter { if (input[LOADAVG].value > 2.0) { output[0] = input[LOADAVG]; } }");
     assert!(via_param > 10, "load admits events: {via_param}");
     // Identical decision logic, identical polling: counts match exactly.
     assert_eq!(via_param, via_filter);
@@ -185,5 +184,8 @@ fn scheduler_loadavg_matches_reference_time_weighted_average() {
     let end = SimTime::from_secs(100);
     let la = cpu.loadavg(end, SimDur::from_secs(100));
     let expect = reference.mean_at(end);
-    assert!((la - expect).abs() < 1e-9, "loadavg {la} vs reference {expect}");
+    assert!(
+        (la - expect).abs() < 1e-9,
+        "loadavg {la} vs reference {expect}"
+    );
 }

@@ -66,9 +66,12 @@ fn event_order_is_stable_under_identical_schedules() {
         let mut world: Vec<u32> = Vec::new();
         for i in 0..100u32 {
             // Many events at the same instant: sequence numbers break ties.
-            sim.schedule_in(SimDur::from_millis((i / 10) as u64), move |w: &mut Vec<u32>, _s: &mut Sim<Vec<u32>>| {
-                w.push(i);
-            });
+            sim.schedule_in(
+                SimDur::from_millis((i / 10) as u64),
+                move |w: &mut Vec<u32>, _s: &mut Sim<Vec<u32>>| {
+                    w.push(i);
+                },
+            );
         }
         sim.run_until(&mut world, simcore::SimTime::from_secs(1));
         world

@@ -29,7 +29,10 @@ fn period_parameter_thins_the_stream() {
     sim.write_control(NodeId(1), "node0", "period * 5");
     sim.run_for(SimDur::from_secs(3)); // control propagation
     let thinned = events_in_window(&mut sim, 1, SimDur::from_secs(20));
-    assert!((3..=6).contains(&thinned), "0.2 Hz after period 5: {thinned}");
+    assert!(
+        (3..=6).contains(&thinned),
+        "0.2 Hz after period 5: {thinned}"
+    );
 }
 
 #[test]
@@ -127,9 +130,15 @@ fn per_subscriber_isolation() {
     let from0_to1 = sim.world().dmons[1].stats.events_received - before1;
     let from_to2 = sim.world().dmons[2].stats.events_received - before2;
     // node1 still hears node2 (~10 events) but not node0.
-    assert!((8..=12).contains(&from0_to1), "node1 gets only node2's events: {from0_to1}");
+    assert!(
+        (8..=12).contains(&from0_to1),
+        "node1 gets only node2's events: {from0_to1}"
+    );
     // node2 hears both node0 and node1 (~20).
-    assert!((16..=24).contains(&from_to2), "node2 unaffected: {from_to2}");
+    assert!(
+        (16..=24).contains(&from_to2),
+        "node2 unaffected: {from_to2}"
+    );
 }
 
 #[test]
@@ -139,8 +148,14 @@ fn broken_filter_writes_are_counted_not_fatal() {
     sim.write_control(NodeId(1), "node0", "complete gibberish");
     sim.run_for(SimDur::from_secs(3));
     let w = sim.world();
-    assert_eq!(w.dmons[0].stats.filter_errors, 1, "bad filter counted at publisher");
-    assert_eq!(w.dmons[1].stats.control_errors, 1, "bad command counted at writer");
+    assert_eq!(
+        w.dmons[0].stats.filter_errors, 1,
+        "bad filter counted at publisher"
+    );
+    assert_eq!(
+        w.dmons[1].stats.control_errors, 1,
+        "bad command counted at writer"
+    );
     assert!(!w.dmons[0].has_filter(NodeId(1)));
     // The cluster is still alive.
     assert!(w.mon_delivered > 0);

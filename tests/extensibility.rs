@@ -49,8 +49,7 @@ fn power_module_registers_at_runtime() {
 fn battery_drains_faster_under_load() {
     let drain_after = |load_threads: usize| {
         let mut sim = ClusterSim::new(
-            ClusterConfig::named(&["server", "handheld"])
-                .host_cfg(1, HostConfig::uniprocessor()),
+            ClusterConfig::named(&["server", "handheld"]).host_cfg(1, HostConfig::uniprocessor()),
         );
         sim.start();
         sim.world_mut().hosts[1].battery = Some(Battery::handheld());
@@ -66,7 +65,10 @@ fn battery_drains_faster_under_load() {
     };
     let idle = drain_after(0);
     let busy = drain_after(2);
-    assert!(busy < idle, "CPU load costs charge: idle {idle} vs busy {busy}");
+    assert!(
+        busy < idle,
+        "CPU load costs charge: idle {idle} vs busy {busy}"
+    );
     assert!(idle > 0.8, "idle handheld barely drains in 30 min: {idle}");
     assert!(busy < 0.85, "busy one visibly drains: {busy}");
 }
@@ -143,7 +145,10 @@ fn dead_node_stops_polling_and_receiving() {
     let (_, last_seen) = sim.world().dmons[0]
         .remote_value(NodeId(2), "LOADAVG")
         .expect("pre-crash data retained");
-    assert!(last_seen <= SimTime::from_secs(6), "no fresh data after crash");
+    assert!(
+        last_seen <= SimTime::from_secs(6),
+        "no fresh data after crash"
+    );
 }
 
 #[test]
@@ -153,5 +158,8 @@ fn duplicate_module_registration_panics() {
         sim.world_mut().dmons[0].register_module(Box::new(PowerMon));
         sim.world_mut().dmons[0].register_module(Box::new(PowerMon));
     });
-    assert!(result.is_err(), "double registration is a programming error");
+    assert!(
+        result.is_err(),
+        "double registration is a programming error"
+    );
 }

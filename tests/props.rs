@@ -30,10 +30,7 @@ fn mon_record_strategy() -> impl Strategy<Value = MonRecord> {
 }
 
 fn event_strategy() -> impl Strategy<Value = Event> {
-    let ext = proptest::collection::vec(
-        (5u32..64, "[A-Z_]{1,16}", "[a-z_]{1,12}"),
-        0..4,
-    );
+    let ext = proptest::collection::vec((5u32..64, "[A-Z_]{1,16}", "[a-z_]{1,12}"), 0..4);
     let mon = (
         0u32..8,
         any::<u64>(),
@@ -60,14 +57,19 @@ fn event_strategy() -> impl Strategy<Value = Event> {
         (0.0f64..1.0).prop_map(|fraction| ParamSpec::DeltaFraction { fraction }),
         proptest::num::f64::NORMAL.prop_map(|bound| ParamSpec::Above { bound }),
         proptest::num::f64::NORMAL.prop_map(|bound| ParamSpec::Below { bound }),
-        (proptest::num::f64::NORMAL, proptest::num::f64::NORMAL)
-            .prop_map(|(a, b)| ParamSpec::Range { lo: a.min(b), hi: a.max(b) }),
+        (proptest::num::f64::NORMAL, proptest::num::f64::NORMAL).prop_map(|(a, b)| {
+            ParamSpec::Range {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        }),
     ];
     let ctl_msg = prop_oneof![
         ("[a-z*]{1,12}", param).prop_map(|(metric, param)| ControlMsg::SetParam { metric, param }),
         "[ -~]{0,200}".prop_map(|source| ControlMsg::DeployFilter { source }),
         Just(ControlMsg::RemoveFilter),
         Just(ControlMsg::Announce),
+        "[ -~]{0,120}".prop_map(|reason| ControlMsg::FilterRejected { reason }),
     ];
     let ctl = (0u32..8, any::<u64>(), 0usize..32, 0usize..32, ctl_msg).prop_map(
         |(chan, seq, sender, target, msg)| {

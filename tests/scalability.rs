@@ -151,5 +151,8 @@ fn event_size_scales_submission_cost() {
     let small = cost(0);
     let large = cost(4900);
     // Fig. 7 vs Fig. 6: ~5 KB events cost ~2.5-3x the small ones.
-    assert!(large / small > 2.0 && large / small < 4.0, "{small} -> {large}");
+    assert!(
+        large / small > 2.0 && large / small < 4.0,
+        "{small} -> {large}"
+    );
 }

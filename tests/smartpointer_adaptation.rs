@@ -11,8 +11,8 @@ use smartpointer::scenarios;
 use smartpointer::{FrameSpec, SmartPointer, SmartPointerConfig, StreamMode};
 
 fn setup(policy: Policy) -> (ClusterSim, SmartPointer) {
-    let cfg = ClusterConfig::named(&["server", "client", "aux"])
-        .host_cfg(1, HostConfig::uniprocessor());
+    let cfg =
+        ClusterConfig::named(&["server", "client", "aux"]).host_cfg(1, HostConfig::uniprocessor());
     let mut sim = ClusterSim::new(cfg);
     sim.start();
     sim.write_control(NodeId(1), "client", "window cpu 5");
@@ -100,9 +100,15 @@ fn dynamic_net_filter_tracks_available_bandwidth() {
     let lat_60 = scenarios::net_perturbed(Policy::Dynamic(MonitorSet::Net), 60.0, 30);
     let lat_85 = scenarios::net_perturbed(Policy::Dynamic(MonitorSet::Net), 85.0, 30);
     assert!(lat_60 < 1.5, "fits after adaptation: {lat_60}");
-    assert!(lat_85 < 2.0, "still bounded at 85 Mbps perturbation: {lat_85}");
+    assert!(
+        lat_85 < 2.0,
+        "still bounded at 85 Mbps perturbation: {lat_85}"
+    );
     let none_85 = scenarios::net_perturbed(Policy::NoFilter, 85.0, 30);
-    assert!(none_85 > lat_85 * 3.0, "no-filter collapses: {none_85} vs {lat_85}");
+    assert!(
+        none_85 > lat_85 * 3.0,
+        "no-filter collapses: {none_85} vs {lat_85}"
+    );
 }
 
 #[test]
@@ -113,9 +119,15 @@ fn single_resource_adaptations_show_the_paper_pathologies() {
     let net_only = scenarios::hybrid(MonitorSet::Net, k, 40);
     let hybrid = scenarios::hybrid(MonitorSet::Hybrid, k, 40);
     // CPU-only pre-renders full-size imagery into a congested link.
-    assert!(cpu_only > hybrid * 2.0, "cpu-only pathology: {cpu_only} vs {hybrid}");
+    assert!(
+        cpu_only > hybrid * 2.0,
+        "cpu-only pathology: {cpu_only} vs {hybrid}"
+    );
     // Net-only subsamples hard and burns the loaded client's CPU.
-    assert!(net_only > hybrid * 2.0, "net-only pathology: {net_only} vs {hybrid}");
+    assert!(
+        net_only > hybrid * 2.0,
+        "net-only pathology: {net_only} vs {hybrid}"
+    );
     assert!(hybrid < 1.5, "hybrid stays interactive: {hybrid}");
 }
 
@@ -146,7 +158,10 @@ fn two_clients_adapt_independently() {
     sim.run_until(SimTime::from_secs(20));
     sim.start_linpack(NodeId(1), 3);
     sim.run_until(SimTime::from_secs(80));
-    assert_eq!(app.client_stats(0).last_mode, Some(StreamMode::PreRender(1)));
+    assert_eq!(
+        app.client_stats(0).last_mode,
+        Some(StreamMode::PreRender(1))
+    );
     assert_eq!(app.client_stats(1).last_mode, Some(StreamMode::Raw));
     // Both keep the full event rate.
     let p0 = app.client_stats(0).processed;
@@ -189,7 +204,10 @@ fn handheld_client_gets_prerendered_stream_while_workstation_gets_raw() {
     // 3 Mflops, far over the 0.2 s budget): its own processing load pushes
     // its run queue up and the server switches it to imagery.
     assert!(
-        matches!(app.client_stats(1).last_mode, Some(StreamMode::PreRender(_))),
+        matches!(
+            app.client_stats(1).last_mode,
+            Some(StreamMode::PreRender(_))
+        ),
         "handheld adapted: {:?}",
         app.client_stats(1).last_mode
     );
