@@ -13,6 +13,8 @@ fn event(records: usize, pad: u32) -> Event {
         NodeId(2),
         MonitoringPayload {
             origin: NodeId(2),
+            epoch: 0,
+            stream_seq: 0,
             records: (0..records)
                 .map(|i| MonRecord {
                     metric_id: i as u32,

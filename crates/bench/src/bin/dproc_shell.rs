@@ -60,6 +60,21 @@ enum Cmd {
     Kill {
         node: String,
     },
+    Revive {
+        node: String,
+    },
+    Partition {
+        a: String,
+        b: String,
+    },
+    Heal {
+        a: String,
+        b: String,
+    },
+    Loss {
+        prob: f64,
+    },
+    Faults,
     Lint {
         source: String,
     },
@@ -160,6 +175,33 @@ fn parse(line: &str) -> Result<Cmd, String> {
             [node] => Ok(Cmd::Kill { node: node.into() }),
             _ => Err("usage: kill <node>".into()),
         },
+        "revive" => match rest[..] {
+            [node] => Ok(Cmd::Revive { node: node.into() }),
+            _ => Err("usage: revive <node>".into()),
+        },
+        "partition" => match rest[..] {
+            [a, b] => Ok(Cmd::Partition {
+                a: a.into(),
+                b: b.into(),
+            }),
+            _ => Err("usage: partition <a> <b>".into()),
+        },
+        "heal" => match rest[..] {
+            [a, b] => Ok(Cmd::Heal {
+                a: a.into(),
+                b: b.into(),
+            }),
+            _ => Err("usage: heal <a> <b>".into()),
+        },
+        "loss" => match rest[..] {
+            [prob] => Ok(Cmd::Loss {
+                prob: prob
+                    .parse()
+                    .map_err(|_| "loss takes a probability 0..=1".to_string())?,
+            }),
+            _ => Err("usage: loss <probability>".into()),
+        },
+        "faults" => Ok(Cmd::Faults),
         "lint" => {
             if rest.is_empty() {
                 return Err(
@@ -190,6 +232,11 @@ ctl <node> <target> <cmd>   write a control command (period/delta/above/
 linpack <node> <threads>    start linpack threads on a node
 iperf <from> <to> <mbps>    start a UDP flood between nodes
 kill <node>                 crash a node
+revive <node>               restart a crashed node (rejoins + resyncs)
+partition <a> <b>           sever the path between two nodes
+heal <a> <b>                remove a partition
+loss <probability>          drop each delivery with this probability
+faults                      active faults and drop/detection counters
 lint <filter source>        run the static verifier on an E-code filter
 stats                       per-node d-mon counters
 latency                     monitoring latency summary
@@ -307,6 +354,90 @@ impl Shell {
                 sim.world_mut().kill_node(id);
                 Ok(Some(format!("{node} is down")))
             }
+            Cmd::Revive { node } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_mut().expect("checked");
+                if sim.world().is_alive(id) {
+                    return Err(format!("{node} is already alive"));
+                }
+                let (w, s) = sim.parts();
+                w.revive_node(s, id);
+                Ok(Some(format!(
+                    "{node} is back (epoch {}), polls resume next period",
+                    w.dmons[id.0].epoch()
+                )))
+            }
+            Cmd::Partition { a, b } => {
+                let ia = self.node(&a)?;
+                let ib = self.node(&b)?;
+                if ia == ib {
+                    return Err("cannot partition a node from itself".into());
+                }
+                let sim = self.sim.as_mut().expect("checked");
+                let (w, s) = sim.parts();
+                w.apply_fault(s, &simnet::FaultAction::Partition(ia, ib));
+                Ok(Some(format!("{a} <-/-> {b}")))
+            }
+            Cmd::Heal { a, b } => {
+                let ia = self.node(&a)?;
+                let ib = self.node(&b)?;
+                let sim = self.sim.as_mut().expect("checked");
+                let (w, s) = sim.parts();
+                w.apply_fault(s, &simnet::FaultAction::Heal(ia, ib));
+                Ok(Some(format!("{a} <---> {b}")))
+            }
+            Cmd::Loss { prob } => {
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err("probability must be in 0..=1".into());
+                }
+                let sim = self.sim.as_mut().expect("checked");
+                let (w, s) = sim.parts();
+                w.apply_fault(s, &simnet::FaultAction::Loss(prob));
+                Ok(Some(format!("network-wide loss probability = {prob}")))
+            }
+            Cmd::Faults => match &self.sim {
+                Some(sim) => {
+                    let w = sim.world();
+                    let mut out = String::new();
+                    let parts = w.fault.partitions();
+                    if parts.is_empty() {
+                        out.push_str("partitions: none\n");
+                    } else {
+                        let list: Vec<String> = parts
+                            .iter()
+                            .map(|(a, b)| {
+                                format!("{} <-/-> {}", w.hosts[a.0].name, w.hosts[b.0].name)
+                            })
+                            .collect();
+                        out.push_str(&format!("partitions: {}\n", list.join(", ")));
+                    }
+                    out.push_str(&format!("loss probability: {}\n", w.fault.loss_prob()));
+                    let fs = w.fault.stats;
+                    out.push_str(&format!(
+                        "drops: {} total ({} partition, {} loss, {} crash)\n",
+                        fs.events_lost, fs.partition_drops, fs.loss_drops, fs.crash_drops
+                    ));
+                    out.push_str(
+                        "node           gaps  hb_sent  hb_recv  hb_miss  suspected  evicted  resyncs\n",
+                    );
+                    for i in 0..w.len() {
+                        let d = &w.dmons[i].stats;
+                        out.push_str(&format!(
+                            "{:<12} {:>6} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8}\n",
+                            w.hosts[i].name,
+                            d.gaps_detected,
+                            d.heartbeats_sent,
+                            d.heartbeats_received,
+                            d.heartbeats_missed,
+                            d.nodes_suspected,
+                            d.nodes_evicted,
+                            d.resyncs,
+                        ));
+                    }
+                    Ok(Some(out))
+                }
+                None => Err("no cluster yet".into()),
+            },
             Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
             Cmd::Stats => match &self.sim {
                 Some(sim) => {
@@ -489,6 +620,10 @@ mod tests {
             "ctl node target",
             "linpack node many",
             "iperf a b fast",
+            "revive",
+            "partition onlyone",
+            "heal onlyone",
+            "loss lots",
             "frobnicate",
         ] {
             assert!(parse(bad).is_err(), "should reject `{bad}`");
@@ -548,6 +683,50 @@ mod tests {
         assert!(bad.contains("verdict: rejected"), "{bad}");
         // Compile errors surface as recoverable shell errors.
         assert!(shell.exec(parse("lint { nonsense").unwrap()).is_err());
+    }
+
+    #[test]
+    fn fault_commands_drive_the_failure_model() {
+        let mut shell = Shell::new();
+        shell
+            .exec(parse("cluster 3 alan maui etna").unwrap())
+            .unwrap();
+        shell.exec(parse("run 5").unwrap()).unwrap();
+        // Crash + long silence: survivors suspect and then evict maui.
+        shell.exec(parse("kill maui").unwrap()).unwrap();
+        shell.exec(parse("run 12").unwrap()).unwrap();
+        let faults = shell.exec(parse("faults").unwrap()).unwrap().unwrap();
+        assert!(faults.contains("partitions: none"), "{faults}");
+        {
+            let sim = shell.sim.as_ref().unwrap();
+            assert!(!sim.world().is_alive(NodeId(1)));
+            assert!(sim.world().dmons[0].stats.nodes_evicted >= 1);
+        }
+        // Revive: maui rejoins and the survivors see it fresh again.
+        let out = shell.exec(parse("revive maui").unwrap()).unwrap().unwrap();
+        assert!(out.contains("epoch 1"), "{out}");
+        shell.exec(parse("run 10").unwrap()).unwrap();
+        {
+            let sim = shell.sim.as_ref().unwrap();
+            assert!(sim.world().is_alive(NodeId(1)));
+            let status = sim.world().hosts[0]
+                .proc
+                .read("cluster/maui/status")
+                .unwrap();
+            assert!(status.starts_with("fresh"), "{status}");
+        }
+        // Partition shows up in `faults` and drops deliveries; heal clears.
+        shell.exec(parse("partition alan etna").unwrap()).unwrap();
+        shell.exec(parse("run 5").unwrap()).unwrap();
+        let faults = shell.exec(parse("faults").unwrap()).unwrap().unwrap();
+        assert!(faults.contains("alan <-/-> etna"), "{faults}");
+        shell.exec(parse("heal alan etna").unwrap()).unwrap();
+        let faults = shell.exec(parse("faults").unwrap()).unwrap().unwrap();
+        assert!(faults.contains("partitions: none"), "{faults}");
+        // Reviving a live node is a user error, not a crash.
+        assert!(shell.exec(parse("revive alan").unwrap()).is_err());
+        assert!(shell.exec(parse("partition alan alan").unwrap()).is_err());
+        assert!(shell.exec(parse("loss 2.0").unwrap()).is_err());
     }
 
     #[test]

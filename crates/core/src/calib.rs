@@ -50,6 +50,15 @@ pub struct Calib {
     pub kernel_path_send: SimDur,
     /// Receive-side counterpart of [`Calib::kernel_path_send`].
     pub kernel_path_recv: SimDur,
+    /// d-mon CPU cost to build or consume one heartbeat. Heartbeats are
+    /// preformatted 27-byte liveness packets — no record marshalling, no
+    /// `/proc` updates — so they cost far less than a monitoring event.
+    pub heartbeat_cost: SimDur,
+    /// Kernel network-path cost of sending one heartbeat. A small packet
+    /// on an established connection; a tenth of the full event path.
+    pub heartbeat_path_send: SimDur,
+    /// Receive-side counterpart of [`Calib::heartbeat_path_send`].
+    pub heartbeat_path_recv: SimDur,
     /// Fraction of raw link capacity an Iperf UDP stream achieves on an
     /// idle link (UDP/IP/Ethernet framing). Fig. 5's baseline is ~96 Mbps
     /// on a 100 Mbps link.
@@ -80,6 +89,9 @@ impl Default for Calib {
             filter_compile: SimDur::from_millis(2),
             kernel_path_send: SimDur::from_micros(1500),
             kernel_path_recv: SimDur::from_micros(3500),
+            heartbeat_cost: SimDur::from_micros(10),
+            heartbeat_path_send: SimDur::from_micros(150),
+            heartbeat_path_recv: SimDur::from_micros(350),
             rto: SimDur::from_millis(200),
             iperf_efficiency: 0.96,
             per_event_bw_cost_bits: 12_000.0,

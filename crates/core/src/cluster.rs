@@ -45,6 +45,12 @@ pub struct ClusterConfig {
     /// Subscribe every node to both channels at start (the normal dproc
     /// deployment).
     pub auto_subscribe: bool,
+    /// Failure-detector silence bound for Fresh → Stale; `None` keeps the
+    /// d-mon default (3× the polling period).
+    pub stale_after: Option<SimDur>,
+    /// Failure-detector silence bound for Stale → Dead; `None` keeps the
+    /// d-mon default (8× the polling period).
+    pub dead_after: Option<SimDur>,
 }
 
 impl ClusterConfig {
@@ -71,6 +77,8 @@ impl ClusterConfig {
             event_pad: 0,
             stagger: SimDur::from_millis(1),
             auto_subscribe: true,
+            stale_after: None,
+            dead_after: None,
         }
     }
 
@@ -101,6 +109,14 @@ impl ClusterConfig {
     /// Override the calibration constants.
     pub fn calib(mut self, calib: Calib) -> Self {
         self.calib = calib;
+        self
+    }
+
+    /// Override the failure-detector bounds (silence before Stale, before
+    /// Dead).
+    pub fn failure_bounds(mut self, stale_after: SimDur, dead_after: SimDur) -> Self {
+        self.stale_after = Some(stale_after);
+        self.dead_after = Some(dead_after);
         self
     }
 }
@@ -142,6 +158,19 @@ pub struct ClusterWorld {
     /// Liveness per node; dead nodes neither poll nor receive (models
     /// crash failures for the fault-tolerance comparison).
     alive: Vec<bool>,
+    /// Injected network faults: partitions, message loss, link
+    /// degradation — plus the counters every dropped delivery feeds.
+    pub fault: simnet::FaultState,
+    /// Generation token per node's poll series. Bumped on crash and
+    /// revive so a stale periodic closure stops instead of polling a
+    /// dead (or doubly-revived) node forever.
+    poll_token: Vec<u64>,
+    /// Nodes the failure detector evicted from the directory. Only these
+    /// auto-rejoin when they find themselves unsubscribed — nodes that
+    /// were never subscribed (manual-subscription setups) stay out.
+    evicted: Vec<bool>,
+    /// Polling period, kept for re-arming a revived node's poll series.
+    poll_period: SimDur,
     /// Per-node events handled (sent + received) in a sliding 1 s window —
     /// feeds the Iperf probe's interference model.
     event_meter: Vec<BytesWindow>,
@@ -252,7 +281,11 @@ impl ClusterWorld {
         let now = sim.now();
         let to = hop.to;
         if !self.alive[to.0] {
+            self.fault.note_crash_drop();
             return; // delivered into a dead NIC: lost
+        }
+        if self.fault.should_drop(hop.from, to).is_some() {
+            return; // destroyed on the wire: partition or injected loss
         }
         let one_way = now.since(sent_at);
         self.event_meter[to.0].record(now, 1);
@@ -337,6 +370,11 @@ impl ClusterWorld {
                     }
                 }
             }
+            EventKind::Heartbeat => {
+                let calib = self.calib.clone();
+                let handler = self.dmons[to.0].on_heartbeat(&ev, now, &calib);
+                self.charge_cpu(sim, to, handler + calib.heartbeat_path_recv);
+            }
             EventKind::Control => {
                 self.ctl_delivered += 1;
                 if let Some(msg) = ev.as_control() {
@@ -376,7 +414,65 @@ impl ClusterWorld {
     /// collector, losing the hub silences everyone (the paper's fault-
     /// tolerance argument).
     pub fn kill_node(&mut self, node: NodeId) {
-        self.alive[node.0] = false;
+        let i = node.0;
+        if !self.alive[i] {
+            return;
+        }
+        self.alive[i] = false;
+        // Invalidate the node's poll series so the periodic closure stops
+        // at its next tick instead of no-op-firing forever.
+        self.poll_token[i] += 1;
+        // In-flight kernel-thread work dies with the node.
+        self.svc_pending[i].clear();
+    }
+
+    /// Bring a crashed node back: it rejoins the channel registry, bumps
+    /// its d-mon epoch (so peers see a restart, not a gap), and restarts
+    /// its poll series one period from now. No-op on live nodes.
+    pub fn revive_node(&mut self, sim: &mut Sim<ClusterWorld>, node: NodeId) {
+        let i = node.0;
+        if self.alive[i] {
+            return;
+        }
+        self.alive[i] = true;
+        // Proc writes queued before the crash died with it.
+        let _ = self.hosts[i].proc.drain_writes();
+        self.dmons[i].on_revive();
+        // Registry re-bootstrap: the revived node re-announces itself on
+        // both channels.
+        self.dir.subscribe(self.mon_chan, node);
+        self.dir.subscribe(self.ctl_chan, node);
+        self.evicted[i] = false;
+        self.notify_rejoin(node, sim.now());
+        self.poll_token[i] += 1;
+        let first = sim.now() + self.poll_period;
+        Self::arm_poll(sim, i, self.poll_token[i], first, self.poll_period);
+    }
+
+    /// Schedule a node's periodic poll series. The series self-cancels
+    /// when the node's generation token moves on (crash or re-revive).
+    fn arm_poll(sim: &mut Sim<ClusterWorld>, i: usize, token: u64, first: SimTime, period: SimDur) {
+        sim.schedule_periodic(
+            first,
+            period,
+            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+                if w.poll_token[i] != token {
+                    return Repeat::Stop;
+                }
+                w.poll_node(sim, i);
+                Repeat::Continue
+            },
+        );
+    }
+
+    /// Apply one fault action right now. Crash/revive route through the
+    /// node lifecycle; network faults mutate [`ClusterWorld::fault`].
+    pub fn apply_fault(&mut self, sim: &mut Sim<ClusterWorld>, action: &simnet::FaultAction) {
+        match *action {
+            simnet::FaultAction::Crash(node) => self.kill_node(node),
+            simnet::FaultAction::Revive(node) => self.revive_node(sim, node),
+            ref other => self.fault.apply(&mut self.net, other),
+        }
     }
 
     /// Whether a node is alive.
@@ -403,6 +499,34 @@ impl ClusterWorld {
         self.charge_cpu(sim, NodeId(i), outcome.cpu_cost);
         for (hop, ev, bytes) in outcome.sends {
             self.transmit(sim, hop, ev, bytes);
+        }
+        // Failure-detector verdicts become directory evictions: the dead
+        // peer stops being a subscriber, so every publisher's read-set
+        // logic stops sampling, filtering, and transmitting for it.
+        for peer in outcome.dead_peers {
+            self.dir.unsubscribe(self.mon_chan, peer);
+            self.dir.unsubscribe(self.ctl_chan, peer);
+            self.evicted[peer.0] = true;
+        }
+        // A node evicted during a partition notices it is no longer a
+        // member once it can poll again and re-registers — recovery is
+        // symmetric even when both sides declared each other dead.
+        if outcome.rejoin && self.evicted[i] {
+            self.dir.subscribe(self.mon_chan, NodeId(i));
+            self.dir.subscribe(self.ctl_chan, NodeId(i));
+            self.evicted[i] = false;
+            self.notify_rejoin(NodeId(i), now);
+        }
+    }
+
+    /// Propagate a channel-membership change: every live member's d-mon
+    /// hears that `node` re-registered and lets its failure detector
+    /// downgrade a Dead verdict accordingly.
+    fn notify_rejoin(&mut self, node: NodeId, now: SimTime) {
+        for (j, dmon) in self.dmons.iter_mut().enumerate() {
+            if j != node.0 && self.alive[j] {
+                dmon.on_peer_rejoin(node, now);
+            }
         }
     }
 }
@@ -443,6 +567,9 @@ impl ClusterSim {
                 cfg.poll_period,
             );
             dmon.set_event_pad(cfg.event_pad);
+            if let (Some(stale), Some(dead)) = (cfg.stale_after, cfg.dead_after) {
+                dmon.set_failure_bounds(stale, dead);
+            }
             dmons.push(dmon);
             if cfg.auto_subscribe {
                 dir.subscribe(mon_chan, NodeId(i));
@@ -466,6 +593,10 @@ impl ClusterSim {
             svc_pending: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
             svc_busy: vec![false; n],
             alive: vec![true; n],
+            fault: simnet::FaultState::new(0),
+            poll_token: vec![0; n],
+            evicted: vec![false; n],
+            poll_period: cfg.poll_period,
             event_meter: (0..n)
                 .map(|_| BytesWindow::new(SimDur::from_secs(1)))
                 .collect(),
@@ -489,12 +620,27 @@ impl ClusterSim {
         let n = self.world.len();
         for i in 0..n {
             let first = SimTime::ZERO + self.poll_period + self.stagger * (i as u64);
-            self.sim.schedule_periodic(
+            ClusterWorld::arm_poll(
+                &mut self.sim,
+                i,
+                self.world.poll_token[i],
                 first,
                 self.poll_period,
+            );
+        }
+    }
+
+    /// Schedule an injected-fault timeline. Crash and revive actions run
+    /// through the node lifecycle (poll series, registry, epoch); the
+    /// rest mutate the network fault state in place. The plan's seed
+    /// reseeds the loss RNG so a given plan is deterministic.
+    pub fn apply_fault_plan(&mut self, plan: &simnet::FaultPlan) {
+        self.world.fault.reseed(plan.seed());
+        for (t, action) in plan.actions() {
+            self.sim.schedule_at(
+                t,
                 move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-                    w.poll_node(sim, i);
-                    Repeat::Continue
+                    w.apply_fault(sim, &action);
                 },
             );
         }

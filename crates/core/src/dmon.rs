@@ -13,11 +13,12 @@
 //! the CPU cost to charge; the cluster glue executes sends and schedules
 //! deliveries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ecode::{EnvSpec, Filter, MetricRecord, MetricSet};
 use kecho::{
-    ChannelId, ControlMsg, Directory, Event, Hop, MonRecord, MonitoringPayload, ParamSpec,
+    ChannelId, ControlMsg, Directory, Event, HeartbeatPayload, Hop, MonRecord, MonitoringPayload,
+    ParamSpec, StreamTracker,
 };
 use simcore::stats::Sampler;
 use simcore::{SimDur, SimTime};
@@ -55,6 +56,23 @@ pub struct DmonStats {
     pub modules_skipped: u64,
     /// Malformed control-file writes.
     pub control_errors: u64,
+    /// Heartbeats submitted (to subscribers whose stream had no data).
+    pub heartbeats_sent: u64,
+    /// Heartbeats received.
+    pub heartbeats_received: u64,
+    /// Sequence numbers proven lost across all incoming streams.
+    pub gaps_detected: u64,
+    /// Failure-detector checks that found a peer silent past its expected
+    /// cadence (ticks once per poll per overdue peer).
+    pub heartbeats_missed: u64,
+    /// Fresh → Stale transitions observed by the failure detector.
+    pub nodes_suspected: u64,
+    /// Stale → Dead transitions (the peer is then evicted from the
+    /// registry by the glue).
+    pub nodes_evicted: u64,
+    /// Recoveries: a Dead peer spoke again, or a publisher restarted with
+    /// a new epoch; counted when this node replays its customizations.
+    pub resyncs: u64,
     /// Per-iteration event-submission CPU cost in microseconds (what the
     /// paper measures with rdtsc for Figs. 6–7).
     pub submit_cost_us: Sampler,
@@ -75,6 +93,14 @@ pub struct PollOutcome {
     /// collection + policy/filter evaluation + submission handlers +
     /// kernel network path).
     pub cpu_cost: SimDur,
+    /// Peers the failure detector newly declared Dead this iteration. The
+    /// glue evicts them from the shared registry so every publisher stops
+    /// sampling/filtering/transmitting for them.
+    pub dead_peers: Vec<NodeId>,
+    /// This node found itself missing from the monitoring channel (a peer
+    /// evicted it while it was unreachable). The glue re-registers it —
+    /// the paper's registry re-bootstrap.
+    pub rejoin: bool,
 }
 
 /// What handling one control message wants the glue to do.
@@ -93,6 +119,37 @@ impl ControlOutcome {
     fn cost(cpu: SimDur) -> Self {
         ControlOutcome { cpu, reply: None }
     }
+}
+
+/// Health of a remote peer as judged by the local failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerHealth {
+    /// Heard from within the staleness bound.
+    Fresh,
+    /// Silent past the staleness bound — its `/proc/cluster` view may no
+    /// longer reflect reality.
+    Stale,
+    /// Silent past the death bound — treated as crashed and evicted from
+    /// the registry until it speaks again.
+    Dead,
+}
+
+impl PeerHealth {
+    fn label(self) -> &'static str {
+        match self {
+            PeerHealth::Fresh => "fresh",
+            PeerHealth::Stale => "stale",
+            PeerHealth::Dead => "dead",
+        }
+    }
+}
+
+/// What the failure detector remembers about one remote peer.
+#[derive(Debug, Clone, Copy)]
+struct PeerRecord {
+    last_heard: SimTime,
+    health: PeerHealth,
+    epoch: u32,
 }
 
 /// The d-mon module of one node.
@@ -124,6 +181,35 @@ pub struct DMon {
     /// publisher (populated by incoming [`ControlMsg::FilterRejected`]).
     rejections: HashMap<NodeId, String>,
     seq: u64,
+    /// This node's incarnation; bumped by [`DMon::on_revive`] so peers can
+    /// tell a restart from a gap.
+    epoch: u32,
+    /// Next `stream_seq` per subscriber stream (data and heartbeats share
+    /// the numbering).
+    stream_seq: HashMap<NodeId, u32>,
+    /// Continuity tracker per incoming stream (keyed by origin).
+    trackers: HashMap<NodeId, StreamTracker>,
+    /// Failure-detector state per remote peer, keyed by node index so
+    /// iteration (eviction, status files) is deterministic.
+    peers: BTreeMap<usize, PeerRecord>,
+    /// Silence bound for Fresh → Stale.
+    stale_after: SimDur,
+    /// Silence bound for Stale → Dead.
+    dead_after: SimDur,
+    /// Minimum silence on a subscriber stream before a heartbeat rides it.
+    /// Kept under `stale_after` so a fully-filtered publisher stays Fresh,
+    /// but well above the polling period so heartbeats stay cheap.
+    heartbeat_every: SimDur,
+    /// Last submission (data or heartbeat) per subscriber stream.
+    stream_last_send: HashMap<NodeId, SimTime>,
+    /// Customizations this node deployed on remote publishers, replayed on
+    /// resync when a publisher restarts (its volatile policy/filter state
+    /// died with it).
+    deployed_ctl: HashMap<NodeId, Vec<ControlMsg>>,
+    /// Peers that recovered since the last poll and need re-deployment.
+    pending_resync: Vec<NodeId>,
+    /// Events (data + heartbeats) submitted per subscriber.
+    sent_per_sub: HashMap<NodeId, u64>,
     /// Self-observability.
     pub stats: DmonStats,
 }
@@ -154,6 +240,17 @@ impl DMon {
             base_modules,
             rejections: HashMap::new(),
             seq: 0,
+            epoch: 0,
+            stream_seq: HashMap::new(),
+            trackers: HashMap::new(),
+            peers: BTreeMap::new(),
+            stale_after: poll_period.mul_f64(3.0),
+            dead_after: poll_period.mul_f64(8.0),
+            heartbeat_every: poll_period.mul_f64(2.0),
+            stream_last_send: HashMap::new(),
+            deployed_ctl: HashMap::new(),
+            pending_resync: Vec::new(),
+            sent_per_sub: HashMap::new(),
             stats: DmonStats::default(),
         }
     }
@@ -262,6 +359,157 @@ impl DMon {
         self.rejections.get(&publisher).map(String::as_str)
     }
 
+    /// Configure the failure detector's silence bounds. Defaults are
+    /// 3× / 8× the polling period.
+    pub fn set_failure_bounds(&mut self, stale_after: SimDur, dead_after: SimDur) {
+        assert!(
+            !stale_after.is_zero() && stale_after < dead_after,
+            "need 0 < stale_after < dead_after"
+        );
+        self.stale_after = stale_after;
+        self.dead_after = dead_after;
+        // Heartbeats must outpace the stale bound, whatever it is.
+        self.heartbeat_every = self
+            .poll_period
+            .mul_f64(2.0)
+            .min(stale_after.mul_f64(2.0 / 3.0));
+    }
+
+    /// The failure detector's `(stale_after, dead_after)` silence bounds.
+    pub fn failure_bounds(&self) -> (SimDur, SimDur) {
+        (self.stale_after, self.dead_after)
+    }
+
+    /// Health of a remote peer; `None` until first contact.
+    pub fn peer_health(&self, peer: NodeId) -> Option<PeerHealth> {
+        self.peers.get(&peer.0).map(|r| r.health)
+    }
+
+    /// When a remote peer was last heard from; `None` until first contact.
+    pub fn peer_last_heard(&self, peer: NodeId) -> Option<SimTime> {
+        self.peers.get(&peer.0).map(|r| r.last_heard)
+    }
+
+    /// This node's incarnation number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Events (data + heartbeats) this publisher has submitted to one
+    /// subscriber over its lifetime.
+    pub fn sent_to(&self, subscriber: NodeId) -> u64 {
+        self.sent_per_sub.get(&subscriber).copied().unwrap_or(0)
+    }
+
+    /// Crash-stop restart: volatile state (deployed policies/filters,
+    /// remote views, stream positions, detector state) is lost; the
+    /// incarnation is bumped so peers recognize the restart. Lifetime
+    /// stats survive — they model the observer, not the kernel.
+    pub fn on_revive(&mut self) {
+        self.epoch += 1;
+        self.policies.clear();
+        self.filters.clear();
+        self.last_sent.clear();
+        self.remote_values.clear();
+        self.remote_ext.clear();
+        self.rejections.clear();
+        self.stream_seq.clear();
+        self.stream_last_send.clear();
+        self.trackers.clear();
+        self.peers.clear();
+        self.deployed_ctl.clear();
+        self.pending_resync.clear();
+        self.sent_per_sub.clear();
+    }
+
+    /// Fold a liveness proof from `origin` into the detector + trackers.
+    fn note_alive(&mut self, origin: NodeId, epoch: u32, stream_seq: u32, now: SimTime) {
+        if origin == self.node {
+            return;
+        }
+        let obs = self
+            .trackers
+            .entry(origin)
+            .or_default()
+            .observe(epoch, stream_seq);
+        self.stats.gaps_detected += obs.missing.len() as u64;
+        let rec = self.peers.entry(origin.0).or_insert(PeerRecord {
+            last_heard: now,
+            health: PeerHealth::Fresh,
+            epoch,
+        });
+        let recovered = rec.health == PeerHealth::Dead || obs.restarted;
+        rec.last_heard = now;
+        rec.health = PeerHealth::Fresh;
+        rec.epoch = epoch;
+        if recovered && !self.pending_resync.contains(&origin) {
+            self.pending_resync.push(origin);
+        }
+    }
+
+    /// The channel registry announced that `peer` (re-)subscribed. A
+    /// membership event proves the process is reachable even though
+    /// nothing has arrived on its stream yet, so a Dead verdict is
+    /// downgraded to Stale: publication toward the peer resumes, and its
+    /// own stream re-proves freshness from there. Without this, two nodes
+    /// that evicted each other during a partition would skip each other as
+    /// subscribers forever — neither ever sending the event that would
+    /// prove the other alive.
+    pub fn on_peer_rejoin(&mut self, peer: NodeId, now: SimTime) {
+        if peer == self.node {
+            return;
+        }
+        if let Some(rec) = self.peers.get_mut(&peer.0) {
+            if rec.health == PeerHealth::Dead {
+                rec.health = PeerHealth::Stale;
+                rec.last_heard = now;
+            }
+        }
+    }
+
+    /// Advance the failure detector to `now`: age every tracked peer,
+    /// refresh `/proc/cluster/<peer>/status`, and return peers newly
+    /// declared Dead.
+    fn check_peers(&mut self, host: &mut Host, now: SimTime) -> Vec<NodeId> {
+        let mut dead = Vec::new();
+        let peers = &mut self.peers;
+        let stats = &mut self.stats;
+        for (&idx, rec) in peers.iter_mut() {
+            let age = now.since(rec.last_heard);
+            if rec.health != PeerHealth::Dead {
+                if age >= self.dead_after {
+                    rec.health = PeerHealth::Dead;
+                    stats.nodes_evicted += 1;
+                    dead.push(NodeId(idx));
+                } else if age >= self.stale_after {
+                    if rec.health == PeerHealth::Fresh {
+                        stats.nodes_suspected += 1;
+                    }
+                    rec.health = PeerHealth::Stale;
+                }
+                // Past the stale bound at least one heartbeat interval
+                // has gone unanswered; count one miss per silent check.
+                if age >= self.stale_after {
+                    stats.heartbeats_missed += 1;
+                }
+            }
+            let name = &self.cluster_names[idx];
+            host.proc
+                .set(
+                    &format!("cluster/{name}/status"),
+                    format!(
+                        "{} last_update {:.3} age {:.3} epoch {}",
+                        rec.health.label(),
+                        rec.last_heard.as_secs_f64(),
+                        age.as_secs_f64(),
+                        rec.epoch,
+                    ),
+                )
+                .expect("status path");
+        }
+        dead
+    }
+
     /// Build a targeted control event from this node (allocates the next
     /// sequence number).
     pub fn make_control_event(
@@ -317,13 +565,57 @@ impl DMon {
             .set(&format!("cluster/{own_name}/control"), "")
             .expect("own control path");
 
-        // 2. Per subscriber: parameters or filter decide what to send.
+        // 2. Age the failure detector: transitions, status files, and the
+        // peers to evict from the registry this iteration.
+        let dead_peers = self.check_peers(host, now);
+
+        // 3. Per subscriber: parameters or filter decide what to send; a
+        // stream with no data this round carries a heartbeat instead, so
+        // silence-by-filter stays distinguishable from death. Peers this
+        // detector already declared Dead get nothing — that is the point.
         for sub in dir.subscribers(mon_chan) {
-            if sub == self.node {
+            if sub == self.node || self.peer_health(sub) == Some(PeerHealth::Dead) {
                 continue;
             }
             let records = self.select_records(sub, &samples, now, calib, &mut cpu);
             if records.is_empty() {
+                // Heartbeats are rate-limited to `heartbeat_every`, not
+                // one per poll: a preformatted liveness packet only needs
+                // to outpace the peer's stale bound, and Figs. 4/6 depend
+                // on filtered streams staying nearly free.
+                let silence = self
+                    .stream_last_send
+                    .get(&sub)
+                    .map(|&t| now.since(t))
+                    .unwrap_or(SimDur::MAX);
+                if silence < self.heartbeat_every {
+                    continue;
+                }
+                self.seq += 1;
+                let ev = Event::heartbeat(
+                    mon_chan.0,
+                    self.seq,
+                    self.node,
+                    sub,
+                    HeartbeatPayload {
+                        origin: self.node,
+                        epoch: self.epoch,
+                        stream_seq: self.next_stream_seq(sub),
+                    },
+                );
+                let bytes = kecho::wire::encoded_size(&ev);
+                cpu += calib.heartbeat_cost + calib.heartbeat_path_send;
+                self.stats.heartbeats_sent += 1;
+                *self.sent_per_sub.entry(sub).or_default() += 1;
+                self.stream_last_send.insert(sub, now);
+                sends.push((
+                    Hop {
+                        from: self.node,
+                        to: sub,
+                    },
+                    ev,
+                    bytes,
+                ));
                 continue;
             }
             for r in &records {
@@ -352,6 +644,8 @@ impl DMon {
                 self.node,
                 MonitoringPayload {
                     origin: self.node,
+                    epoch: self.epoch,
+                    stream_seq: self.next_stream_seq(sub),
                     records,
                     pad_bytes: self.event_pad,
                     ext_names,
@@ -367,6 +661,8 @@ impl DMon {
             self.stats.events_sent += 1;
             self.stats.bytes_sent += bytes as u64;
             self.stats.submit_cost_partial(handler);
+            *self.sent_per_sub.entry(sub).or_default() += 1;
+            self.stream_last_send.insert(sub, now);
             sends.push((
                 Hop {
                     from: self.node,
@@ -377,7 +673,27 @@ impl DMon {
             ));
         }
 
-        // 3. Drain application control-file writes into control events.
+        // 4. Resync recovered publishers: replay the customizations this
+        // node had deployed on them (their volatile state died with them).
+        for peer in std::mem::take(&mut self.pending_resync) {
+            self.stats.resyncs += 1;
+            for msg in self.deployed_ctl.get(&peer).cloned().unwrap_or_default() {
+                self.seq += 1;
+                let ev = Event::control(ctl_chan.0, self.seq, self.node, peer, msg);
+                let bytes = kecho::wire::encoded_size(&ev);
+                cpu += calib.submit_cost(bytes) + calib.kernel_path_send;
+                sends.push((
+                    Hop {
+                        from: self.node,
+                        to: peer,
+                    },
+                    ev,
+                    bytes,
+                ));
+            }
+        }
+
+        // 5. Drain application control-file writes into control events.
         for (path, data) in host.proc.drain_writes() {
             match self.route_control_write(&path, &data, ctl_chan, calib) {
                 Ok(Some((hop, ev))) => {
@@ -390,14 +706,24 @@ impl DMon {
             }
         }
 
-        // 4. Close the iteration's books.
+        // 6. Close the iteration's books.
         cpu += calib.receive_poll_cost;
         self.stats.iterations += 1;
         self.stats.close_iteration(calib.receive_poll_cost);
         PollOutcome {
             sends,
             cpu_cost: cpu,
+            dead_peers,
+            rejoin: !dir.is_subscribed(mon_chan, self.node),
         }
+    }
+
+    /// Allocate the next per-subscriber stream position.
+    fn next_stream_seq(&mut self, sub: NodeId) -> u32 {
+        let slot = self.stream_seq.entry(sub).or_insert(0);
+        let v = *slot;
+        *slot = slot.wrapping_add(1);
+        v
     }
 
     /// Which modules at least one remote subscriber's stream can consume.
@@ -563,6 +889,7 @@ impl DMon {
             }
             return Ok(None);
         }
+        self.record_deployment(target, &msg);
         self.seq += 1;
         let ev = Event::control(ctl_chan.0, self.seq, self.node, target, msg);
         Ok(Some((
@@ -572,6 +899,28 @@ impl DMon {
             },
             ev,
         )))
+    }
+
+    /// Remember a customization sent to `target` so it can be replayed in
+    /// order if the target restarts. `RemoveFilter` supersedes any earlier
+    /// `DeployFilter`; a fresh `DeployFilter` supersedes the previous one.
+    fn record_deployment(&mut self, target: NodeId, msg: &ControlMsg) {
+        let log = self.deployed_ctl.entry(target).or_default();
+        match msg {
+            ControlMsg::SetParam { .. } => log.push(msg.clone()),
+            ControlMsg::DeployFilter { .. } | ControlMsg::RemoveFilter => {
+                log.retain(|m| {
+                    !matches!(
+                        m,
+                        ControlMsg::DeployFilter { .. } | ControlMsg::RemoveFilter
+                    )
+                });
+                if matches!(msg, ControlMsg::DeployFilter { .. }) {
+                    log.push(msg.clone());
+                }
+            }
+            ControlMsg::Announce | ControlMsg::FilterRejected { .. } => {}
+        }
     }
 
     /// Handle an incoming monitoring event: update the `/proc/cluster`
@@ -589,6 +938,7 @@ impl DMon {
             return SimDur::ZERO;
         };
         let origin = payload.origin;
+        self.note_alive(origin, payload.epoch, payload.stream_seq, now);
         let origin_name = self.cluster_names[origin.0].clone();
         for (id, metric, file) in &payload.ext_names {
             self.remote_ext
@@ -626,6 +976,19 @@ impl DMon {
         self.stats.bytes_received += bytes as u64;
         self.stats.pending_receive += handler;
         handler
+    }
+
+    /// Handle an incoming heartbeat: pure liveness, no data. Returns the
+    /// handler CPU cost. Heartbeats are deliberately cheap and stay out
+    /// of the Fig. 8 receive-cost sampler — they are the failure
+    /// detector's overhead, not monitoring work.
+    pub fn on_heartbeat(&mut self, ev: &Event, now: SimTime, calib: &Calib) -> SimDur {
+        let Some(hb) = ev.as_heartbeat() else {
+            return SimDur::ZERO;
+        };
+        self.note_alive(hb.origin, hb.epoch, hb.stream_seq, now);
+        self.stats.heartbeats_received += 1;
+        calib.heartbeat_cost
     }
 
     /// Handle an incoming control event sent by subscriber `from`.
@@ -810,8 +1173,22 @@ mod tests {
             &calib,
         );
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
-        assert_eq!(out.sends.len(), 1);
-        assert_eq!(out.sends[0].0.to, NodeId(2));
+        let data: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, ev, _)| ev.as_monitoring().is_some())
+            .collect();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].0.to, NodeId(2));
+        // The gated subscriber still hears a liveness beacon.
+        let hb: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(_, ev, _)| ev.as_heartbeat().is_some())
+            .collect();
+        assert_eq!(hb.len(), 1);
+        assert_eq!(hb[0].0.to, NodeId(1));
+        assert_eq!(dmon.stats.heartbeats_sent, 1);
     }
 
     #[test]
@@ -836,10 +1213,17 @@ mod tests {
         let mut sent = 0;
         for s in 1..=10 {
             let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(s), &calib);
-            sent += out.sends.len();
+            sent += out
+                .sends
+                .iter()
+                .filter(|(_, ev, _)| ev.as_monitoring().is_some())
+                .count();
         }
-        // 10 polls at 1 Hz, 2 s period, 2 subscribers => ~10 events.
+        // 10 polls at 1 Hz, 2 s period, 2 subscribers => ~10 data events.
         assert!((8..=12).contains(&sent), "sent {sent}");
+        // Data every 2 s never opens a heartbeat-worthy silence window:
+        // the cadence itself proves liveness, so heartbeats cost nothing.
+        assert_eq!(dmon.stats.heartbeats_sent, 0);
     }
 
     #[test]
@@ -856,13 +1240,19 @@ mod tests {
         );
         assert!(dmon.has_filter(NodeId(1)));
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
-        assert_eq!(out.sends.len(), 1, "only the unfiltered subscriber");
+        let data = |out: &PollOutcome| {
+            out.sends
+                .iter()
+                .filter(|(_, ev, _)| ev.as_monitoring().is_some())
+                .count()
+        };
+        assert_eq!(data(&out), 1, "only the unfiltered subscriber");
         // Load the machine: filter should open up.
         host.cpu.spawn_compute(SimTime::from_secs(1), "a");
         host.cpu.spawn_compute(SimTime::from_secs(1), "b");
         host.cpu.spawn_compute(SimTime::from_secs(1), "c");
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(100), &calib);
-        assert_eq!(out.sends.len(), 2);
+        assert_eq!(data(&out), 2);
         let to1 = out
             .sends
             .iter()
@@ -1043,6 +1433,8 @@ mod tests {
             NodeId(2),
             MonitoringPayload {
                 origin: NodeId(2),
+                epoch: 0,
+                stream_seq: 0,
                 records: vec![MonRecord {
                     metric_id: 0,
                     value: 2.5,
@@ -1157,6 +1549,156 @@ mod tests {
         // 2 events of ~190B each: ~2*245us
         let mean = dmon.stats.submit_cost_us.mean();
         assert!(mean > 400.0 && mean < 700.0, "mean {mean}");
+    }
+
+    fn mon_from(origin: NodeId, mon: ChannelId, epoch: u32, sseq: u32) -> Event {
+        let mut ev = Event::monitoring(
+            mon.0,
+            1,
+            origin,
+            MonitoringPayload {
+                origin,
+                epoch,
+                stream_seq: sseq,
+                records: vec![MonRecord {
+                    metric_id: 0,
+                    value: 1.0,
+                    last_value_sent: 0.0,
+                    timestamp: 0.0,
+                }],
+                pad_bytes: 0,
+                ext_names: Vec::new(),
+            },
+        );
+        ev.target = Some(NodeId(0));
+        ev
+    }
+
+    #[test]
+    fn detector_walks_fresh_stale_dead_and_updates_status() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Defaults: stale at 3 s, dead at 8 s (1 s poll period).
+        let ev = mon_from(NodeId(1), mon, 0, 0);
+        dmon.on_event(&mut host, &ev, 90, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Fresh));
+
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(2), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Fresh));
+        assert!(host
+            .proc
+            .read("cluster/maui/status")
+            .unwrap()
+            .starts_with("fresh"));
+
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(5), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Stale));
+        assert_eq!(dmon.stats.nodes_suspected, 1);
+        assert!(out.dead_peers.is_empty());
+        assert!(host
+            .proc
+            .read("cluster/maui/status")
+            .unwrap()
+            .starts_with("stale"));
+
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(10), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Dead));
+        assert_eq!(out.dead_peers, vec![NodeId(1)]);
+        assert_eq!(dmon.stats.nodes_evicted, 1);
+        assert!(host
+            .proc
+            .read("cluster/maui/status")
+            .unwrap()
+            .starts_with("dead"));
+        assert!(dmon.stats.heartbeats_missed > 0);
+        // A Dead subscriber gets no traffic even while still registered.
+        assert!(out.sends.iter().all(|(h, _, _)| h.to != NodeId(1)));
+    }
+
+    #[test]
+    fn dead_peer_speaking_again_triggers_resync_replay() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // This node customized publisher 1 earlier.
+        host.proc.set("cluster/maui/control", "").unwrap();
+        host.proc
+            .write("cluster/maui/control", "period cpu 2")
+            .unwrap();
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+
+        let ev = mon_from(NodeId(1), mon, 0, 0);
+        dmon.on_event(&mut host, &ev, 90, SimTime::from_secs(1), &calib);
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(10), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Dead));
+
+        // The publisher restarts: new epoch, stream reset.
+        let ev = mon_from(NodeId(1), mon, 1, 0);
+        dmon.on_event(&mut host, &ev, 90, SimTime::from_secs(11), &calib);
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Fresh));
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(12), &calib);
+        assert_eq!(dmon.stats.resyncs, 1);
+        let replayed: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|(h, ev, _)| h.to == NodeId(1) && ev.as_control().is_some())
+            .collect();
+        assert_eq!(replayed.len(), 1, "customization replayed");
+        assert_eq!(
+            replayed[0].1.as_control().unwrap(),
+            &ControlMsg::SetParam {
+                metric: "cpu".into(),
+                param: ParamSpec::Period { period_s: 2.0 }
+            }
+        );
+    }
+
+    #[test]
+    fn gap_detection_counts_dropped_stream_positions() {
+        let (mut dmon, mut host, _dir, mon, _ctl, calib) = setup();
+        for sseq in [0, 1, 4, 5] {
+            let ev = mon_from(NodeId(2), mon, 0, sseq);
+            dmon.on_event(&mut host, &ev, 90, SimTime::from_secs(1), &calib);
+        }
+        assert_eq!(dmon.stats.gaps_detected, 2, "positions 2 and 3 lost");
+    }
+
+    #[test]
+    fn revive_clears_volatile_state_and_bumps_epoch() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::SetParam {
+                metric: "*".into(),
+                param: ParamSpec::Period { period_s: 2.0 },
+            },
+            &calib,
+        );
+        assert!(dmon.policy_for(NodeId(1)).is_some());
+        let before = dmon.stats.control_handled;
+        dmon.on_revive();
+        assert_eq!(dmon.epoch(), 1);
+        assert!(dmon.policy_for(NodeId(1)).is_none());
+        assert_eq!(dmon.peer_health(NodeId(1)), None);
+        assert_eq!(dmon.stats.control_handled, before, "stats survive");
+    }
+
+    #[test]
+    fn heartbeat_refreshes_peer_without_data() {
+        let (mut dmon, _host, _dir, mon, _ctl, calib) = setup();
+        let hb = Event::heartbeat(
+            mon.0,
+            1,
+            NodeId(1),
+            NodeId(0),
+            kecho::HeartbeatPayload {
+                origin: NodeId(1),
+                epoch: 0,
+                stream_seq: 0,
+            },
+        );
+        let cost = dmon.on_heartbeat(&hb, SimTime::from_secs(1), &calib);
+        assert!(cost > SimDur::ZERO);
+        assert_eq!(dmon.stats.heartbeats_received, 1);
+        assert_eq!(dmon.stats.events_received, 0, "no data counted");
+        assert_eq!(dmon.peer_health(NodeId(1)), Some(PeerHealth::Fresh));
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub mod params;
 
 pub use calib::Calib;
 pub use cluster::{ClusterConfig, ClusterSim, ClusterWorld};
-pub use dmon::{DMon, DmonStats};
+pub use dmon::{DMon, DmonStats, PeerHealth};
 pub use params::{PolicySet, Rule};

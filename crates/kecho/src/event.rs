@@ -9,6 +9,9 @@ pub enum EventKind {
     Monitoring,
     /// Control traffic (parameters, filters).
     Control,
+    /// Liveness beacon sent when parameters/filters suppress all data for
+    /// a subscriber, so silence-by-filter is distinguishable from death.
+    Heartbeat,
 }
 
 /// One monitoring record on the wire: a metric sample from some node.
@@ -29,6 +32,13 @@ pub struct MonRecord {
 pub struct MonitoringPayload {
     /// The node the metrics describe.
     pub origin: NodeId,
+    /// Publisher incarnation. Bumped when the publisher restarts after a
+    /// crash, so subscribers can tell a reset stream from a gap. 32 bits
+    /// keeps small events inside the paper's 50–100 B band.
+    pub epoch: u32,
+    /// Position in the per-(publisher, subscriber) stream. Consecutive on
+    /// each stream (heartbeats occupy slots too); a skip means loss.
+    pub stream_seq: u32,
     /// The records that survived parameters/filters.
     pub records: Vec<MonRecord>,
     /// Extra bytes of payload, modeling event bodies beyond the record
@@ -122,13 +132,26 @@ pub struct Event {
     pub payload: Payload,
 }
 
-/// The two payload families.
+/// Payload of a heartbeat event: no data, just liveness + stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatPayload {
+    /// The node asserting liveness.
+    pub origin: NodeId,
+    /// Publisher incarnation (see [`MonitoringPayload::epoch`]).
+    pub epoch: u32,
+    /// Position in the per-(publisher, subscriber) stream.
+    pub stream_seq: u32,
+}
+
+/// The payload families.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// Monitoring data.
     Monitoring(MonitoringPayload),
     /// A control message.
     Control(ControlMsg),
+    /// A liveness beacon.
+    Heartbeat(HeartbeatPayload),
 }
 
 impl Event {
@@ -162,11 +185,29 @@ impl Event {
         }
     }
 
+    /// Construct a targeted heartbeat event.
+    pub fn heartbeat(
+        channel: u32,
+        seq: u64,
+        sender: NodeId,
+        target: NodeId,
+        payload: HeartbeatPayload,
+    ) -> Self {
+        Event {
+            kind: EventKind::Heartbeat,
+            channel,
+            seq,
+            sender,
+            target: Some(target),
+            payload: Payload::Heartbeat(payload),
+        }
+    }
+
     /// The monitoring payload, if this is a monitoring event.
     pub fn as_monitoring(&self) -> Option<&MonitoringPayload> {
         match &self.payload {
             Payload::Monitoring(m) => Some(m),
-            Payload::Control(_) => None,
+            _ => None,
         }
     }
 
@@ -174,7 +215,15 @@ impl Event {
     pub fn as_control(&self) -> Option<&ControlMsg> {
         match &self.payload {
             Payload::Control(c) => Some(c),
-            Payload::Monitoring(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The heartbeat payload, if this is a heartbeat event.
+    pub fn as_heartbeat(&self) -> Option<&HeartbeatPayload> {
+        match &self.payload {
+            Payload::Heartbeat(h) => Some(h),
+            _ => None,
         }
     }
 }
@@ -191,6 +240,8 @@ mod tests {
             NodeId(0),
             MonitoringPayload {
                 origin: NodeId(0),
+                epoch: 0,
+                stream_seq: 0,
                 records: vec![],
                 pad_bytes: 0,
                 ext_names: Vec::new(),
@@ -206,5 +257,22 @@ mod tests {
         assert_eq!(c.target, Some(NodeId(3)));
         assert!(c.as_control().is_some());
         assert!(c.as_monitoring().is_none());
+
+        let h = Event::heartbeat(
+            1,
+            9,
+            NodeId(2),
+            NodeId(0),
+            HeartbeatPayload {
+                origin: NodeId(2),
+                epoch: 1,
+                stream_seq: 4,
+            },
+        );
+        assert_eq!(h.kind, EventKind::Heartbeat);
+        assert_eq!(h.target, Some(NodeId(0)));
+        assert_eq!(h.as_heartbeat().unwrap().stream_seq, 4);
+        assert!(h.as_monitoring().is_none());
+        assert!(h.as_control().is_none());
     }
 }

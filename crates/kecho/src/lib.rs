@@ -16,6 +16,8 @@
 //! * [`directory`] — the channel registry plus subscription state, with
 //!   both the paper's peer-to-peer topology and a Supermon-style central
 //!   concentrator as the ablation baseline (`Topology::Central`),
+//! * [`stream`] — per-stream sequence/epoch continuity tracking: gap
+//!   detection and publisher-restart recognition.
 //!
 //! The crate is pure: submission *plans* hops (`(from, to)` pairs); the
 //! cluster glue in `dproc` turns hops into `simnet` sends and schedules
@@ -23,8 +25,12 @@
 
 pub mod directory;
 pub mod event;
+pub mod stream;
 pub mod wire;
 
 pub use directory::{ChannelId, Directory, Hop, Topology};
-pub use event::{ControlMsg, Event, EventKind, MonRecord, MonitoringPayload, ParamSpec};
+pub use event::{
+    ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec,
+};
+pub use stream::{Observation, StreamTracker};
 pub use wire::{decode_event, encode_event, WireError};

@@ -1,0 +1,154 @@
+//! Per-stream continuity tracking: sequence-gap and restart detection.
+//!
+//! Every (publisher, subscriber) pair carries a dense stream of
+//! `stream_seq` numbers — monitoring events and heartbeats both occupy
+//! slots — tagged with the publisher's `epoch` (incarnation). A
+//! [`StreamTracker`] on the subscriber side folds each arrival into the
+//! expected position and reports exactly which sequence numbers were
+//! skipped. An epoch bump is a *restart*, not a gap: the publisher
+//! crashed and came back, so expectations reset instead of charging the
+//! whole lost tail as loss.
+
+/// What one arrival told us about the stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Observation {
+    /// Sequence numbers proven lost: everything between the last arrival
+    /// and this one, exclusive. Empty when the stream is contiguous.
+    pub missing: Vec<u32>,
+    /// The publisher restarted (first contact in a new epoch). Missing
+    /// numbers are never reported for a restart.
+    pub restarted: bool,
+    /// The arrival was from the past — a duplicate, a reordered
+    /// straggler, or an old incarnation. It does not advance the stream.
+    pub stale: bool,
+}
+
+/// Continuity state for one incoming stream.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTracker {
+    /// Epoch of the last accepted arrival.
+    epoch: u32,
+    /// Next expected `stream_seq`; `None` before first contact.
+    next: Option<u32>,
+    /// Total sequence numbers proven lost so far.
+    gaps: u64,
+    /// Total restarts observed.
+    restarts: u64,
+}
+
+impl StreamTracker {
+    /// A tracker that has heard nothing yet.
+    #[must_use]
+    pub fn new() -> Self {
+        StreamTracker::default()
+    }
+
+    /// Fold in one arrival.
+    pub fn observe(&mut self, epoch: u32, seq: u32) -> Observation {
+        let mut obs = Observation::default();
+        match self.next {
+            None => {
+                // First contact: adopt the stream wherever it is.
+                self.epoch = epoch;
+                self.next = Some(seq.wrapping_add(1));
+            }
+            Some(expected) => {
+                if epoch > self.epoch {
+                    self.epoch = epoch;
+                    self.next = Some(seq.wrapping_add(1));
+                    self.restarts += 1;
+                    obs.restarted = true;
+                } else if epoch < self.epoch || seq < expected {
+                    obs.stale = true;
+                } else {
+                    obs.missing = (expected..seq).collect();
+                    self.gaps += obs.missing.len() as u64;
+                    self.next = Some(seq.wrapping_add(1));
+                }
+            }
+        }
+        obs
+    }
+
+    /// Has this stream ever delivered?
+    #[must_use]
+    pub fn contacted(&self) -> bool {
+        self.next.is_some()
+    }
+
+    /// Epoch of the last accepted arrival.
+    #[must_use]
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Total sequence numbers proven lost.
+    #[must_use]
+    pub fn gaps(&self) -> u64 {
+        self.gaps
+    }
+
+    /// Total publisher restarts observed.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_stream_reports_nothing() {
+        let mut t = StreamTracker::new();
+        for seq in 0..100 {
+            let obs = t.observe(0, seq);
+            assert_eq!(obs, Observation::default(), "seq {seq}");
+        }
+        assert_eq!(t.gaps(), 0);
+    }
+
+    #[test]
+    fn first_contact_mid_stream_is_not_a_gap() {
+        let mut t = StreamTracker::new();
+        let obs = t.observe(3, 500);
+        assert!(obs.missing.is_empty());
+        assert!(!obs.restarted);
+        assert_eq!(t.observe(3, 501), Observation::default());
+    }
+
+    #[test]
+    fn skip_reports_exact_missing_numbers() {
+        let mut t = StreamTracker::new();
+        t.observe(0, 0);
+        let obs = t.observe(0, 5);
+        assert_eq!(obs.missing, vec![1, 2, 3, 4]);
+        assert_eq!(t.gaps(), 4);
+        assert_eq!(t.observe(0, 6), Observation::default());
+    }
+
+    #[test]
+    fn epoch_bump_resets_without_charging_gaps() {
+        let mut t = StreamTracker::new();
+        t.observe(0, 40);
+        t.observe(0, 41);
+        let obs = t.observe(1, 0);
+        assert!(obs.restarted);
+        assert!(obs.missing.is_empty());
+        assert_eq!(t.gaps(), 0);
+        assert_eq!(t.restarts(), 1);
+        assert_eq!(t.observe(1, 1), Observation::default());
+    }
+
+    #[test]
+    fn stragglers_and_old_epochs_are_stale() {
+        let mut t = StreamTracker::new();
+        t.observe(1, 10);
+        assert!(t.observe(1, 10).stale, "duplicate");
+        assert!(t.observe(1, 4).stale, "reordered straggler");
+        assert!(t.observe(0, 99).stale, "old incarnation");
+        // None of that moved the stream.
+        assert_eq!(t.observe(1, 11), Observation::default());
+    }
+}

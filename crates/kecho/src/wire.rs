@@ -3,8 +3,8 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u8  version (1)
-//! u8  kind (0 = monitoring, 1 = control)
+//! u8  version (2)
+//! u8  kind (0 = monitoring, 1 = control, 2 = heartbeat)
 //! u32 channel
 //! u64 seq
 //! u32 sender
@@ -12,20 +12,26 @@
 //! ... payload (kind-specific)
 //! ```
 //!
-//! Monitoring payload: `u32 origin`, `u16 n_records`, records of
-//! `(u32 id, f64 value, f64 last, f64 ts)`, `u32 pad_len`, `pad_len`
-//! zero bytes. Control payload: `u8 tag` then message-specific fields;
-//! strings are `u32 len` + UTF-8 bytes.
+//! Monitoring payload: `u32 origin`, `u32 epoch`, `u32 stream_seq`,
+//! `u16 n_records`, records of `(u32 id, f64 value, f64 last, f64 ts)`,
+//! `u32 pad_len`, `pad_len` zero bytes. Control payload: `u8 tag` then
+//! message-specific fields; strings are `u32 len` + UTF-8 bytes.
+//! Heartbeat payload: `u32 origin`, `u32 epoch`, `u32 stream_seq`.
+//!
+//! Version history: v1 had no epoch/stream_seq and no heartbeat kind.
+//! v1 buffers are rejected, not translated — all nodes in a simulated
+//! cluster run the same codec.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use simnet::NodeId;
 
 use crate::event::{
-    ControlMsg, Event, EventKind, MonRecord, MonitoringPayload, ParamSpec, Payload,
+    ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec,
+    Payload,
 };
 
 /// Current wire version.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +83,7 @@ pub fn encode_event(ev: &Event) -> Bytes {
     buf.put_u8(match ev.kind {
         EventKind::Monitoring => 0,
         EventKind::Control => 1,
+        EventKind::Heartbeat => 2,
     });
     buf.put_u32_le(ev.channel);
     buf.put_u64_le(ev.seq);
@@ -85,6 +92,8 @@ pub fn encode_event(ev: &Event) -> Bytes {
     match &ev.payload {
         Payload::Monitoring(m) => {
             buf.put_u32_le(m.origin.0 as u32);
+            buf.put_u32_le(m.epoch);
+            buf.put_u32_le(m.stream_seq);
             buf.put_u16_le(m.records.len() as u16);
             for r in &m.records {
                 buf.put_u32_le(r.metric_id);
@@ -140,6 +149,11 @@ pub fn encode_event(ev: &Event) -> Bytes {
                 put_string(&mut buf, reason);
             }
         },
+        Payload::Heartbeat(h) => {
+            buf.put_u32_le(h.origin.0 as u32);
+            buf.put_u32_le(h.epoch);
+            buf.put_u32_le(h.stream_seq);
+        }
     }
     buf.freeze()
 }
@@ -156,6 +170,7 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
     let kind = match buf.get_u8() {
         0 => EventKind::Monitoring,
         1 => EventKind::Control,
+        2 => EventKind::Heartbeat,
         t => return Err(WireError::BadTag(t)),
     };
     let channel = buf.get_u32_le();
@@ -169,10 +184,12 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
     };
     let payload = match kind {
         EventKind::Monitoring => {
-            if buf.remaining() < 6 {
+            if buf.remaining() < 4 + 4 + 4 + 2 {
                 return Err(WireError::Truncated);
             }
             let origin = NodeId(buf.get_u32_le() as usize);
+            let epoch = buf.get_u32_le();
+            let stream_seq = buf.get_u32_le();
             let n = buf.get_u16_le() as usize;
             if buf.remaining() < n * 28 {
                 return Err(WireError::Truncated);
@@ -210,6 +227,8 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
             }
             Payload::Monitoring(MonitoringPayload {
                 origin,
+                epoch,
+                stream_seq,
                 records,
                 pad_bytes: pad,
                 ext_names,
@@ -264,6 +283,16 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
             };
             Payload::Control(msg)
         }
+        EventKind::Heartbeat => {
+            if buf.remaining() < 4 + 4 + 4 {
+                return Err(WireError::Truncated);
+            }
+            Payload::Heartbeat(HeartbeatPayload {
+                origin: NodeId(buf.get_u32_le() as usize),
+                epoch: buf.get_u32_le(),
+                stream_seq: buf.get_u32_le(),
+            })
+        }
     };
     Ok(Event {
         kind,
@@ -281,7 +310,9 @@ pub fn encoded_size(ev: &Event) -> usize {
     let header = 2 + 4 + 8 + 4 + 4;
     let payload = match &ev.payload {
         Payload::Monitoring(m) => {
-            4 + 2
+            4 + 4
+                + 4
+                + 2
                 + m.records.len() * 28
                 + 4
                 + m.pad_bytes as usize
@@ -305,6 +336,7 @@ pub fn encoded_size(ev: &Event) -> usize {
             ControlMsg::FilterRejected { reason } => 1 + 4 + reason.len(),
             ControlMsg::RemoveFilter | ControlMsg::Announce => 1,
         },
+        Payload::Heartbeat(_) => 4 + 4 + 4,
     };
     header + payload
 }
@@ -320,6 +352,8 @@ mod tests {
             NodeId(3),
             MonitoringPayload {
                 origin: NodeId(3),
+                epoch: 1,
+                stream_seq: 40,
                 records: vec![
                     MonRecord {
                         metric_id: 0,
@@ -439,6 +473,8 @@ mod tests {
             NodeId(0),
             MonitoringPayload {
                 origin: NodeId(0),
+                epoch: 0,
+                stream_seq: 0,
                 records: (0..2)
                     .map(|i| MonRecord {
                         metric_id: i,

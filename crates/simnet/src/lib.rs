@@ -24,14 +24,18 @@
 //! * [`traffic`] — UDP flood generators and the Iperf-style available
 //!   bandwidth probe,
 //! * [`conn`] — per-connection tracking (RTT EWMA, bytes, retransmissions,
-//!   loss) feeding dproc's NET_MON module.
+//!   loss) feeding dproc's NET_MON module,
+//! * [`fault`] — scheduled fault injection: crashes, partitions, message
+//!   loss, and link degradation, with per-path drop counters.
 
 pub mod conn;
+pub mod fault;
 pub mod link;
 pub mod network;
 pub mod traffic;
 
 pub use conn::{ConnId, ConnStats, ConnTrack};
+pub use fault::{DropReason, FaultAction, FaultPlan, FaultState, FaultStats};
 pub use link::{DirLink, LinkSpec};
 pub use network::{Delivery, Network, NodeId};
 pub use traffic::FlowId;

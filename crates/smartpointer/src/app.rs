@@ -19,6 +19,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use dproc::cluster::{ClusterSim, ClusterWorld};
+use dproc::PeerHealth;
 use simcore::stats::Sampler;
 use simcore::{Repeat, Sim, SimDur, SimTime};
 use simnet::conn::Proto;
@@ -53,6 +54,9 @@ pub struct ClientStats {
     /// Frames dropped because the receive queue was full (event-buffer
     /// overflow under overload).
     pub dropped: u64,
+    /// Frames emitted in the conservative fallback format because the
+    /// server's failure detector had marked this client's metrics stale.
+    pub fallbacks: u64,
 }
 
 struct QueuedFrame {
@@ -201,6 +205,7 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
                 c.stats.last_mode,
             )
         };
+        let mut fallback = false;
         let mode = match policy {
             Policy::NoFilter => StreamMode::Raw,
             Policy::Static(m) => m,
@@ -209,12 +214,22 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
                 let stream_bps = last_mode
                     .map(|m| m.bytes(&spec) as f64 * 8.0 * rate_hz)
                     .unwrap_or(0.0);
+                // The decision trusts the monitored view only while the
+                // server-side failure detector still considers the client
+                // fresh; past the staleness bound the policy degrades to
+                // the conservative format instead of acting on history.
+                let stale = matches!(
+                    dmon.peer_health(node),
+                    Some(PeerHealth::Stale | PeerHealth::Dead)
+                );
+                fallback = stale;
                 let view = ClientView {
                     loadavg: dmon.remote_value(node, "LOADAVG").map(|(v, _)| v),
                     avail_bps: dmon.remote_value(node, "NET_AVAIL").map(|(v, _)| v),
                     disk_sectors_per_s: dmon.remote_value(node, "DISKUSAGE").map(|(v, _)| v),
                     n_cpus: w.hosts[node.0].cpu.n_cpus(),
                     stream_bps,
+                    stale,
                 };
                 decide(set, &view, &spec, rate_hz)
             }
@@ -234,6 +249,9 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
             let c = &mut st.clients[idx];
             c.stats.last_mode = Some(mode);
             c.stats.mode_log.push((now.as_secs_f64(), mode.label()));
+            if fallback {
+                c.stats.fallbacks += 1;
+            }
         }
 
         let delivery = w.net.send(now, server, node, bytes);
@@ -254,10 +272,27 @@ fn on_frame_delivered(
     flops: f64,
 ) {
     let now = s.now();
-    let (node, conn, write_to_disk) = {
+    let (server, node, conn, write_to_disk) = {
         let st = state.borrow();
-        (st.clients[idx].node, st.clients[idx].conn, st.write_to_disk)
+        (
+            st.server,
+            st.clients[idx].node,
+            st.clients[idx].conn,
+            st.write_to_disk,
+        )
     };
+    // Injected faults hit the application stream like anything else. The
+    // partition check is the pure one so the loss RNG's draw sequence for
+    // monitoring traffic stays untouched.
+    if !w.is_alive(node) {
+        w.fault.note_crash_drop();
+        return;
+    }
+    if w.fault.is_partitioned(server, node) {
+        w.fault.stats.partition_drops += 1;
+        w.fault.stats.events_lost += 1;
+        return;
+    }
     // Kernel-observable side effects: connection stats, disk, cache.
     let host = &mut w.hosts[node.0];
     host.conns

@@ -44,6 +44,10 @@ pub struct ClientView {
     /// checks add it back — otherwise the decision double-counts the
     /// stream and spirals down.
     pub stream_bps: f64,
+    /// The server-side failure detector marked this client's metrics
+    /// stale: nothing has been heard within the staleness bound, so the
+    /// values above describe the past, not the present.
+    pub stale: bool,
 }
 
 /// Client CPU is considered saturated when the run queue exceeds the CPU
@@ -105,6 +109,13 @@ impl ClientView {
 ///   degrading pre-render quality (server-paid) before pushing work onto
 ///   the client.
 pub fn decide(set: MonitorSet, view: &ClientView, spec: &FrameSpec, rate_hz: f64) -> StreamMode {
+    // Stale metrics are worse than no metrics: the client may be
+    // overloaded, partitioned, or dying, and whatever the view claims is
+    // history. Fall back to the most conservative format — smallest
+    // imagery, near-zero client work — until the detector sees it again.
+    if view.stale {
+        return StreamMode::PreRender(MAX_QUALITY_DIV);
+    }
     match set {
         MonitorSet::Cpu => {
             if view.cpu_loaded() {
@@ -169,6 +180,7 @@ mod tests {
             disk_sectors_per_s: Some(0.0),
             n_cpus: 1,
             stream_bps: 0.0,
+            stale: false,
         }
     }
 
@@ -265,6 +277,7 @@ mod tests {
             disk_sectors_per_s: Some(0.0),
             n_cpus: 1,
             stream_bps: 0.0,
+            stale: false,
         };
         let mode = decide(MonitorSet::Hybrid, &v, &s, 5.0);
         let StreamMode::PreRender(q) = mode else {
@@ -283,6 +296,24 @@ mod tests {
         for set in [MonitorSet::Cpu, MonitorSet::Net, MonitorSet::Hybrid] {
             assert_eq!(decide(set, &v, &s, RATE), StreamMode::Raw, "{set:?}");
         }
+    }
+
+    #[test]
+    fn stale_view_forces_conservative_format() {
+        let s = spec();
+        // A perfectly healthy-looking view — but it is stale, so every
+        // monitor set ignores it and degrades to the safe format.
+        let mut v = view(0.1, 100.0);
+        v.stale = true;
+        for set in [MonitorSet::Cpu, MonitorSet::Net, MonitorSet::Hybrid] {
+            assert_eq!(
+                decide(set, &v, &s, RATE),
+                StreamMode::PreRender(MAX_QUALITY_DIV),
+                "{set:?}"
+            );
+        }
+        v.stale = false;
+        assert_eq!(decide(MonitorSet::Hybrid, &v, &s, RATE), StreamMode::Raw);
     }
 
     #[test]

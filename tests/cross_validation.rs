@@ -132,6 +132,8 @@ proptest! {
             NodeId(3),
             MonitoringPayload {
                 origin: NodeId(3),
+                epoch: 0,
+                stream_seq: 0,
                 records: (0..5)
                     .map(|i| MonRecord {
                         metric_id: i,

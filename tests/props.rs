@@ -38,20 +38,26 @@ fn event_strategy() -> impl Strategy<Value = Event> {
         proptest::collection::vec(mon_record_strategy(), 0..20),
         0u32..10_000,
         ext,
+        any::<u32>(),
+        any::<u32>(),
     )
-        .prop_map(|(chan, seq, sender, records, pad, ext_names)| {
-            Event::monitoring(
-                chan,
-                seq,
-                NodeId(sender),
-                MonitoringPayload {
-                    origin: NodeId(sender),
-                    records,
-                    pad_bytes: pad,
-                    ext_names,
-                },
-            )
-        });
+        .prop_map(
+            |(chan, seq, sender, records, pad, ext_names, epoch, stream_seq)| {
+                Event::monitoring(
+                    chan,
+                    seq,
+                    NodeId(sender),
+                    MonitoringPayload {
+                        origin: NodeId(sender),
+                        epoch,
+                        stream_seq,
+                        records,
+                        pad_bytes: pad,
+                        ext_names,
+                    },
+                )
+            },
+        );
     let param = prop_oneof![
         (0.01f64..100.0).prop_map(|period_s| ParamSpec::Period { period_s }),
         (0.0f64..1.0).prop_map(|fraction| ParamSpec::DeltaFraction { fraction }),
@@ -323,5 +329,41 @@ proptest! {
         for &t in &ids {
             prop_assert!((cpu.work_done(end, t) - first).abs() < 1e-6);
         }
+    }
+}
+
+// ---------- stream continuity: gaps are exact ----------
+
+proptest! {
+    /// Deliver a stream with an arbitrary subset of interior sequence
+    /// numbers dropped: the tracker must report exactly the dropped set —
+    /// no phantom losses, no misses. (Drops before first contact or after
+    /// the final arrival are unobservable by construction, so the first
+    /// and last numbers always arrive.)
+    #[test]
+    fn gap_detection_reports_exactly_the_dropped_seqs(
+        n in 2u32..200,
+        drops in proptest::collection::btree_set(1u32..199, 0..40),
+        epoch in 0u32..1000,
+    ) {
+        let dropped: std::collections::BTreeSet<u32> =
+            drops.into_iter().filter(|&s| s < n - 1).collect();
+        let mut tracker = kecho::StreamTracker::new();
+        let mut reported = std::collections::BTreeSet::new();
+        for seq in 0..n {
+            if dropped.contains(&seq) {
+                continue;
+            }
+            let obs = tracker.observe(epoch, seq);
+            prop_assert!(!obs.restarted, "no epoch change in this stream");
+            prop_assert!(!obs.stale, "in-order arrivals are never stale");
+            reported.extend(obs.missing);
+        }
+        prop_assert_eq!(&reported, &dropped);
+        prop_assert_eq!(tracker.gaps(), dropped.len() as u64);
+        // A restart after the loss never inflates the gap count.
+        let obs = tracker.observe(epoch.wrapping_add(1), 0);
+        prop_assert!(obs.restarted);
+        prop_assert_eq!(tracker.gaps(), dropped.len() as u64);
     }
 }
