@@ -1,0 +1,63 @@
+//! End-to-end hot-path benchmark: poll → sample → filter → encode →
+//! deliver across a full monitored cluster.
+//!
+//! This is the criterion companion to the `bench_pipeline` binary (which
+//! emits `BENCH_pipeline.json` for the tracked baseline): same 16-node
+//! scenario, so a regression seen here reproduces under the JSON harness
+//! and vice versa.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use simcore::SimDur;
+
+fn warmed(nodes: usize) -> ClusterSim {
+    let mut sim = ClusterSim::new(ClusterConfig::new(nodes));
+    sim.start();
+    // Get past subscription setup and first-poll transients so the
+    // measured region is the steady-state pipeline.
+    sim.run_for(SimDur::from_secs(5));
+    sim
+}
+
+fn bench_pipeline_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/cold_10_sim_seconds");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        group.bench_function(format!("{n}_nodes"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = ClusterSim::new(ClusterConfig::new(n));
+                    sim.start();
+                    sim
+                },
+                |mut sim| {
+                    sim.run_for(SimDur::from_secs(10));
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/steady_10_sim_seconds");
+    group.sample_size(10);
+    for n in [4usize, 16] {
+        group.bench_function(format!("{n}_nodes"), |b| {
+            b.iter_batched(
+                || warmed(n),
+                |mut sim| {
+                    sim.run_for(SimDur::from_secs(10));
+                    sim
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_cold, bench_pipeline_steady);
+criterion_main!(benches);

@@ -345,10 +345,12 @@ impl ClusterWorld {
             EventKind::Monitoring => {
                 self.mon_delivered += 1;
                 self.mon_latency_us.add(one_way.as_micros_f64());
-                let calib = self.calib.clone();
                 let handler = {
+                    // Disjoint field borrows: calib is read-only next to the
+                    // mutable dmon/host splits, so no clone is needed.
+                    let calib = &self.calib;
                     let (dmon, host) = Self::dmon_host(&mut self.dmons, &mut self.hosts, to.0);
-                    dmon.on_event(host, &ev, bytes, now, &calib)
+                    dmon.on_event(host, &ev, bytes, now, calib)
                 };
                 self.charge_cpu(sim, to, handler + self.calib.kernel_path_recv);
 
@@ -371,15 +373,13 @@ impl ClusterWorld {
                 }
             }
             EventKind::Heartbeat => {
-                let calib = self.calib.clone();
-                let handler = self.dmons[to.0].on_heartbeat(&ev, now, &calib);
-                self.charge_cpu(sim, to, handler + calib.heartbeat_path_recv);
+                let handler = self.dmons[to.0].on_heartbeat(&ev, now, &self.calib);
+                self.charge_cpu(sim, to, handler + self.calib.heartbeat_path_recv);
             }
             EventKind::Control => {
                 self.ctl_delivered += 1;
                 if let Some(msg) = ev.as_control() {
-                    let calib = self.calib.clone();
-                    let outcome = self.dmons[to.0].on_control(ev.sender, msg, &calib);
+                    let outcome = self.dmons[to.0].on_control(ev.sender, msg, &self.calib);
                     self.charge_cpu(sim, to, outcome.cpu + self.calib.kernel_path_recv);
                     if let Some(reply) = outcome.reply {
                         // E.g. a filter rejection travelling back to the
@@ -486,15 +486,16 @@ impl ClusterWorld {
             return;
         }
         let now = sim.now();
-        let calib = self.calib.clone();
         let mon = self.mon_chan;
         let ctl = self.ctl_chan;
         let outcome = {
             let dir = &self.dir;
-            // Split borrows: dmons[i] and hosts[i] are distinct fields.
+            let calib = &self.calib;
+            // Split borrows: dmons[i], hosts[i], dir and calib are
+            // distinct fields.
             let dmon = &mut self.dmons[i];
             let host = &mut self.hosts[i];
-            dmon.poll(host, dir, mon, ctl, now, &calib)
+            dmon.poll(host, dir, mon, ctl, now, calib)
         };
         self.charge_cpu(sim, NodeId(i), outcome.cpu_cost);
         for (hop, ev, bytes) in outcome.sends {
@@ -955,7 +956,7 @@ mod congestion_tests {
         // And the /proc detail carries it to remote observers.
         let now = sim.now();
         let w = sim.world_mut();
-        let sample = crate::modules::NetMon.collect_for_test(&mut w.hosts[1], now);
+        let sample = crate::modules::NetMon::default().collect_for_test(&mut w.hosts[1], now);
         assert!(sample.contains("retx"), "{sample}");
     }
 

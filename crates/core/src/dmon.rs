@@ -13,17 +13,18 @@
 //! the CPU cost to charge; the cluster glue executes sends and schedules
 //! deliveries.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 use ecode::{EnvSpec, Filter, MetricRecord, MetricSet};
 use kecho::{
     ChannelId, ControlMsg, Directory, Event, HeartbeatPayload, Hop, MonRecord, MonitoringPayload,
     ParamSpec, StreamTracker,
 };
+use simcore::fastfmt;
 use simcore::stats::Sampler;
 use simcore::{SimDur, SimTime};
 use simnet::NodeId;
-use simos::Host;
+use simos::{Host, ProcHandle};
 
 use crate::calib::Calib;
 use crate::control::parse_control;
@@ -152,6 +153,28 @@ struct PeerRecord {
     epoch: u32,
 }
 
+/// One memoized filter evaluation within the current poll: subscribers
+/// whose deployed filter has the same fingerprint and sees the same input
+/// snapshot reuse a single VM run.
+struct FilterMemo {
+    fingerprint: u64,
+    inputs: Vec<MetricRecord>,
+    /// Accepted records + executed instructions, or `None` for a VM fault.
+    result: Option<(Vec<MetricRecord>, u64)>,
+}
+
+/// FNV-1a over a filter's source — a cheap, deterministic fingerprint for
+/// the per-poll memo table (collisions are resolved by comparing the full
+/// input snapshot, so a fingerprint clash costs a VM run, never wrong data).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
 /// The d-mon module of one node.
 pub struct DMon {
     node: NodeId,
@@ -166,11 +189,14 @@ pub struct DMon {
     event_pad: u32,
     policies: HashMap<NodeId, PolicySet>,
     filters: HashMap<NodeId, Filter>,
-    /// Last value actually sent, per (subscriber, metric).
-    last_sent: HashMap<(NodeId, u32), (f64, SimTime)>,
-    /// Last value received from remote publishers, per (origin, metric) —
-    /// the fast-path store applications read alongside `/proc`.
-    remote_values: HashMap<(NodeId, u32), (f64, SimTime)>,
+    /// Last value actually sent, per subscriber (outer index = node id,
+    /// inner index = metric id). Bounded by construction; a Dead
+    /// subscriber's row is reaped.
+    last_sent: Vec<Vec<Option<(f64, SimTime)>>>,
+    /// Last value received from remote publishers, indexed
+    /// `[origin][metric_id]` — the fast-path store applications read
+    /// alongside `/proc`. Rows grow to each origin's highest metric id.
+    remote_values: Vec<Vec<Option<(f64, SimTime)>>>,
     /// Learned schema extensions: metric/file names for foreign ids beyond
     /// the standard module set, per origin.
     remote_ext: HashMap<(NodeId, u32), (String, String)>,
@@ -185,13 +211,14 @@ pub struct DMon {
     /// tell a restart from a gap.
     epoch: u32,
     /// Next `stream_seq` per subscriber stream (data and heartbeats share
-    /// the numbering).
-    stream_seq: HashMap<NodeId, u32>,
-    /// Continuity tracker per incoming stream (keyed by origin).
-    trackers: HashMap<NodeId, StreamTracker>,
-    /// Failure-detector state per remote peer, keyed by node index so
+    /// the numbering). Indexed by node id; kept across a subscriber's
+    /// death so a heal without a restart shows no spurious stream reset.
+    stream_seq: Vec<u32>,
+    /// Continuity tracker per incoming stream, indexed by origin.
+    trackers: Vec<StreamTracker>,
+    /// Failure-detector state per remote peer, indexed by node id so
     /// iteration (eviction, status files) is deterministic.
-    peers: BTreeMap<usize, PeerRecord>,
+    peers: Vec<Option<PeerRecord>>,
     /// Silence bound for Fresh → Stale.
     stale_after: SimDur,
     /// Silence bound for Stale → Dead.
@@ -200,16 +227,38 @@ pub struct DMon {
     /// Kept under `stale_after` so a fully-filtered publisher stays Fresh,
     /// but well above the polling period so heartbeats stay cheap.
     heartbeat_every: SimDur,
-    /// Last submission (data or heartbeat) per subscriber stream.
-    stream_last_send: HashMap<NodeId, SimTime>,
+    /// Last submission (data or heartbeat) per subscriber stream, indexed
+    /// by node id. Reaped when the subscriber is evicted as Dead.
+    stream_last_send: Vec<Option<SimTime>>,
     /// Customizations this node deployed on remote publishers, replayed on
     /// resync when a publisher restarts (its volatile policy/filter state
     /// died with it).
     deployed_ctl: HashMap<NodeId, Vec<ControlMsg>>,
     /// Peers that recovered since the last poll and need re-deployment.
     pending_resync: Vec<NodeId>,
-    /// Events (data + heartbeats) submitted per subscriber.
-    sent_per_sub: HashMap<NodeId, u64>,
+    /// Events (data + heartbeats) submitted per subscriber, indexed by
+    /// node id. A lifetime counter (observable via [`DMon::sent_to`]), so
+    /// it is flat and bounded rather than reaped.
+    sent_per_sub: Vec<u64>,
+    /// Interned `/proc` handles for this node's own metric files, by
+    /// module index; resolved on first write, O(1) afterwards.
+    own_file_handles: Vec<Option<ProcHandle>>,
+    /// Interned handle for `cluster/<own>/control`.
+    own_ctl_handle: Option<ProcHandle>,
+    /// Interned handles for `cluster/<peer>/status`, by peer index.
+    status_handles: Vec<Option<ProcHandle>>,
+    /// Interned handles for `cluster/<origin>/<file>`, indexed
+    /// `[origin][metric_id]` — the receive path's hottest writes.
+    remote_file_handles: Vec<Vec<Option<ProcHandle>>>,
+    /// Origins whose `cluster/<origin>/control` file already exists.
+    remote_ctl_ready: Vec<bool>,
+    /// Wire schema blocks for run-time-registered modules, rebuilt when
+    /// the module set changes instead of per subscriber per poll.
+    ext_schema: Vec<(u32, String, String)>,
+    /// Scratch filter-input vector, reused across subscribers and polls.
+    filter_inputs: Vec<MetricRecord>,
+    /// Per-poll filter memo table (cleared at the top of every poll).
+    memo: Vec<FilterMemo>,
     /// Self-observability.
     pub stats: DmonStats,
 }
@@ -225,6 +274,7 @@ impl DMon {
         assert!(!poll_period.is_zero(), "zero poll period");
         let env = EnvSpec::new(modules.iter().map(|m| m.metric_name().to_string()));
         let base_modules = modules.len();
+        let n = cluster_names.len();
         DMon {
             node,
             cluster_names,
@@ -234,23 +284,31 @@ impl DMon {
             event_pad: 0,
             policies: HashMap::new(),
             filters: HashMap::new(),
-            last_sent: HashMap::new(),
-            remote_values: HashMap::new(),
+            last_sent: vec![Vec::new(); n],
+            remote_values: vec![Vec::new(); n],
             remote_ext: HashMap::new(),
             base_modules,
             rejections: HashMap::new(),
             seq: 0,
             epoch: 0,
-            stream_seq: HashMap::new(),
-            trackers: HashMap::new(),
-            peers: BTreeMap::new(),
+            stream_seq: vec![0; n],
+            trackers: vec![StreamTracker::default(); n],
+            peers: vec![None; n],
             stale_after: poll_period.mul_f64(3.0),
             dead_after: poll_period.mul_f64(8.0),
             heartbeat_every: poll_period.mul_f64(2.0),
-            stream_last_send: HashMap::new(),
+            stream_last_send: vec![None; n],
             deployed_ctl: HashMap::new(),
             pending_resync: Vec::new(),
-            sent_per_sub: HashMap::new(),
+            sent_per_sub: vec![0; n],
+            own_file_handles: vec![None; base_modules],
+            own_ctl_handle: None,
+            status_handles: vec![None; n],
+            remote_file_handles: vec![Vec::new(); n],
+            remote_ctl_ready: vec![false; n],
+            ext_schema: Vec::new(),
+            filter_inputs: Vec::new(),
+            memo: Vec::new(),
             stats: DmonStats::default(),
         }
     }
@@ -304,6 +362,20 @@ impl DMon {
                 self.filters.insert(sub, f);
             }
         }
+        self.own_file_handles.resize(self.modules.len(), None);
+        // Wire schema blocks for every run-time-registered module, built
+        // once here instead of per subscriber per poll.
+        self.ext_schema = self.modules[self.base_modules..]
+            .iter()
+            .enumerate()
+            .map(|(k, m)| {
+                (
+                    (self.base_modules + k) as u32,
+                    m.metric_name().to_string(),
+                    m.file_name().to_string(),
+                )
+            })
+            .collect();
     }
 
     /// Number of registered monitoring modules.
@@ -327,7 +399,7 @@ impl DMon {
     /// the programmatic fast path next to the `/proc` text interface.
     pub fn remote_value(&self, origin: NodeId, metric: &str) -> Option<(f64, SimTime)> {
         if let Some(idx) = self.env.index_of(metric) {
-            return self.remote_values.get(&(origin, idx as u32)).copied();
+            return self.remote_value_at(origin, idx as u32);
         }
         // A metric this node has no module for: resolve through the
         // schema the origin shipped with its events.
@@ -335,7 +407,11 @@ impl DMon {
             .remote_ext
             .iter()
             .find(|(&(o, _), (name, _))| o == origin && name == metric)?;
-        self.remote_values.get(&(origin, idx)).copied()
+        self.remote_value_at(origin, idx)
+    }
+
+    fn remote_value_at(&self, origin: NodeId, idx: u32) -> Option<(f64, SimTime)> {
+        *self.remote_values.get(origin.0)?.get(idx as usize)?
     }
 
     /// The policy a subscriber currently has configured here.
@@ -382,12 +458,12 @@ impl DMon {
 
     /// Health of a remote peer; `None` until first contact.
     pub fn peer_health(&self, peer: NodeId) -> Option<PeerHealth> {
-        self.peers.get(&peer.0).map(|r| r.health)
+        self.peers.get(peer.0)?.map(|r| r.health)
     }
 
     /// When a remote peer was last heard from; `None` until first contact.
     pub fn peer_last_heard(&self, peer: NodeId) -> Option<SimTime> {
-        self.peers.get(&peer.0).map(|r| r.last_heard)
+        self.peers.get(peer.0)?.map(|r| r.last_heard)
     }
 
     /// This node's incarnation number.
@@ -398,7 +474,19 @@ impl DMon {
     /// Events (data + heartbeats) this publisher has submitted to one
     /// subscriber over its lifetime.
     pub fn sent_to(&self, subscriber: NodeId) -> u64 {
-        self.sent_per_sub.get(&subscriber).copied().unwrap_or(0)
+        self.sent_per_sub.get(subscriber.0).copied().unwrap_or(0)
+    }
+
+    /// Number of customization messages queued for replay to `target` if
+    /// it restarts (bounded by compaction in [`DMon::record_deployment`]).
+    pub fn deployed_ctl_len(&self, target: NodeId) -> usize {
+        self.deployed_ctl.get(&target).map_or(0, Vec::len)
+    }
+
+    /// Length of the last-sent row held for `subscriber` — zero once a
+    /// Dead eviction reaps it, non-zero again after publication resumes.
+    pub fn last_sent_len(&self, subscriber: NodeId) -> usize {
+        self.last_sent.get(subscriber.0).map_or(0, Vec::len)
     }
 
     /// Crash-stop restart: volatile state (deployed policies/filters,
@@ -409,17 +497,23 @@ impl DMon {
         self.epoch += 1;
         self.policies.clear();
         self.filters.clear();
-        self.last_sent.clear();
-        self.remote_values.clear();
+        self.last_sent.iter_mut().for_each(Vec::clear);
+        self.remote_values.iter_mut().for_each(Vec::clear);
         self.remote_ext.clear();
         self.rejections.clear();
-        self.stream_seq.clear();
-        self.stream_last_send.clear();
-        self.trackers.clear();
-        self.peers.clear();
+        self.stream_seq.fill(0);
+        self.stream_last_send.fill(None);
+        self.trackers.fill_with(StreamTracker::default);
+        self.peers.fill(None);
         self.deployed_ctl.clear();
         self.pending_resync.clear();
-        self.sent_per_sub.clear();
+        self.sent_per_sub.fill(0);
+        // Interned /proc handles survive: the host (and its proc tree)
+        // persists across a crash-restart in this model, so the paths they
+        // name are still the right files. Stale remote schema mappings do
+        // not: ext name→id bindings were learned from peers and are
+        // relearned, so their cached handles go too.
+        self.remote_file_handles.iter_mut().for_each(Vec::clear);
     }
 
     /// Fold a liveness proof from `origin` into the detector + trackers.
@@ -427,13 +521,9 @@ impl DMon {
         if origin == self.node {
             return;
         }
-        let obs = self
-            .trackers
-            .entry(origin)
-            .or_default()
-            .observe(epoch, stream_seq);
+        let obs = self.trackers[origin.0].observe(epoch, stream_seq);
         self.stats.gaps_detected += obs.missing.len() as u64;
-        let rec = self.peers.entry(origin.0).or_insert(PeerRecord {
+        let rec = self.peers[origin.0].get_or_insert(PeerRecord {
             last_heard: now,
             health: PeerHealth::Fresh,
             epoch,
@@ -459,7 +549,7 @@ impl DMon {
         if peer == self.node {
             return;
         }
-        if let Some(rec) = self.peers.get_mut(&peer.0) {
+        if let Some(rec) = self.peers.get_mut(peer.0).and_then(Option::as_mut) {
             if rec.health == PeerHealth::Dead {
                 rec.health = PeerHealth::Stale;
                 rec.last_heard = now;
@@ -472,16 +562,19 @@ impl DMon {
     /// declared Dead.
     fn check_peers(&mut self, host: &mut Host, now: SimTime) -> Vec<NodeId> {
         let mut dead = Vec::new();
-        let peers = &mut self.peers;
         let stats = &mut self.stats;
-        for (&idx, rec) in peers.iter_mut() {
+        let status_handles = &mut self.status_handles;
+        let cluster_names = &self.cluster_names;
+        let (stale_after, dead_after) = (self.stale_after, self.dead_after);
+        for (idx, slot) in self.peers.iter_mut().enumerate() {
+            let Some(rec) = slot.as_mut() else { continue };
             let age = now.since(rec.last_heard);
             if rec.health != PeerHealth::Dead {
-                if age >= self.dead_after {
+                if age >= dead_after {
                     rec.health = PeerHealth::Dead;
                     stats.nodes_evicted += 1;
                     dead.push(NodeId(idx));
-                } else if age >= self.stale_after {
+                } else if age >= stale_after {
                     if rec.health == PeerHealth::Fresh {
                         stats.nodes_suspected += 1;
                     }
@@ -489,23 +582,34 @@ impl DMon {
                 }
                 // Past the stale bound at least one heartbeat interval
                 // has gone unanswered; count one miss per silent check.
-                if age >= self.stale_after {
+                if age >= stale_after {
                     stats.heartbeats_missed += 1;
                 }
             }
-            let name = &self.cluster_names[idx];
-            host.proc
-                .set(
-                    &format!("cluster/{name}/status"),
-                    format!(
-                        "{} last_update {:.3} age {:.3} epoch {}",
-                        rec.health.label(),
-                        rec.last_heard.as_secs_f64(),
-                        age.as_secs_f64(),
-                        rec.epoch,
-                    ),
-                )
-                .expect("status path");
+            let h = match status_handles[idx] {
+                Some(h) => h,
+                None => {
+                    let name = &cluster_names[idx];
+                    let h = host
+                        .proc
+                        .intern(&format!("cluster/{name}/status"))
+                        .expect("status path");
+                    status_handles[idx] = Some(h);
+                    h
+                }
+            };
+            // Piecewise assembly with the exact-output fast formatters;
+            // equivalent to
+            // `"{} last_update {:.3} age {:.3} epoch {}"` via `format!`.
+            let buf = host.proc.handle_buf(h);
+            buf.clear();
+            buf.push_str(rec.health.label());
+            buf.push_str(" last_update ");
+            fastfmt::push_f64_fixed3(buf, rec.last_heard.as_secs_f64());
+            buf.push_str(" age ");
+            fastfmt::push_f64_fixed3(buf, age.as_secs_f64());
+            buf.push_str(" epoch ");
+            fastfmt::push_u64(buf, rec.epoch as u64);
         }
         dead
     }
@@ -536,16 +640,16 @@ impl DMon {
         calib: &Calib,
     ) -> PollOutcome {
         let mut cpu = SimDur::ZERO;
-        let mut sends: Vec<(Hop, Event, usize)> = Vec::new();
+        let mut sends: Vec<(Hop, Event, usize)> = Vec::with_capacity(self.cluster_names.len());
+        self.memo.clear();
 
         // 1. Collect one sample per module some subscriber can actually
         // consume (certified filter read sets prove the rest unread) and
-        // refresh local /proc views.
+        // refresh local /proc views. The detail text is moved — not
+        // copied — into the interned /proc slot.
         let needed = self.needed_modules(dir, mon_chan);
-        let mut samples: Vec<Option<crate::modules::Sample>> =
-            Vec::with_capacity(self.modules.len());
-        let own_name = self.cluster_names[self.node.0].clone();
-        for (module, &need) in self.modules.iter_mut().zip(&needed) {
+        let mut samples: Vec<Option<f64>> = Vec::with_capacity(self.modules.len());
+        for (i, (module, &need)) in self.modules.iter_mut().zip(&needed).enumerate() {
             if !need {
                 self.stats.modules_skipped += 1;
                 samples.push(None);
@@ -553,21 +657,46 @@ impl DMon {
             }
             let sample = module.collect(host, now);
             cpu += calib.collect_per_module;
-            host.proc
-                .set(
-                    &format!("cluster/{own_name}/{}", module.file_name()),
-                    sample.detail.clone(),
-                )
-                .expect("own cluster path");
-            samples.push(Some(sample));
+            let h = match self.own_file_handles[i] {
+                Some(h) => h,
+                None => {
+                    let own = &self.cluster_names[self.node.0];
+                    let h = host
+                        .proc
+                        .intern(&format!("cluster/{own}/{}", module.file_name()))
+                        .expect("own cluster path");
+                    self.own_file_handles[i] = Some(h);
+                    h
+                }
+            };
+            host.proc.set_handle(h, sample.detail);
+            samples.push(Some(sample.value));
         }
-        host.proc
-            .set(&format!("cluster/{own_name}/control"), "")
-            .expect("own control path");
+        let ctl_h = match self.own_ctl_handle {
+            Some(h) => h,
+            None => {
+                let own = &self.cluster_names[self.node.0];
+                let h = host
+                    .proc
+                    .intern(&format!("cluster/{own}/control"))
+                    .expect("own control path");
+                self.own_ctl_handle = Some(h);
+                h
+            }
+        };
+        host.proc.set_handle(ctl_h, String::new());
 
         // 2. Age the failure detector: transitions, status files, and the
-        // peers to evict from the registry this iteration.
+        // peers to evict from the registry this iteration. An evicted
+        // subscriber's per-stream send state is reaped here — its stream
+        // is over; a later recovery starts from a clean slate — while
+        // lifetime counters (`sent_per_sub`) and the replay log
+        // (`deployed_ctl`, bounded by compaction) deliberately survive.
         let dead_peers = self.check_peers(host, now);
+        for &peer in &dead_peers {
+            self.last_sent[peer.0] = Vec::new();
+            self.stream_last_send[peer.0] = None;
+        }
 
         // 3. Per subscriber: parameters or filter decide what to send; a
         // stream with no data this round carries a heartbeat instead, so
@@ -583,10 +712,8 @@ impl DMon {
                 // one per poll: a preformatted liveness packet only needs
                 // to outpace the peer's stale bound, and Figs. 4/6 depend
                 // on filtered streams staying nearly free.
-                let silence = self
-                    .stream_last_send
-                    .get(&sub)
-                    .map(|&t| now.since(t))
+                let silence = self.stream_last_send[sub.0]
+                    .map(|t| now.since(t))
                     .unwrap_or(SimDur::MAX);
                 if silence < self.heartbeat_every {
                     continue;
@@ -606,8 +733,8 @@ impl DMon {
                 let bytes = kecho::wire::encoded_size(&ev);
                 cpu += calib.heartbeat_cost + calib.heartbeat_path_send;
                 self.stats.heartbeats_sent += 1;
-                *self.sent_per_sub.entry(sub).or_default() += 1;
-                self.stream_last_send.insert(sub, now);
+                self.sent_per_sub[sub.0] += 1;
+                self.stream_last_send[sub.0] = Some(now);
                 sends.push((
                     Hop {
                         from: self.node,
@@ -618,26 +745,30 @@ impl DMon {
                 ));
                 continue;
             }
+            let row = &mut self.last_sent[sub.0];
+            if row.len() < self.modules.len() {
+                row.resize(self.modules.len(), None);
+            }
             for r in &records {
-                self.last_sent.insert((sub, r.metric_id), (r.value, now));
+                if let Some(slot) = row.get_mut(r.metric_id as usize) {
+                    *slot = Some((r.value, now));
+                }
             }
             self.seq += 1;
             // Records for run-time-registered modules carry their schema
             // (metric + /proc file names) so any subscriber can interpret
-            // them — ECho's typed events, in miniature.
-            let ext_names: Vec<(u32, String, String)> = records
-                .iter()
-                .filter(|r| r.metric_id as usize >= self.base_modules)
-                .filter_map(|r| {
-                    self.modules.get(r.metric_id as usize).map(|m| {
-                        (
-                            r.metric_id,
-                            m.metric_name().to_string(),
-                            m.file_name().to_string(),
-                        )
-                    })
-                })
-                .collect();
+            // them — ECho's typed events, in miniature. The schema text
+            // lives in `ext_schema` (rebuilt on registration); the common
+            // all-base-modules case stays allocation-free.
+            let ext_names: Vec<(u32, String, String)> = if self.ext_schema.is_empty() {
+                Vec::new()
+            } else {
+                self.ext_schema
+                    .iter()
+                    .filter(|(id, _, _)| records.iter().any(|r| r.metric_id == *id))
+                    .cloned()
+                    .collect()
+            };
             let mut ev = Event::monitoring(
                 mon_chan.0,
                 self.seq,
@@ -661,8 +792,8 @@ impl DMon {
             self.stats.events_sent += 1;
             self.stats.bytes_sent += bytes as u64;
             self.stats.submit_cost_partial(handler);
-            *self.sent_per_sub.entry(sub).or_default() += 1;
-            self.stream_last_send.insert(sub, now);
+            self.sent_per_sub[sub.0] += 1;
+            self.stream_last_send[sub.0] = Some(now);
             sends.push((
                 Hop {
                     from: self.node,
@@ -720,7 +851,7 @@ impl DMon {
 
     /// Allocate the next per-subscriber stream position.
     fn next_stream_seq(&mut self, sub: NodeId) -> u32 {
-        let slot = self.stream_seq.entry(sub).or_insert(0);
+        let slot = &mut self.stream_seq[sub.0];
         let v = *slot;
         *slot = slot.wrapping_add(1);
         v
@@ -761,44 +892,62 @@ impl DMon {
     fn select_records(
         &mut self,
         sub: NodeId,
-        samples: &[Option<crate::modules::Sample>],
+        samples: &[Option<f64>],
         now: SimTime,
         calib: &Calib,
         cpu: &mut SimDur,
     ) -> Vec<MonRecord> {
-        let make_record = |i: usize, value: f64, last: f64| MonRecord {
-            metric_id: i as u32,
-            value,
-            last_value_sent: last,
-            timestamp: now.as_secs_f64(),
-        };
-
         if let Some(filter) = self.filters.get(&sub) {
             // A deployed filter takes over the decision entirely. Skipped
             // slots get a zero placeholder: a module is only skipped when
             // every deployed filter's certificate proves it unread, so the
             // placeholder is unobservable.
-            let inputs: Vec<MetricRecord> = samples
+            let mut inputs = std::mem::take(&mut self.filter_inputs);
+            inputs.clear();
+            let row = &self.last_sent[sub.0];
+            for (i, s) in samples.iter().enumerate() {
+                let last = row
+                    .get(i)
+                    .and_then(|o| o.as_ref())
+                    .map(|&(v, _)| v)
+                    .unwrap_or(0.0);
+                inputs.push(MetricRecord {
+                    id: i as u32,
+                    value: s.unwrap_or(0.0),
+                    last_value_sent: last,
+                    timestamp: now.as_secs_f64(),
+                });
+            }
+            // Subscribers sharing a filter (same source fingerprint) AND
+            // the same input snapshot within this poll reuse one VM run.
+            // The modeled cost is still charged per logical run — the
+            // figures measure what a kernel would spend, not what the
+            // memo saves the simulator.
+            let fp = fnv1a(filter.source().as_bytes());
+            let hit = self
+                .memo
                 .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    let last = self
-                        .last_sent
-                        .get(&(sub, i as u32))
-                        .map(|&(v, _)| v)
-                        .unwrap_or(0.0);
-                    MetricRecord {
-                        id: i as u32,
-                        value: s.as_ref().map_or(0.0, |s| s.value),
-                        last_value_sent: last,
-                        timestamp: now.as_secs_f64(),
-                    }
-                })
-                .collect();
-            match filter.run(&inputs) {
-                Ok(out) => {
-                    *cpu += calib.ecode_instr * out.instructions();
-                    out.records_if_accepted()
+                .position(|m| m.fingerprint == fp && m.inputs == inputs);
+            let result = match hit {
+                Some(i) => self.memo[i].result.clone(),
+                None => {
+                    let result = match filter.run(&inputs) {
+                        Ok(out) => Some((out.records_if_accepted(), out.instructions())),
+                        Err(_) => None,
+                    };
+                    self.memo.push(FilterMemo {
+                        fingerprint: fp,
+                        inputs: inputs.clone(),
+                        result: result.clone(),
+                    });
+                    result
+                }
+            };
+            self.filter_inputs = inputs;
+            match result {
+                Some((accepted, instructions)) => {
+                    *cpu += calib.ecode_instr * instructions;
+                    accepted
                         .into_iter()
                         .map(|r| MonRecord {
                             metric_id: r.id,
@@ -808,27 +957,29 @@ impl DMon {
                         })
                         .collect()
                 }
-                Err(_) => {
+                None => {
                     // A faulting filter sends nothing (a kernel would also
-                    // disable it; we keep it and count the fault).
+                    // disable it; we keep it and count the fault — per
+                    // subscriber, even when the run itself was memoized).
                     self.stats.filter_errors += 1;
                     Vec::new()
                 }
             }
         } else {
             let policy = self.policies.get(&sub);
-            let mut records = Vec::new();
+            let row = &self.last_sent[sub.0];
+            let mut records = Vec::with_capacity(samples.len());
             for (i, (sample, module)) in samples.iter().zip(&self.modules).enumerate() {
                 // Policy-driven subscribers force every module to be
                 // sampled; `None` only defends against future callers.
-                let Some(sample) = sample else { continue };
-                let (last_value, last_at) = self
-                    .last_sent
-                    .get(&(sub, i as u32))
+                let Some(value) = *sample else { continue };
+                let (last_value, last_at) = row
+                    .get(i)
+                    .and_then(|o| o.as_ref())
                     .map(|&(v, t)| (v, Some(t)))
                     .unwrap_or((0.0, None));
                 let ctx = RuleCtx {
-                    value: sample.value,
+                    value,
                     last_sent_value: last_value,
                     last_sent_at: last_at,
                     now,
@@ -845,7 +996,12 @@ impl DMon {
                     }
                 };
                 if admit {
-                    records.push(make_record(i, sample.value, last_value));
+                    records.push(MonRecord {
+                        metric_id: i as u32,
+                        value,
+                        last_value_sent: last_value,
+                        timestamp: now.as_secs_f64(),
+                    });
                 }
             }
             records
@@ -902,12 +1058,41 @@ impl DMon {
     }
 
     /// Remember a customization sent to `target` so it can be replayed in
-    /// order if the target restarts. `RemoveFilter` supersedes any earlier
-    /// `DeployFilter`; a fresh `DeployFilter` supersedes the previous one.
+    /// order if the target restarts. The log is compacted so it stays
+    /// bounded under steady reconfiguration: a fresh `DeployFilter`
+    /// supersedes the previous one (`RemoveFilter` supersedes both), and a
+    /// non-additive `SetParam` for a metric supersedes every earlier rule
+    /// for the same metric root — only `and:` rules stack, because that is
+    /// their replay semantic.
     fn record_deployment(&mut self, target: NodeId, msg: &ControlMsg) {
+        /// A rule's metric root: what a replacing `SetParam` or a `clear:`
+        /// supersedes. `and:`/`clear:` prefixes are transparent; `window:`
+        /// keys module state, not rules, so it roots separately.
+        fn root(metric: &str) -> &str {
+            metric
+                .strip_prefix("and:")
+                .or_else(|| metric.strip_prefix("clear:"))
+                .unwrap_or(metric)
+        }
         let log = self.deployed_ctl.entry(target).or_default();
         match msg {
-            ControlMsg::SetParam { .. } => log.push(msg.clone()),
+            ControlMsg::SetParam { metric, .. } => {
+                if metric.starts_with("and:") {
+                    // Additive rules stack on the target; every one is
+                    // needed to rebuild the composed rule set.
+                    log.push(msg.clone());
+                    return;
+                }
+                let slot = root(metric);
+                log.retain(|m| match m {
+                    ControlMsg::SetParam { metric: old, .. } => root(old) != slot,
+                    _ => true,
+                });
+                // `clear:` is kept too (it replays as a cheap no-op on a
+                // blank restart) because metric aliases — /proc file names
+                // vs E-code constants — can hide a rule it must still undo.
+                log.push(msg.clone());
+            }
             ControlMsg::DeployFilter { .. } | ControlMsg::RemoveFilter => {
                 log.retain(|m| {
                     !matches!(
@@ -939,17 +1124,31 @@ impl DMon {
         };
         let origin = payload.origin;
         self.note_alive(origin, payload.epoch, payload.stream_seq, now);
-        let origin_name = self.cluster_names[origin.0].clone();
         for (id, metric, file) in &payload.ext_names {
-            self.remote_ext
-                .insert((origin, *id), (metric.clone(), file.clone()));
+            let known = self
+                .remote_ext
+                .get(&(origin, *id))
+                .is_some_and(|(m, f)| m == metric && f == file);
+            if !known {
+                // A changed file name (the origin restarted with another
+                // module layout) invalidates the cached /proc handle.
+                if let Some(slot) = self.remote_file_handles[origin.0].get_mut(*id as usize) {
+                    *slot = None;
+                }
+                self.remote_ext
+                    .insert((origin, *id), (metric.clone(), file.clone()));
+            }
         }
         for r in &payload.records {
-            self.remote_values
-                .insert((origin, r.metric_id), (r.value, now));
-            let file: &str = if (r.metric_id as usize) < self.base_modules {
+            let id = r.metric_id as usize;
+            let values = &mut self.remote_values[origin.0];
+            if values.len() <= id {
+                values.resize(id + 1, None);
+            }
+            values[id] = Some((r.value, now));
+            let file: &str = if id < self.base_modules {
                 self.modules
-                    .get(r.metric_id as usize)
+                    .get(id)
                     .map(|m| m.file_name())
                     .unwrap_or("extra")
             } else {
@@ -958,18 +1157,40 @@ impl DMon {
                     .map(|(_, f)| f.as_str())
                     .unwrap_or("extra")
             };
-            host.proc
-                .set(
-                    &format!("cluster/{origin_name}/{file}"),
-                    format!("{} {} ts {:.3}", file, r.value, r.timestamp),
-                )
-                .expect("cluster path");
+            let handles = &mut self.remote_file_handles[origin.0];
+            if handles.len() <= id {
+                handles.resize(id + 1, None);
+            }
+            let h = match handles[id] {
+                Some(h) => h,
+                None => {
+                    let origin_name = &self.cluster_names[origin.0];
+                    let h = host
+                        .proc
+                        .intern(&format!("cluster/{origin_name}/{file}"))
+                        .expect("cluster path");
+                    handles[id] = Some(h);
+                    h
+                }
+            };
+            // Piecewise assembly with the exact-output fast formatters;
+            // equivalent to `"{} {} ts {:.3}"` via `format!`.
+            let buf = host.proc.handle_buf(h);
+            buf.clear();
+            buf.push_str(file);
+            buf.push(' ');
+            fastfmt::push_f64_display(buf, r.value);
+            buf.push_str(" ts ");
+            fastfmt::push_f64_fixed3(buf, r.timestamp);
         }
         // Make sure the control file for that node exists so applications
         // can customize it.
-        let ctl = format!("cluster/{origin_name}/control");
-        if !host.proc.exists(&ctl) {
-            host.proc.set(&ctl, "").expect("control path");
+        if !self.remote_ctl_ready[origin.0] {
+            let ctl = format!("cluster/{}/control", self.cluster_names[origin.0]);
+            if !host.proc.exists(&ctl) {
+                host.proc.set(&ctl, "").expect("control path");
+            }
+            self.remote_ctl_ready[origin.0] = true;
         }
         let handler = calib.receive_cost(bytes);
         self.stats.events_received += 1;

@@ -19,6 +19,7 @@
 //! [`PowerMon`] (`power` / `BATTERY`) is the run-time-deployable sixth
 //! module for mobile hosts.
 
+use simcore::fastfmt;
 use simcore::{SimDur, SimTime};
 use simos::pmc::PmcEvent;
 use simos::Host;
@@ -82,16 +83,19 @@ impl MonitorModule for CpuMon {
     fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
         host.cpu.advance(now);
         let la = host.cpu.loadavg(now, self.window);
-        Sample {
-            value: la,
-            detail: format!(
-                "loadavg {:.2} window_s {} runnable {} cpus {}",
-                la,
-                self.window.as_secs(),
-                host.cpu.runnable(),
-                host.cpu.n_cpus()
-            ),
-        }
+        // Piecewise assembly with the exact-output fast formatters;
+        // equivalent to
+        // `"loadavg {:.2} window_s {} runnable {} cpus {}"` via `format!`.
+        let mut detail = String::with_capacity(48);
+        detail.push_str("loadavg ");
+        fastfmt::push_f64_fixed(&mut detail, la, 2);
+        detail.push_str(" window_s ");
+        fastfmt::push_u64(&mut detail, self.window.as_secs());
+        detail.push_str(" runnable ");
+        fastfmt::push_u64(&mut detail, host.cpu.runnable() as u64);
+        detail.push_str(" cpus ");
+        fastfmt::push_u64(&mut detail, host.cpu.n_cpus() as u64);
+        Sample { value: la, detail }
     }
     fn set_window(&mut self, window: SimDur) {
         if !window.is_zero() {
@@ -113,14 +117,18 @@ impl MonitorModule for MemMon {
     }
     fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
         let free = host.mem.free_bytes();
+        // Equivalent to
+        // `"free_bytes {} free_pages {} total_pages {}"` via `format!`.
+        let mut detail = String::with_capacity(56);
+        detail.push_str("free_bytes ");
+        fastfmt::push_u64(&mut detail, free);
+        detail.push_str(" free_pages ");
+        fastfmt::push_u64(&mut detail, host.mem.nr_free_pages());
+        detail.push_str(" total_pages ");
+        fastfmt::push_u64(&mut detail, host.mem.total_pages());
         Sample {
             value: free as f64,
-            detail: format!(
-                "free_bytes {} free_pages {} total_pages {}",
-                free,
-                host.mem.nr_free_pages(),
-                host.mem.total_pages()
-            ),
+            detail,
         }
     }
 }
@@ -139,16 +147,22 @@ impl MonitorModule for DiskMon {
     fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
         let sr = host.disk.sectors_read_rate(now);
         let sw = host.disk.sectors_written_rate(now);
+        // Equivalent to `"sectors_window {} reads {} writes {} sectors_read
+        // {} sectors_written {}"` via `format!`.
+        let mut detail = String::with_capacity(72);
+        detail.push_str("sectors_window ");
+        fastfmt::push_u64(&mut detail, sr + sw);
+        detail.push_str(" reads ");
+        fastfmt::push_u64(&mut detail, host.disk.reads());
+        detail.push_str(" writes ");
+        fastfmt::push_u64(&mut detail, host.disk.writes());
+        detail.push_str(" sectors_read ");
+        fastfmt::push_u64(&mut detail, host.disk.sectors_read());
+        detail.push_str(" sectors_written ");
+        fastfmt::push_u64(&mut detail, host.disk.sectors_written());
         Sample {
             value: (sr + sw) as f64,
-            detail: format!(
-                "sectors_window {} reads {} writes {} sectors_read {} sectors_written {}",
-                sr + sw,
-                host.disk.reads(),
-                host.disk.writes(),
-                host.disk.sectors_read(),
-                host.disk.sectors_written()
-            ),
+            detail,
         }
     }
 }
@@ -159,7 +173,13 @@ impl MonitorModule for DiskMon {
 /// The headline value is what the SmartPointer server consumes to size a
 /// client's stream.
 #[derive(Debug, Default)]
-pub struct NetMon;
+pub struct NetMon {
+    /// Reused per-connection line buffers: formatting the connection table
+    /// every poll is the single hottest formatting site in the pipeline,
+    /// so lines are assembled with the exact-output fast formatters into
+    /// pooled `String`s instead of fresh `format!` allocations.
+    line_pool: Vec<String>,
+}
 
 impl MonitorModule for NetMon {
     fn file_name(&self) -> &'static str {
@@ -171,30 +191,49 @@ impl MonitorModule for NetMon {
     fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
         let avail = host.available_bps(now);
         let total = host.conns.total_used_bps(now);
-        let mut conns: Vec<String> = host
-            .conns
-            .iter()
-            .map(|(id, st)| {
-                format!(
-                    "conn {}->{} tag {} rtt_us {} retx {} lost {}",
-                    id.local,
-                    id.remote,
-                    id.tag,
-                    st.rtt().map(simcore::SimDur::as_micros).unwrap_or(0),
-                    st.retransmissions(),
-                    st.losses()
-                )
-            })
-            .collect();
-        conns.sort();
+        // Each line is byte-identical to the old
+        // `"conn {}->{} tag {} rtt_us {} retx {} lost {}"` formatting
+        // (NodeId displays as `n<index>`).
+        let mut used = 0;
+        for (id, st) in host.conns.iter() {
+            if self.line_pool.len() == used {
+                self.line_pool.push(String::with_capacity(48));
+            }
+            let s = &mut self.line_pool[used];
+            used += 1;
+            s.clear();
+            s.push_str("conn n");
+            fastfmt::push_u64(s, id.local.0 as u64);
+            s.push_str("->n");
+            fastfmt::push_u64(s, id.remote.0 as u64);
+            s.push_str(" tag ");
+            fastfmt::push_u64(s, id.tag as u64);
+            s.push_str(" rtt_us ");
+            fastfmt::push_u64(s, st.rtt().map(simcore::SimDur::as_micros).unwrap_or(0));
+            s.push_str(" retx ");
+            fastfmt::push_u64(s, st.retransmissions());
+            s.push_str(" lost ");
+            fastfmt::push_u64(s, st.losses());
+        }
+        // Sorting the pool slice keeps the listing deterministic (the
+        // connection table iterates in hash order); buffer ownership just
+        // moves within the pool.
+        self.line_pool[..used].sort_unstable();
+        let mut detail = String::with_capacity(28 + used * 48);
+        detail.push_str("avail_bps ");
+        fastfmt::push_f64_fixed(&mut detail, avail, 0);
+        detail.push_str(" used_bps ");
+        fastfmt::push_f64_fixed(&mut detail, total, 0);
+        detail.push('\n');
+        for (i, line) in self.line_pool[..used].iter().enumerate() {
+            if i > 0 {
+                detail.push('\n');
+            }
+            detail.push_str(line);
+        }
         Sample {
             value: avail,
-            detail: format!(
-                "avail_bps {:.0} used_bps {:.0}\n{}",
-                avail,
-                total,
-                conns.join("\n")
-            ),
+            detail,
         }
     }
 }
@@ -212,14 +251,18 @@ impl MonitorModule for PmcMon {
     }
     fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
         let misses = host.pmc.read(PmcEvent::CacheMisses);
+        // Equivalent to
+        // `"cache_misses {} instructions {} cycles {}"` via `format!`.
+        let mut detail = String::with_capacity(56);
+        detail.push_str("cache_misses ");
+        fastfmt::push_u64(&mut detail, misses);
+        detail.push_str(" instructions ");
+        fastfmt::push_u64(&mut detail, host.pmc.read(PmcEvent::Instructions));
+        detail.push_str(" cycles ");
+        fastfmt::push_u64(&mut detail, host.pmc.read(PmcEvent::Cycles));
         Sample {
             value: misses as f64,
-            detail: format!(
-                "cache_misses {} instructions {} cycles {}",
-                misses,
-                host.pmc.read(PmcEvent::Instructions),
-                host.pmc.read(PmcEvent::Cycles)
-            ),
+            detail,
         }
     }
 }
@@ -272,7 +315,7 @@ pub fn standard_modules() -> Vec<Box<dyn MonitorModule>> {
         Box::new(CpuMon::new()),
         Box::new(MemMon),
         Box::new(DiskMon),
-        Box::new(NetMon),
+        Box::new(NetMon::default()),
         Box::new(PmcMon),
     ]
 }
@@ -350,7 +393,7 @@ mod tests {
     #[test]
     fn net_mon_reports_available_bandwidth_and_connections() {
         let mut h = host();
-        let mut m = NetMon;
+        let mut m = NetMon::default();
         let id = simnet::ConnId {
             local: NodeId(0),
             remote: NodeId(1),

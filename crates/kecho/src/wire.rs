@@ -72,13 +72,41 @@ fn get_string(buf: &mut Bytes) -> Result<String, WireError> {
     if buf.remaining() < len {
         return Err(WireError::Truncated);
     }
-    let raw = buf.copy_to_bytes(len);
-    String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadString)
+    // Validate and copy straight out of the buffer's front — one copy
+    // into the `String`, no intermediate `Bytes` handle or `Vec` detour.
+    let s = std::str::from_utf8(&buf[..len]).map_err(|_| WireError::BadString)?;
+    let out = s.to_owned();
+    buf.advance(len);
+    Ok(out)
+}
+
+thread_local! {
+    /// Encoder scratch buffer. `BytesMut::split` hands the written bytes
+    /// to the caller; with the real `bytes` crate the capacity beyond them
+    /// stays pooled here, so steady-state encoding reuses one allocation
+    /// instead of growing a fresh 64-byte buffer per event (the vendored
+    /// shim approximates the same call pattern).
+    static ENCODE_POOL: std::cell::RefCell<BytesMut> = std::cell::RefCell::new(BytesMut::new());
 }
 
 /// Encode an event to bytes.
+///
+/// The output buffer is carved from a thread-local pool and reserved at
+/// exactly [`encoded_size`] up front, so encoding performs no growth
+/// reallocations and the size formula is checked (in debug builds) on
+/// every encode.
 pub fn encode_event(ev: &Event) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+    ENCODE_POOL.with(|pool| {
+        let mut buf = pool.borrow_mut();
+        let need = encoded_size(ev);
+        buf.reserve(need);
+        write_event(&mut buf, ev);
+        debug_assert_eq!(buf.len(), need, "encoded_size disagrees with encoder");
+        buf.split().freeze()
+    })
+}
+
+fn write_event(buf: &mut BytesMut, ev: &Event) {
     buf.put_u8(WIRE_VERSION);
     buf.put_u8(match ev.kind {
         EventKind::Monitoring => 0,
@@ -106,14 +134,14 @@ pub fn encode_event(ev: &Event) -> Bytes {
             buf.put_u16_le(m.ext_names.len() as u16);
             for (id, metric, file) in &m.ext_names {
                 buf.put_u32_le(*id);
-                put_string(&mut buf, metric);
-                put_string(&mut buf, file);
+                put_string(buf, metric);
+                put_string(buf, file);
             }
         }
         Payload::Control(c) => match c {
             ControlMsg::SetParam { metric, param } => {
                 buf.put_u8(0);
-                put_string(&mut buf, metric);
+                put_string(buf, metric);
                 match param {
                     ParamSpec::Period { period_s } => {
                         buf.put_u8(0);
@@ -140,13 +168,13 @@ pub fn encode_event(ev: &Event) -> Bytes {
             }
             ControlMsg::DeployFilter { source } => {
                 buf.put_u8(1);
-                put_string(&mut buf, source);
+                put_string(buf, source);
             }
             ControlMsg::RemoveFilter => buf.put_u8(2),
             ControlMsg::Announce => buf.put_u8(3),
             ControlMsg::FilterRejected { reason } => {
                 buf.put_u8(4);
-                put_string(&mut buf, reason);
+                put_string(buf, reason);
             }
         },
         Payload::Heartbeat(h) => {
@@ -155,7 +183,6 @@ pub fn encode_event(ev: &Event) -> Bytes {
             buf.put_u32_le(h.stream_seq);
         }
     }
-    buf.freeze()
 }
 
 /// Decode an event from bytes.
@@ -440,6 +467,58 @@ mod tests {
             let err = decode_event(full.slice(..cut)).unwrap_err();
             assert_eq!(err, WireError::Truncated, "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn truncated_strings_error() {
+        // Cut a control event inside its string payload: in the length
+        // prefix, and in the body the prefix promises.
+        let ev = Event::control(
+            2,
+            9,
+            NodeId(0),
+            NodeId(1),
+            ControlMsg::DeployFilter {
+                source: "{ output[0] = input[0]; }".into(),
+            },
+        );
+        let full = encode_event(&ev);
+        let header = 2 + 4 + 8 + 4 + 4 + 1; // through the control tag
+        for cut in [header, header + 2, header + 4, full.len() - 1] {
+            assert_eq!(
+                decode_event(full.slice(..cut)).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+        // A length prefix larger than the remaining buffer must error,
+        // not panic or over-read.
+        let mut raw = full.to_vec();
+        raw[header..header + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_event(Bytes::from(raw)).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn non_utf8_string_rejected() {
+        let ev = Event::control(
+            2,
+            9,
+            NodeId(0),
+            NodeId(1),
+            ControlMsg::FilterRejected {
+                reason: "....".into(),
+            },
+        );
+        let mut raw = encode_event(&ev).to_vec();
+        let body = 2 + 4 + 8 + 4 + 4 + 1 + 4; // header, tag, string length
+        raw[body] = 0xFF; // lone 0xFF is never valid UTF-8
+        assert_eq!(
+            decode_event(Bytes::from(raw)).unwrap_err(),
+            WireError::BadString
+        );
     }
 
     #[test]

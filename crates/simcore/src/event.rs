@@ -1,19 +1,42 @@
 //! The discrete-event scheduler.
 //!
-//! [`Sim<W>`] owns a priority queue of events; each event is a boxed
-//! closure receiving exclusive access to the world `W` and to the scheduler
-//! itself (so handlers can schedule follow-up events). Ordering is total:
-//! `(time, sequence)` with the sequence number assigned at scheduling time,
-//! which makes runs bit-for-bit reproducible.
+//! [`Sim<W>`] owns a hierarchical timer wheel of events; each event is a
+//! boxed closure receiving exclusive access to the world `W` and to the
+//! scheduler itself (so handlers can schedule follow-up events). Ordering is
+//! total: `(time, sequence)` with the sequence number assigned at scheduling
+//! time, which makes runs bit-for-bit reproducible.
+//!
+//! # Why a wheel and not a heap
+//!
+//! The dominant workload is periodic — poll ticks, service-queue drains and
+//! transmits re-arm at fixed offsets — so schedule/fire is the hot path. A
+//! binary heap pays `O(log n)` comparisons per operation plus a tombstone
+//! set for cancellations (cancelled events stay queued until reached). The
+//! wheel pays amortised `O(1)`: eight levels of 64 slots cover 2^48 ns
+//! (~78 hours) ahead of the cursor at 1 ns resolution; an event lands in the
+//! level addressed by the highest bit in which its time differs from the
+//! cursor, and cascades one level down each time the cursor enters its slot.
+//! Events beyond the horizon overflow into a `BTreeMap` ordered by
+//! `(time, seq)` and are pulled back into the wheel once the cursor gets
+//! close. Cancellation removes the entry from its slot in place — no
+//! tombstones, so [`Sim::pending`] is exact.
+//!
+//! Firing order is identical to the old heap: within a level-0 slot all
+//! entries share the same timestamp and the minimum sequence number fires
+//! first, and any entry at a lower level strictly precedes every entry at a
+//! higher level or in the overflow map.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BTreeMap;
 
 use crate::time::{SimDur, SimTime};
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation. Carries the
+/// event's absolute time so cancellation can locate the wheel slot directly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    at: u64,
+    seq: u64,
+}
 
 /// Return value of a periodic handler: keep firing or stop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,27 +50,188 @@ pub enum Repeat {
 type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
 type PeriodicFn<W> = Box<dyn FnMut(&mut W, &mut Sim<W>) -> Repeat>;
 
-struct Scheduled<W> {
-    at: SimTime,
+/// log2 of the slot count per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Number of levels; together they cover `LEVEL_BITS * LEVELS` = 48 bits of
+/// nanoseconds (~78 hours) ahead of the cursor.
+const LEVELS: usize = 8;
+
+/// Which wheel level an event at `at` belongs to, relative to cursor `cur`:
+/// the level containing the highest bit in which the two differ. `LEVELS` or
+/// more means "beyond the horizon" (overflow map).
+#[inline]
+fn level_of(cur: u64, at: u64) -> usize {
+    let diff = cur ^ at;
+    if diff == 0 {
+        0
+    } else {
+        ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+    }
+}
+
+struct Entry<W> {
+    at: u64,
     seq: u64,
     f: EventFn<W>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// The hierarchical timer wheel.
+///
+/// Invariants (checked by debug asserts, relied on by `pop_min_if`):
+/// - every pending entry satisfies `at >= cur`;
+/// - an entry physically stored at level `l`, slot `i` has all time digits
+///   above level `l` equal to the cursor's and digit `l` equal to `i`
+///   (strictly greater than the cursor's digit for `l >= 1`), because the
+///   cursor can only advance past a slot's window by cascading that slot.
+struct Wheel<W> {
+    /// Cursor in nanoseconds: lower bound of every pending entry. Never
+    /// ahead of `Sim::now` at public API boundaries.
+    cur: u64,
+    /// `LEVELS * SLOTS` buckets, flat-indexed `level * SLOTS + slot`.
+    slots: Vec<Vec<Entry<W>>>,
+    /// Per-level occupancy bitmaps; bit `i` set iff slot `i` is non-empty.
+    occ: [u64; LEVELS],
+    /// Events beyond the wheel horizon, ordered by `(at, seq)`.
+    overflow: BTreeMap<(u64, u64), EventFn<W>>,
+    /// Exact number of pending events (wheel + overflow).
+    len: usize,
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<W> Wheel<W> {
+    fn new() -> Self {
+        Wheel {
+            cur: 0,
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occ: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
     }
-}
-impl<W> Ord for Scheduled<W> {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    /// Put an entry in the level/slot addressed by its time relative to the
+    /// current cursor (or the overflow map past the horizon).
+    fn place(&mut self, e: Entry<W>) {
+        debug_assert!(e.at >= self.cur, "placing an event behind the cursor");
+        let l = level_of(self.cur, e.at);
+        if l >= LEVELS {
+            self.overflow.insert((e.at, e.seq), e.f);
+            return;
+        }
+        let idx = ((e.at >> (LEVEL_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.slots[l * SLOTS + idx].push(e);
+        self.occ[l] |= 1 << idx;
+    }
+
+    fn insert(&mut self, at: u64, seq: u64, f: EventFn<W>) {
+        self.place(Entry { at, seq, f });
+        self.len += 1;
+    }
+
+    /// Remove the entry `(at, seq)` in place. Returns `false` if it already
+    /// fired or was never scheduled.
+    fn cancel(&mut self, at: u64, seq: u64) -> bool {
+        if at < self.cur {
+            return false; // already fired
+        }
+        let l = level_of(self.cur, at);
+        if l >= LEVELS {
+            if self.overflow.remove(&(at, seq)).is_some() {
+                self.len -= 1;
+                return true;
+            }
+            return false;
+        }
+        let idx = ((at >> (LEVEL_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = &mut self.slots[l * SLOTS + idx];
+        if let Some(p) = slot.iter().position(|e| e.seq == seq) {
+            slot.swap_remove(p);
+            if slot.is_empty() {
+                self.occ[l] &= !(1u64 << idx);
+            }
+            self.len -= 1;
+            return true;
+        }
+        false
+    }
+
+    /// Pop the earliest `(at, seq)` event if its time is `<= bound`,
+    /// cascading higher-level slots and draining the overflow map as the
+    /// cursor advances. The cursor never advances past `bound`.
+    fn pop_min_if(&mut self, bound: u64) -> Option<(u64, u64, EventFn<W>)> {
+        loop {
+            let mut cascaded = false;
+            for l in 0..LEVELS {
+                let m = self.occ[l];
+                if m == 0 {
+                    continue;
+                }
+                let i = m.trailing_zeros() as usize;
+                if l == 0 {
+                    // Level-0 slots are exact timestamps: prefix from the
+                    // cursor, low six bits from the slot index.
+                    let at = (self.cur & !(SLOTS as u64 - 1)) | i as u64;
+                    debug_assert!(at >= self.cur, "level-0 entry behind cursor");
+                    if at > bound {
+                        return None;
+                    }
+                    let slot = &mut self.slots[i];
+                    let mut k = 0;
+                    for (j, e) in slot.iter().enumerate().skip(1) {
+                        if e.seq < slot[k].seq {
+                            k = j;
+                        }
+                    }
+                    let e = slot.swap_remove(k);
+                    if slot.is_empty() {
+                        self.occ[0] &= !(1u64 << i);
+                    }
+                    debug_assert_eq!(e.at, at, "slot held a mis-addressed entry");
+                    self.cur = at;
+                    self.len -= 1;
+                    return Some((e.at, e.seq, e.f));
+                }
+                // Lowest occupied level is >= 1: cascade its earliest slot
+                // down. Everything in it re-lands at a lower level relative
+                // to the advanced cursor.
+                let shift = LEVEL_BITS * l as u32;
+                let above = shift + LEVEL_BITS;
+                let slot_start = (self.cur >> above << above) | ((i as u64) << shift);
+                if slot_start > bound {
+                    return None;
+                }
+                debug_assert!(slot_start >= self.cur, "cascade would rewind cursor");
+                self.cur = slot_start;
+                let v = std::mem::take(&mut self.slots[l * SLOTS + i]);
+                self.occ[l] &= !(1u64 << i);
+                for e in v {
+                    self.place(e);
+                }
+                cascaded = true;
+                break;
+            }
+            if cascaded {
+                continue;
+            }
+            // The wheel is empty; jump the cursor to the overflow horizon if
+            // it is within the bound and pull near entries back in.
+            let (&(at, _), _) = self.overflow.first_key_value()?;
+            if at > bound {
+                return None;
+            }
+            self.cur = at;
+            while let Some((&(a, s), _)) = self.overflow.first_key_value() {
+                if level_of(self.cur, a) >= LEVELS {
+                    break;
+                }
+                let f = self
+                    .overflow
+                    .remove(&(a, s))
+                    .expect("peeked overflow entry");
+                self.place(Entry { at: a, seq: s, f });
+            }
+        }
     }
 }
 
@@ -55,8 +239,7 @@ impl<W> Ord for Scheduled<W> {
 pub struct Sim<W> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<u64>,
+    wheel: Wheel<W>,
     executed: u64,
 }
 
@@ -72,8 +255,7 @@ impl<W> Sim<W> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            wheel: Wheel::new(),
             executed: 0,
         }
     }
@@ -83,10 +265,10 @@ impl<W> Sim<W> {
         self.now
     }
 
-    /// Number of events waiting in the queue (including cancelled ones not
-    /// yet reaped).
+    /// Number of events waiting in the queue. Exact: cancelled events are
+    /// removed from their slot in place, not tombstoned.
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.wheel.len
     }
 
     /// Total number of events executed so far.
@@ -108,12 +290,11 @@ impl<W> Sim<W> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
+        self.wheel.insert(at.as_nanos(), seq, Box::new(f));
+        EventId {
+            at: at.as_nanos(),
             seq,
-            f: Box::new(f),
-        });
-        EventId(seq)
+        }
     }
 
     /// Schedule `f` to run `after` from now.
@@ -127,12 +308,12 @@ impl<W> Sim<W> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event had
-    /// not yet fired (it will be silently skipped when reached).
+    /// not yet fired; the entry is removed from its wheel slot immediately.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
+        if id.seq >= self.seq {
             return false;
         }
-        self.cancelled.insert(id.0)
+        self.wheel.cancel(id.at, id.seq)
     }
 
     /// Schedule a periodic handler. The first firing happens at `start`;
@@ -160,20 +341,13 @@ impl<W> Sim<W> {
     /// `until`). Returns the number of events executed.
     pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
         let mut n = 0;
-        loop {
-            let fire = matches!(self.queue.peek(), Some(ev) if ev.at <= until);
-            if !fire {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            debug_assert!(ev.at >= self.now, "event time regressed");
-            self.now = ev.at;
+        let bound = until.as_nanos();
+        while let Some((at, _seq, f)) = self.wheel.pop_min_if(bound) {
+            debug_assert!(at >= self.now.as_nanos(), "event time regressed");
+            self.now = SimTime::from_nanos(at);
             self.executed += 1;
             n += 1;
-            (ev.f)(world, self);
+            f(world, self);
         }
         if self.now < until {
             self.now = until;
@@ -192,14 +366,13 @@ impl<W> Sim<W> {
     pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
         let mut n = 0;
         while n < max_events {
-            let Some(ev) = self.queue.pop() else { break };
-            if self.cancelled.remove(&ev.seq) {
-                continue;
-            }
-            self.now = ev.at;
+            let Some((at, _seq, f)) = self.wheel.pop_min_if(u64::MAX) else {
+                break;
+            };
+            self.now = SimTime::from_nanos(at);
             self.executed += 1;
             n += 1;
-            (ev.f)(world, self);
+            f(world, self);
         }
         n
     }
@@ -281,6 +454,15 @@ mod tests {
     }
 
     #[test]
+    fn cancel_reaps_in_place() {
+        let mut sim: Sim<W> = Sim::new();
+        let id = sim.schedule_at(SimTime::from_millis(1), |_: &mut W, _: &mut Sim<W>| {});
+        assert_eq!(sim.pending(), 1);
+        assert!(sim.cancel(id));
+        assert_eq!(sim.pending(), 0, "cancelled entry leaves no tombstone");
+    }
+
+    #[test]
     fn periodic_fires_until_stop() {
         struct C {
             count: u32,
@@ -348,5 +530,29 @@ mod tests {
         let n = sim.run_to_completion(&mut w, 1000);
         assert_eq!(n, 1000);
         assert_eq!(w.count, 1000);
+    }
+
+    #[test]
+    fn events_past_the_wheel_horizon_still_fire_in_order() {
+        // 2^48 ns is the wheel horizon; both sides of it must interleave
+        // correctly through the overflow map.
+        let mut sim: Sim<W> = Sim::new();
+        let mut w = W::default();
+        let horizon = 1u64 << 48;
+        sim.schedule_at(
+            SimTime::from_nanos(horizon + 5),
+            |w: &mut W, _: &mut Sim<W>| w.log.push((2, "far")),
+        );
+        sim.schedule_at(SimTime::from_nanos(7), |w: &mut W, _: &mut Sim<W>| {
+            w.log.push((1, "near"))
+        });
+        let far_cancel = sim.schedule_at(
+            SimTime::from_nanos(horizon + 9),
+            |w: &mut W, _: &mut Sim<W>| w.log.push((3, "cancelled")),
+        );
+        assert!(sim.cancel(far_cancel));
+        let n = sim.run_until(&mut w, SimTime::from_nanos(2 * horizon));
+        assert_eq!(n, 2);
+        assert_eq!(w.log, vec![(1, "near"), (2, "far")]);
     }
 }

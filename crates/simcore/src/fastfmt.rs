@@ -1,0 +1,388 @@
+//! Fast, byte-exact formatting for the simulator's `/proc` hot path.
+//!
+//! Profiling the 16-node pipeline shows `f64` `Display`/`{:.3}` formatting
+//! dominating the per-event cost of publishing remote metrics: the standard
+//! shortest-round-trip algorithm costs ~400 ns per call, and every delivered
+//! monitoring event rewrites five `/proc` files with two floats each. The
+//! helpers here produce output *byte-identical* to `format!("{}")` and
+//! `format!("{:.3}")` — guaranteed by construction on the fast paths and by
+//! falling back to `std::fmt` everywhere else — at integer-formatting cost
+//! for the values the simulator actually emits (counters, page counts,
+//! nanosecond-derived timestamps).
+//!
+//! Exactness arguments:
+//!
+//! * **Integral `Display`** — every integer with magnitude ≤ 2^53 is exactly
+//!   representable and its decimal digits are the unique shortest
+//!   round-trip representation (the neighbouring floats are at distance
+//!   ≥ 1/2 ULP ≥ 1/2, so no decimal with fewer digits lands in the
+//!   round-trip window). Above 2^53 the shortest representation may have
+//!   trailing-zero rounding (`2^60` prints `1152921504606847000`, not its
+//!   exact value), so those take the fallback.
+//! * **Fixed `{:.3}`** — `std` rounds the *exact* binary value of the float
+//!   to three decimals, ties to even. A finite `f64` is `m × 2^e` with
+//!   `m < 2^53`; `m × 1000` fits in `u128`, so `v × 1000` can be computed
+//!   exactly as an integer plus a remainder of a power-of-two division and
+//!   rounded half-to-even with plain integer compares. Exponents too large
+//!   to shift (|v| ≥ 2^64) fall back.
+
+use std::fmt::Write;
+
+/// Write `v`'s digits ending at `buf[end]`, returning the start index.
+/// All arithmetic is 64-bit: a `u128` divmod lowers to a libcall
+/// (`__udivti3`, ~50 ns) while `u64` division is a hardware instruction,
+/// and digit loops run once per digit.
+fn u64_digits(buf: &mut [u8], end: usize, mut v: u64) -> usize {
+    let mut i = end;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    i
+}
+
+/// Append a `u64`'s decimal digits (no sign, no separators).
+pub fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let i = u64_digits(&mut buf, 20, v);
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+/// Append a `u128`'s decimal digits (no sign, no separators).
+///
+/// Splits into 19-digit limbs so at most two `u128` divisions happen
+/// regardless of magnitude; the digit loops stay in `u64` arithmetic.
+pub fn push_u128(out: &mut String, v: u128) {
+    const LIMB: u128 = 10_000_000_000_000_000_000; // 10^19, max power in u64
+    let mut buf = [0u8; 39];
+    let mut i = 39;
+    if v <= u64::MAX as u128 {
+        i = u64_digits(&mut buf, i, v as u64);
+    } else {
+        let (mid, lo) = (v / LIMB, (v % LIMB) as u64);
+        // Low limb: exactly 19 zero-padded digits.
+        let lo_start = i - 19;
+        buf[lo_start..i].fill(b'0');
+        u64_digits(&mut buf, i, lo);
+        i = lo_start;
+        if mid <= u64::MAX as u128 {
+            i = u64_digits(&mut buf, i, mid as u64);
+        } else {
+            let (hi, m) = ((mid / LIMB) as u64, (mid % LIMB) as u64);
+            let m_start = i - 19;
+            buf[m_start..i].fill(b'0');
+            u64_digits(&mut buf, i, m);
+            i = u64_digits(&mut buf, m_start, hi);
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+/// Append an `i64` in decimal, matching `format!("{}", v)`.
+pub fn push_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+        // Two's-complement negation via unsigned keeps i64::MIN exact.
+        push_u128(out, (v as u64).wrapping_neg() as u128);
+    } else {
+        push_u128(out, v as u128);
+    }
+}
+
+/// Append `v` formatted exactly as `format!("{}", v)` would.
+///
+/// Integral values with magnitude ≤ 2^53 take an integer fast path;
+/// everything else (fractional, huge, `-0.0`, non-finite) goes through
+/// `std::fmt` unchanged.
+pub fn push_f64_display(out: &mut String, v: f64) {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    let t = v as i64; // saturating; NaN -> 0
+    if t as f64 == v && v.abs() <= MAX_EXACT && !(t == 0 && v.is_sign_negative()) {
+        push_i64(out, t);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Append `v` formatted exactly as `format!("{:.3}", v)` would.
+#[inline]
+pub fn push_f64_fixed3(out: &mut String, v: f64) {
+    push_f64_fixed(out, v, 3);
+}
+
+/// Append `v` formatted exactly as `format!("{:.prec$}", v)` would, for
+/// `prec ≤ 9`.
+///
+/// Computes `round_half_even(v × 10^prec)` exactly in integer arithmetic:
+/// with `v = m × 2^e`, the product `m × 10^prec` fits in a `u128` and the
+/// power-of-two scale becomes a shift, so the remainder comparison against
+/// the half-point is exact. Falls back to `std::fmt` for non-finite
+/// values, `prec > 9`, and magnitudes large enough that the shifted
+/// product could overflow.
+pub fn push_f64_fixed(out: &mut String, v: f64, prec: u32) {
+    let bits = v.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0x7ff || prec > 9 {
+        // NaN / infinity render specially; wide precisions are off the
+        // hot path and not worth the exactness argument.
+        let _ = write!(out, "{v:.*}", prec as usize);
+        return;
+    }
+    let frac = bits & ((1u64 << 52) - 1);
+    // Value is m × 2^e (m = 0 for ±0.0 falls through naturally).
+    let (m, e) = if raw_exp == 0 {
+        (frac, -1074i32)
+    } else {
+        (frac | (1u64 << 52), raw_exp - 1075)
+    };
+    let scale = 10u128.pow(prec);
+    let scaled = m as u128 * scale; // < 2^53 × 10^9 < 2^83, exact
+    let units: u128 = if e >= 0 {
+        if (e as u32) >= scaled.leading_zeros() {
+            // Shifting would overflow u128; take the slow path.
+            let _ = write!(out, "{v:.*}", prec as usize);
+            return;
+        }
+        scaled << e
+    } else {
+        let k = -e as u32;
+        if k >= 128 {
+            // |v × 10^prec| < 2^83 × 2^-128: far below the half-point.
+            0
+        } else {
+            let q = scaled >> k;
+            let rem = scaled & ((1u128 << k) - 1);
+            let half = 1u128 << (k - 1);
+            match rem.cmp(&half) {
+                std::cmp::Ordering::Greater => q + 1,
+                std::cmp::Ordering::Less => q,
+                // Tie: round to even, exactly like std.
+                std::cmp::Ordering::Equal => q + (q & 1),
+            }
+        }
+    };
+    if bits >> 63 == 1 {
+        out.push('-'); // covers -0.000… as well
+    }
+    // Split integer and fractional parts in u64 arithmetic when possible:
+    // u128 divmod lowers to a libcall and costs ~50 ns per division.
+    let (int_part, frac_part) = if units <= u64::MAX as u128 {
+        let (q, r) = (units as u64 / scale as u64, units as u64 % scale as u64);
+        (q as u128, r)
+    } else {
+        (units / scale, (units % scale) as u64)
+    };
+    push_u128(out, int_part);
+    if prec > 0 {
+        out.push('.');
+        let mut digits = [0u8; 9];
+        digits[..prec as usize].fill(b'0');
+        u64_digits(&mut digits, prec as usize, frac_part);
+        // The buffer holds only ASCII digits.
+        out.push_str(std::str::from_utf8(&digits[..prec as usize]).expect("ascii digits"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn display(v: f64) -> String {
+        let mut s = String::new();
+        push_f64_display(&mut s, v);
+        s
+    }
+
+    fn fixed3(v: f64) -> String {
+        let mut s = String::new();
+        push_f64_fixed3(&mut s, v);
+        s
+    }
+
+    /// Deterministic xorshift PRNG for differential sweeps.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn integers_match_std() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            9,
+            10,
+            -10,
+            999_999,
+            i64::MAX,
+            i64::MIN,
+            1_000_000_007,
+        ] {
+            let mut s = String::new();
+            push_i64(&mut s, v);
+            assert_eq!(s, format!("{v}"));
+        }
+        let mut s = String::new();
+        push_u128(&mut s, u128::MAX);
+        assert_eq!(s, format!("{}", u128::MAX));
+    }
+
+    #[test]
+    fn display_edge_cases_match_std() {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            0.25,
+            -0.25,
+            1.5,
+            9_007_199_254_740_991.0,
+            9_007_199_254_740_992.0,
+            9_007_199_254_740_994.0,
+            1.152_921_504_606_847e18, // 2^60: shortest repr has trailing-zero rounding
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            0.1,
+            123.456,
+        ] {
+            assert_eq!(display(v), format!("{v}"), "display mismatch for {v:?}");
+        }
+    }
+
+    #[test]
+    fn fixed3_edge_cases_match_std() {
+        for v in [
+            0.0f64,
+            -0.0,
+            0.0005,
+            0.0015,
+            0.0625, // exact tie at 3 decimals: 62.5 -> even -> 62
+            0.1875, // exact tie: 187.5 -> even -> 188
+            -0.0625,
+            0.25,
+            123.4565,
+            1e15,
+            9_007_199_254_740_991.0,
+            1e18,
+            1e300,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            5e-324, // smallest subnormal
+            1.5e-9,
+        ] {
+            assert_eq!(fixed3(v), format!("{v:.3}"), "fixed3 mismatch for {v:?}");
+        }
+    }
+
+    #[test]
+    fn display_differential_sweep() {
+        let mut rng = Rng(0x5EED_0001);
+        for _ in 0..20_000 {
+            // Integral values across the full exact range.
+            let magnitude = rng.next() % (1u64 << 53);
+            let sign = if rng.next() & 1 == 0 { 1.0 } else { -1.0 };
+            let v = magnitude as f64 * sign;
+            assert_eq!(display(v), format!("{v}"), "mismatch for {v:?}");
+            // Arbitrary bit patterns (mostly non-integral -> fallback).
+            let w = f64::from_bits(rng.next());
+            if !w.is_nan() {
+                assert_eq!(display(w), format!("{w}"), "mismatch for bits of {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_other_precisions_match_std() {
+        let cases = [
+            0.0f64,
+            -0.0,
+            0.25,
+            0.5,
+            1.5,
+            2.5, // {:.0} tie: 2.5 -> even -> 2
+            -2.5,
+            0.125,
+            123.456_789,
+            1e8,
+            98_765_432.1,
+            f64::INFINITY,
+            f64::NAN,
+            5e-324,
+        ];
+        for v in cases {
+            for prec in 0..=9u32 {
+                let mut s = String::new();
+                push_f64_fixed(&mut s, v, prec);
+                assert_eq!(
+                    s,
+                    format!("{v:.*}", prec as usize),
+                    "mismatch for {v:?} at precision {prec}"
+                );
+            }
+        }
+        // prec > 9 falls back to std entirely.
+        let mut s = String::new();
+        push_f64_fixed(&mut s, 0.1, 17);
+        assert_eq!(s, format!("{:.17}", 0.1));
+    }
+
+    #[test]
+    fn fixed_differential_sweep_all_precisions() {
+        let mut rng = Rng(0xFACE_0003);
+        for _ in 0..5_000 {
+            let v = f64::from_bits(rng.next());
+            if v.is_nan() {
+                continue;
+            }
+            for prec in [0u32, 1, 2, 4, 9] {
+                let mut s = String::new();
+                push_f64_fixed(&mut s, v, prec);
+                assert_eq!(
+                    s,
+                    format!("{v:.*}", prec as usize),
+                    "mismatch for bits of {v:?} at precision {prec}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed3_differential_sweep() {
+        let mut rng = Rng(0xF1D_0002);
+        for _ in 0..20_000 {
+            // Timestamps as the simulator makes them: nanoseconds / 1e9.
+            let nanos = rng.next() % 1_000_000_000_000_000;
+            let v = nanos as f64 / 1e9;
+            assert_eq!(fixed3(v), format!("{v:.3}"), "mismatch for {nanos} ns");
+            // Small magnitudes where rounding decides everything.
+            let w = (rng.next() % 2_000_000) as f64 / 1e6 - 1.0;
+            assert_eq!(fixed3(w), format!("{w:.3}"), "mismatch for {w:?}");
+            // Arbitrary bit patterns, including subnormals and huge values.
+            let z = f64::from_bits(rng.next());
+            if !z.is_nan() {
+                assert_eq!(fixed3(z), format!("{z:.3}"), "mismatch for bits of {z:?}");
+            }
+        }
+    }
+}

@@ -42,6 +42,8 @@
 //! ```
 
 pub mod event;
+pub mod fastfmt;
+pub mod fxhash;
 pub mod parallel;
 pub mod ratelimit;
 pub mod rng;
@@ -50,6 +52,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::{EventId, Repeat, Sim};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use time::{SimDur, SimTime};
 

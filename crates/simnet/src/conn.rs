@@ -5,8 +5,7 @@
 //! delay. [`ConnTrack`] is the kernel-side table those numbers come from;
 //! the cluster glue records a sample into it for every message delivered.
 
-use std::collections::HashMap;
-
+use simcore::fxhash::FxHashMap;
 use simcore::stats::Ewma;
 use simcore::{SimDur, SimTime};
 
@@ -102,14 +101,14 @@ impl ConnStats {
 /// Kernel connection table of one host.
 #[derive(Debug, Default)]
 pub struct ConnTrack {
-    conns: HashMap<ConnId, ConnStats>,
+    conns: FxHashMap<ConnId, ConnStats>,
 }
 
 impl ConnTrack {
     /// Empty table.
     pub fn new() -> Self {
         ConnTrack {
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
         }
     }
 

@@ -37,16 +37,29 @@ impl std::fmt::Display for ProcError {
 
 impl std::error::Error for ProcError {}
 
+/// Stable handle to an interned `/proc` file: path resolution (string
+/// parsing plus a `BTreeMap` walk per component) happens once, at
+/// [`ProcFs::intern`] time; every subsequent write through the handle is an
+/// index into a slab. Handles stay valid for the lifetime of the
+/// filesystem; if the underlying file is [`ProcFs::remove`]d from the tree,
+/// writes through the handle still succeed but are no longer visible via
+/// path lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcHandle(usize);
+
 #[derive(Debug, Clone)]
 enum Node {
     Dir(BTreeMap<String, Node>),
-    File(String),
+    /// Index of the file's content in the `files` slab.
+    File(usize),
 }
 
 /// The pseudo-filesystem of one host.
 #[derive(Debug, Default)]
 pub struct ProcFs {
     root: BTreeMap<String, Node>,
+    /// File contents, slab-indexed by [`Node::File`] and [`ProcHandle`].
+    files: Vec<String>,
     pending_writes: Vec<(String, String)>,
 }
 
@@ -75,6 +88,15 @@ impl ProcFs {
     /// Create or replace a file at `path`, creating parent directories.
     /// This is the kernel-side API (monitoring modules publishing values).
     pub fn set(&mut self, path: &str, content: impl Into<String>) -> Result<(), ProcError> {
+        let h = self.intern(path)?;
+        self.files[h.0] = content.into();
+        Ok(())
+    }
+
+    /// Resolve `path` to a stable [`ProcHandle`], creating the file (empty)
+    /// and its parent directories if absent. Resolution cost is paid once;
+    /// writes through the handle are O(1).
+    pub fn intern(&mut self, path: &str) -> Result<ProcHandle, ProcError> {
         let parts = components(path)?;
         let (file, dirs) = parts.split_last().expect("non-empty components");
         let mut cur = &mut self.root;
@@ -88,12 +110,48 @@ impl ProcFs {
             }
         }
         match cur.get(*file) {
-            Some(Node::Dir(_)) => return Err(ProcError::WrongKind(path.to_string())),
-            _ => {
-                cur.insert(file.to_string(), Node::File(content.into()));
+            Some(Node::Dir(_)) => Err(ProcError::WrongKind(path.to_string())),
+            Some(Node::File(idx)) => Ok(ProcHandle(*idx)),
+            None => {
+                let idx = self.files.len();
+                self.files.push(String::new());
+                cur.insert(file.to_string(), Node::File(idx));
+                Ok(ProcHandle(idx))
             }
         }
-        Ok(())
+    }
+
+    /// Replace an interned file's content. O(1): no parsing, no tree walk.
+    pub fn set_handle(&mut self, h: ProcHandle, content: impl Into<String>) {
+        self.files[h.0] = content.into();
+    }
+
+    /// Format new content directly into an interned file, reusing the
+    /// existing `String`'s capacity (steady-state writes allocate nothing).
+    pub fn set_handle_fmt(&mut self, h: ProcHandle, args: std::fmt::Arguments<'_>) {
+        use std::fmt::Write;
+        let s = &mut self.files[h.0];
+        s.clear();
+        let _ = s.write_fmt(args);
+    }
+
+    /// Direct mutable access to an interned file's content buffer, for
+    /// callers that assemble content piecewise (clear + push) instead of
+    /// going through the `fmt` machinery.
+    pub fn handle_buf(&mut self, h: ProcHandle) -> &mut String {
+        &mut self.files[h.0]
+    }
+
+    /// Swap an owned string into an interned file, handing the previous
+    /// content (and its capacity) back to the caller for reuse.
+    pub fn swap_handle(&mut self, h: ProcHandle, mut content: String) -> String {
+        std::mem::swap(&mut self.files[h.0], &mut content);
+        content
+    }
+
+    /// Read an interned file's content.
+    pub fn read_handle(&self, h: ProcHandle) -> &str {
+        &self.files[h.0]
     }
 
     /// Create a directory (and parents). Idempotent.
@@ -130,7 +188,7 @@ impl ProcFs {
     /// Read a file's contents (userspace `cat`).
     pub fn read(&self, path: &str) -> Result<&str, ProcError> {
         match self.lookup(path)? {
-            Node::File(content) => Ok(content),
+            Node::File(idx) => Ok(&self.files[*idx]),
             Node::Dir(_) => Err(ProcError::WrongKind(path.to_string())),
         }
     }
@@ -312,6 +370,56 @@ mod tests {
         assert!(!fs.exists("cluster/alan/cpu"));
         assert!(fs.exists("cluster/maui/cpu"));
         assert!(!fs.remove("cluster/alan").unwrap());
+    }
+
+    #[test]
+    fn interned_handles_write_without_reparsing() {
+        let mut fs = ProcFs::new();
+        let h = fs.intern("cluster/alan/cpu").unwrap();
+        assert_eq!(fs.read("cluster/alan/cpu").unwrap(), "");
+        fs.set_handle(h, "0.5");
+        assert_eq!(fs.read("cluster/alan/cpu").unwrap(), "0.5");
+        assert_eq!(fs.read_handle(h), "0.5");
+        // Interning an existing path (even via a different spelling)
+        // returns the same handle.
+        assert_eq!(fs.intern("/proc/cluster/alan/cpu").unwrap(), h);
+        fs.set_handle_fmt(h, format_args!("{:.2}", 1.25));
+        assert_eq!(fs.read("cluster/alan/cpu").unwrap(), "1.25");
+        let prev = fs.swap_handle(h, "2.0".to_string());
+        assert_eq!(prev, "1.25");
+        assert_eq!(fs.read_handle(h), "2.0");
+    }
+
+    #[test]
+    fn path_set_and_handle_set_share_the_file() {
+        let mut fs = ProcFs::new();
+        fs.set("stats/iterations", "1").unwrap();
+        let h = fs.intern("stats/iterations").unwrap();
+        assert_eq!(fs.read_handle(h), "1");
+        fs.set("stats/iterations", "2").unwrap();
+        assert_eq!(fs.read_handle(h), "2");
+    }
+
+    #[test]
+    fn intern_rejects_dir_paths() {
+        let mut fs = ProcFs::new();
+        fs.set("cluster/alan/cpu", "1").unwrap();
+        assert!(matches!(fs.intern("cluster"), Err(ProcError::WrongKind(_))));
+        assert!(matches!(fs.intern(""), Err(ProcError::BadPath(_))));
+    }
+
+    #[test]
+    fn handle_outlives_remove_but_writes_are_invisible() {
+        let mut fs = ProcFs::new();
+        let h = fs.intern("cluster/alan/cpu").unwrap();
+        fs.remove("cluster/alan").unwrap();
+        fs.set_handle(h, "late");
+        assert!(!fs.exists("cluster/alan/cpu"));
+        // Re-creating the path makes a fresh file; the old handle still
+        // points at the orphaned slab slot.
+        fs.set("cluster/alan/cpu", "new").unwrap();
+        assert_eq!(fs.read("cluster/alan/cpu").unwrap(), "new");
+        assert_eq!(fs.read_handle(h), "late");
     }
 
     #[test]

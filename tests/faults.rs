@@ -232,3 +232,82 @@ fn smartpointer_degrades_to_conservative_format_while_client_is_stale() {
     control.run_until(t(25));
     assert_eq!(capp.client_stats(0).fallbacks, 0);
 }
+
+#[test]
+fn dead_eviction_reaps_per_subscriber_stream_state() {
+    let mut sim = cluster(4);
+    sim.apply_fault_plan(
+        &FaultPlan::new(0x0DEAD)
+            .crash_at(t(10), NodeId(3))
+            .revive_at(t(40), NodeId(3)),
+    );
+    sim.start();
+
+    // Steady publication tracks last-sent values per subscriber.
+    sim.run_until(t(9));
+    assert!(sim.world().dmons[0].last_sent_len(NodeId(3)) > 0);
+
+    // Crossing the dead bound evicts node3 and reaps the per-stream send
+    // state — its stream is over — while the lifetime counter survives.
+    sim.run_until(t(10 + DEAD_AFTER + 2));
+    let w = sim.world();
+    assert_eq!(
+        w.dmons[0].peer_health(NodeId(3)),
+        Some(dproc::PeerHealth::Dead)
+    );
+    assert_eq!(
+        w.dmons[0].last_sent_len(NodeId(3)),
+        0,
+        "eviction reaps the last-sent row"
+    );
+    let frozen = w.dmons[0].sent_to(NodeId(3));
+    assert!(frozen > 0, "lifetime counter is not reaped");
+
+    // After revival the row is rebuilt from a clean slate.
+    sim.run_until(t(55));
+    let w = sim.world();
+    assert!(
+        w.dmons[0].last_sent_len(NodeId(3)) > 0,
+        "publication resumed and rebuilt the row"
+    );
+    assert!(w.dmons[0].sent_to(NodeId(3)) > frozen);
+}
+
+#[test]
+fn replay_log_stays_bounded_under_repeated_reconfiguration() {
+    let mut sim = cluster(2);
+    sim.start();
+
+    // Re-tuning the same metric over and over must not grow the replay
+    // log: each non-additive rule supersedes the previous one.
+    for k in 1..=8u64 {
+        sim.write_control(NodeId(0), "node1", &format!("period cpu {k}"));
+        sim.run_for(SimDur::from_secs(2));
+    }
+    let len = sim.world().dmons[0].deployed_ctl_len(NodeId(1));
+    assert_eq!(len, 1, "eight period rules compact to one, got {len}");
+
+    // A different rule kind on the same metric root still supersedes.
+    sim.write_control(NodeId(0), "node1", "delta cpu 0.25");
+    sim.run_for(SimDur::from_secs(2));
+    assert_eq!(sim.world().dmons[0].deployed_ctl_len(NodeId(1)), 1);
+
+    // A different metric root gets its own slot.
+    sim.write_control(NodeId(0), "node1", "period mem 3");
+    sim.run_for(SimDur::from_secs(2));
+    assert_eq!(sim.world().dmons[0].deployed_ctl_len(NodeId(1)), 2);
+
+    // Repeated filter deployments keep exactly one filter entry...
+    for _ in 0..4 {
+        sim.write_control(NodeId(0), "node1", "filter { int x = 0; }");
+        sim.run_for(SimDur::from_secs(2));
+    }
+    assert_eq!(sim.world().dmons[0].deployed_ctl_len(NodeId(1)), 3);
+
+    // ...and a remove erases the filter entry instead of stacking: a
+    // restarted publisher comes up with no filter, so replaying the
+    // removal would be a no-op.
+    sim.write_control(NodeId(0), "node1", "nofilter");
+    sim.run_for(SimDur::from_secs(2));
+    assert_eq!(sim.world().dmons[0].deployed_ctl_len(NodeId(1)), 2);
+}

@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use dproc::params::{PolicySet, Rule, RuleCtx};
 use ecode::{EnvSpec, Filter, MetricRecord};
 use kecho::wire::{decode_event, encode_event, encoded_size};
-use kecho::{ControlMsg, Event, MonRecord, MonitoringPayload, ParamSpec};
+use kecho::{ControlMsg, Event, HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec};
 use simcore::ratelimit::TokenBucket;
 use simcore::{SimDur, SimTime};
 use simnet::NodeId;
@@ -82,7 +82,28 @@ fn event_strategy() -> impl Strategy<Value = Event> {
             Event::control(chan, seq, NodeId(sender), NodeId(target), msg)
         },
     );
-    prop_oneof![mon, ctl]
+    let hb = (
+        0u32..8,
+        any::<u64>(),
+        0usize..32,
+        0usize..32,
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(chan, seq, sender, target, epoch, stream_seq)| {
+            Event::heartbeat(
+                chan,
+                seq,
+                NodeId(sender),
+                NodeId(target),
+                HeartbeatPayload {
+                    origin: NodeId(sender),
+                    epoch,
+                    stream_seq,
+                },
+            )
+        });
+    prop_oneof![mon, ctl, hb]
 }
 
 proptest! {
