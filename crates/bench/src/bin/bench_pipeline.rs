@@ -10,11 +10,17 @@
 //! a perf trajectory.
 //!
 //! Usage:
-//!   bench_pipeline [--quick] [--out PATH] [--check BASELINE.json]
+//!   bench_pipeline [--quick] [--threads N] [--out PATH] [--check BASELINE.json]
 //!
-//! `--quick` shortens the measured window (CI smoke). `--check` compares
-//! events/sec against a previously emitted JSON and exits non-zero on a
-//! regression of more than 25%.
+//! `--quick` shortens the measured window (CI smoke). `--threads N` sets
+//! the worker count for the sharded-parallel section (default: one shard
+//! per available core, up to 8); the section runs the 64-node scenario
+//! serially and on N shards and records the speedup. `--check` compares
+//! events/sec and allocs/event against a previously emitted JSON and
+//! exits non-zero on a regression (>25% throughput drop or >15% alloc
+//! growth). The serial baseline fields are measured with threads=1
+//! regardless of `--threads`, so the gate is machine-parallelism
+//! independent.
 
 // The counting allocator is the one place in the workspace that needs
 // `unsafe`: wrapping the system allocator behind `GlobalAlloc` to count
@@ -64,7 +70,28 @@ struct Measurement {
 }
 
 fn measure(nodes: usize, warmup_s: u64, measure_s: u64) -> Measurement {
-    let mut sim = ClusterSim::new(ClusterConfig::new(nodes));
+    measure_threaded(nodes, warmup_s, measure_s, 1, false).0
+}
+
+/// Measure `nodes` on `threads` worker shards; returns the measurement
+/// and the shard count actually used. The speedup section passes
+/// `tiny_stagger` for both the serial and the parallel run: a 1 µs poll
+/// stagger lets polls share conservative windows (the 1 ms default models
+/// boot skew but serializes the window schedule), and using it on both
+/// sides keeps the comparison apples-to-apples.
+fn measure_threaded(
+    nodes: usize,
+    warmup_s: u64,
+    measure_s: u64,
+    threads: usize,
+    tiny_stagger: bool,
+) -> (Measurement, usize) {
+    let mut cfg = ClusterConfig::new(nodes);
+    if tiny_stagger {
+        cfg = cfg.stagger(SimDur::from_micros(1));
+    }
+    let mut sim = ClusterSim::new(cfg);
+    sim.set_threads(threads);
     sim.start();
     sim.run_until(SimTime::from_secs(warmup_s));
 
@@ -85,22 +112,47 @@ fn measure(nodes: usize, warmup_s: u64, measure_s: u64) -> Measurement {
         .sum::<u64>()
         - polls_before;
     let wall_s = wall.as_secs_f64().max(1e-9);
-    Measurement {
+    let shards = sim.shards();
+    (
+        Measurement {
+            nodes,
+            sim_secs: measure_s,
+            wall_ms: wall_s * 1e3,
+            events,
+            events_per_sec: events as f64 / wall_s,
+            ns_per_poll_tick: wall.as_nanos() as f64 / polls.max(1) as f64,
+            allocs_per_event: allocs as f64 / events.max(1) as f64,
+            sched_events_per_sec: events as f64 / wall_s,
+        },
+        shards,
+    )
+}
+
+/// Serial-vs-sharded wall clock on one scenario size.
+struct Speedup {
+    nodes: usize,
+    shards: usize,
+    serial_wall_ms: f64,
+    parallel_wall_ms: f64,
+    speedup: f64,
+}
+
+fn measure_speedup(nodes: usize, warmup_s: u64, measure_s: u64, threads: usize) -> Speedup {
+    let (serial, _) = measure_threaded(nodes, warmup_s, measure_s, 1, true);
+    let (parallel, shards) = measure_threaded(nodes, warmup_s, measure_s, threads, true);
+    Speedup {
         nodes,
-        sim_secs: measure_s,
-        wall_ms: wall_s * 1e3,
-        events,
-        events_per_sec: events as f64 / wall_s,
-        ns_per_poll_tick: wall.as_nanos() as f64 / polls.max(1) as f64,
-        allocs_per_event: allocs as f64 / events.max(1) as f64,
-        sched_events_per_sec: events as f64 / wall_s,
+        shards,
+        serial_wall_ms: serial.wall_ms,
+        parallel_wall_ms: parallel.wall_ms,
+        speedup: serial.wall_ms / parallel.wall_ms.max(1e-9),
     }
 }
 
 impl Measurement {
-    fn to_json(&self) -> String {
+    fn json_fields(&self) -> String {
         format!(
-            "{{\n  \"scenario\": \"scalability{}\",\n  \"sim_secs\": {},\n  \"wall_ms\": {:.3},\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"ns_per_poll_tick\": {:.1},\n  \"allocs_per_event\": {:.2},\n  \"sched_events_per_sec\": {:.1}\n}}\n",
+            "  \"scenario\": \"scalability{}\",\n  \"sim_secs\": {},\n  \"wall_ms\": {:.3},\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"ns_per_poll_tick\": {:.1},\n  \"allocs_per_event\": {:.2},\n  \"sched_events_per_sec\": {:.1}",
             self.nodes,
             self.sim_secs,
             self.wall_ms,
@@ -109,6 +161,16 @@ impl Measurement {
             self.ns_per_poll_tick,
             self.allocs_per_event,
             self.sched_events_per_sec,
+        )
+    }
+}
+
+impl Speedup {
+    fn json_fields(&self) -> String {
+        let n = self.nodes;
+        format!(
+            "  \"par{n}_serial_wall_ms\": {:.3},\n  \"par{n}_parallel_wall_ms\": {:.3},\n  \"par{n}_speedup\": {:.2}",
+            self.serial_wall_ms, self.parallel_wall_ms, self.speedup,
         )
     }
 }
@@ -139,11 +201,34 @@ fn main() {
     };
     let out_path = arg_val("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_string());
     let baseline = arg_val("--check");
+    let threads = arg_val("--threads")
+        .map(|v| v.parse::<usize>().expect("--threads takes a number"))
+        .unwrap_or_else(|| simcore::parallel::suggested_threads(8));
 
     let (warmup_s, measure_s) = if quick { (3, 10) } else { (5, 30) };
     let m = measure(16, warmup_s, measure_s);
 
-    let json = m.to_json();
+    // The sharded-parallel section: serial vs `threads` shards on the
+    // bigger scenarios (64 nodes always; 256 in full mode only).
+    let (par_warm, par_secs) = if quick { (1, 4) } else { (2, 10) };
+    let mut speedups = vec![measure_speedup(64, par_warm, par_secs, threads)];
+    if !quick {
+        speedups.push(measure_speedup(256, 1, 3, threads));
+    }
+    for s in &speedups {
+        eprintln!(
+            "bench_pipeline: scalability{}: serial {:.0} ms, {} shards {:.0} ms -> {:.2}x",
+            s.nodes, s.serial_wall_ms, s.shards, s.parallel_wall_ms, s.speedup
+        );
+    }
+
+    let mut sections = vec![m.json_fields()];
+    sections.push(format!(
+        "  \"threads\": {},\n  \"shards\": {}",
+        threads, speedups[0].shards
+    ));
+    sections.extend(speedups.iter().map(Speedup::json_fields));
+    let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     print!("{json}");
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     eprintln!(
@@ -180,6 +265,19 @@ fn main() {
         if ratio < 0.75 {
             eprintln!("bench_pipeline: REGRESSION beyond 25% budget");
             std::process::exit(1);
+        }
+        // Allocations per delivered event are deterministic (no noise
+        // band needed beyond rounding): more than 15% growth means a new
+        // allocation crept onto the hot path.
+        if let Some(base_allocs) = json_field(&base, "allocs_per_event") {
+            eprintln!(
+                "bench_pipeline: allocs/event {:.2} vs baseline {:.2}",
+                m.allocs_per_event, base_allocs
+            );
+            if m.allocs_per_event > base_allocs * 1.15 {
+                eprintln!("bench_pipeline: ALLOCATION REGRESSION beyond 15% budget");
+                std::process::exit(1);
+            }
         }
     }
 }

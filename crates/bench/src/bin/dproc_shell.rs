@@ -75,6 +75,9 @@ enum Cmd {
         prob: f64,
     },
     Faults,
+    Threads {
+        n: usize,
+    },
     Lint {
         source: String,
     },
@@ -202,6 +205,18 @@ fn parse(line: &str) -> Result<Cmd, String> {
             _ => Err("usage: loss <probability>".into()),
         },
         "faults" => Ok(Cmd::Faults),
+        "threads" => match rest[..] {
+            [n] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| "threads takes a worker count".to_string())?;
+                if n == 0 {
+                    return Err("threads needs at least one worker".into());
+                }
+                Ok(Cmd::Threads { n })
+            }
+            _ => Err("usage: threads <n>".into()),
+        },
         "lint" => {
             if rest.is_empty() {
                 return Err(
@@ -237,6 +252,7 @@ partition <a> <b>           sever the path between two nodes
 heal <a> <b>                remove a partition
 loss <probability>          drop each delivery with this probability
 faults                      active faults and drop/detection counters
+threads <n>                 worker shards for the next cluster (1 = serial)
 lint <filter source>        run the static verifier on an E-code filter
 stats                       per-node d-mon counters
 latency                     monitoring latency summary
@@ -244,11 +260,27 @@ quit                        leave";
 
 struct Shell {
     sim: Option<ClusterSim>,
+    threads: usize,
 }
 
 impl Shell {
     fn new() -> Self {
-        Shell { sim: None }
+        Shell {
+            sim: None,
+            threads: 1,
+        }
+    }
+
+    /// Live fault injection reaches into the world through `parts()`,
+    /// which only the serial driver exposes.
+    fn serial_sim(&mut self, what: &str) -> Result<&mut ClusterSim, String> {
+        let sim = self.sim.as_mut().ok_or("no cluster yet")?;
+        if sim.threads() > 1 {
+            return Err(format!(
+                "{what} needs the serial driver — run `threads 1` and rebuild the cluster"
+            ));
+        }
+        Ok(sim)
     }
 
     fn node(&self, name: &str) -> Result<NodeId, String> {
@@ -286,10 +318,16 @@ impl Shell {
                     ClusterConfig::named(&refs)
                 };
                 let mut sim = ClusterSim::new(cfg);
+                sim.set_threads(self.threads);
                 sim.start();
                 let names: Vec<String> = sim.world().hosts.iter().map(|h| h.name.clone()).collect();
+                let shards = sim.shards();
                 self.sim = Some(sim);
-                Ok(Some(format!("cluster up: {}", names.join(", "))))
+                Ok(Some(if shards > 1 {
+                    format!("cluster up on {shards} shards: {}", names.join(", "))
+                } else {
+                    format!("cluster up: {}", names.join(", "))
+                }))
             }
             Cmd::Run { seconds } => match &mut self.sim {
                 Some(sim) => {
@@ -356,7 +394,7 @@ impl Shell {
             }
             Cmd::Revive { node } => {
                 let id = self.node(&node)?;
-                let sim = self.sim.as_mut().expect("checked");
+                let sim = self.serial_sim("revive")?;
                 if sim.world().is_alive(id) {
                     return Err(format!("{node} is already alive"));
                 }
@@ -373,7 +411,7 @@ impl Shell {
                 if ia == ib {
                     return Err("cannot partition a node from itself".into());
                 }
-                let sim = self.sim.as_mut().expect("checked");
+                let sim = self.serial_sim("partition")?;
                 let (w, s) = sim.parts();
                 w.apply_fault(s, &simnet::FaultAction::Partition(ia, ib));
                 Ok(Some(format!("{a} <-/-> {b}")))
@@ -381,7 +419,7 @@ impl Shell {
             Cmd::Heal { a, b } => {
                 let ia = self.node(&a)?;
                 let ib = self.node(&b)?;
-                let sim = self.sim.as_mut().expect("checked");
+                let sim = self.serial_sim("heal")?;
                 let (w, s) = sim.parts();
                 w.apply_fault(s, &simnet::FaultAction::Heal(ia, ib));
                 Ok(Some(format!("{a} <---> {b}")))
@@ -390,7 +428,7 @@ impl Shell {
                 if !(0.0..=1.0).contains(&prob) {
                     return Err("probability must be in 0..=1".into());
                 }
-                let sim = self.sim.as_mut().expect("checked");
+                let sim = self.serial_sim("loss")?;
                 let (w, s) = sim.parts();
                 w.apply_fault(s, &simnet::FaultAction::Loss(prob));
                 Ok(Some(format!("network-wide loss probability = {prob}")))
@@ -438,6 +476,15 @@ impl Shell {
                 }
                 None => Err("no cluster yet".into()),
             },
+            Cmd::Threads { n } => {
+                self.threads = n;
+                let note = if self.sim.is_some() {
+                    " (applies when the next `cluster` is built)"
+                } else {
+                    ""
+                };
+                Ok(Some(format!("threads = {n}{note}")))
+            }
             Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
             Cmd::Stats => match &self.sim {
                 Some(sim) => {
@@ -602,6 +649,7 @@ mod tests {
                 text: "period cpu 2".into()
             }
         );
+        assert_eq!(parse("threads 4").unwrap(), Cmd::Threads { n: 4 });
         assert_eq!(parse("  # comment").unwrap(), Cmd::Nothing);
         assert_eq!(parse("").unwrap(), Cmd::Nothing);
         assert_eq!(parse("quit").unwrap(), Cmd::Quit);
@@ -624,6 +672,9 @@ mod tests {
             "partition onlyone",
             "heal onlyone",
             "loss lots",
+            "threads",
+            "threads zero",
+            "threads 0",
             "frobnicate",
         ] {
             assert!(parse(bad).is_err(), "should reject `{bad}`");
@@ -727,6 +778,32 @@ mod tests {
         assert!(shell.exec(parse("revive alan").unwrap()).is_err());
         assert!(shell.exec(parse("partition alan alan").unwrap()).is_err());
         assert!(shell.exec(parse("loss 2.0").unwrap()).is_err());
+    }
+
+    #[test]
+    fn threads_command_builds_a_sharded_cluster() {
+        let mut shell = Shell::new();
+        let out = shell.exec(parse("threads 2").unwrap()).unwrap().unwrap();
+        assert!(out.contains("threads = 2"), "{out}");
+        let out = shell
+            .exec(parse("cluster 4 a b c d").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(out.contains("2 shards"), "{out}");
+        shell.exec(parse("run 5").unwrap()).unwrap();
+        // Read paths still work against the reassembled world.
+        let stats = shell.exec(parse("stats").unwrap()).unwrap().unwrap();
+        assert!(stats.contains('a'), "{stats}");
+        // Live fault injection is a friendly error, not a panic.
+        let err = shell.exec(parse("loss 0.1").unwrap()).unwrap_err();
+        assert!(err.contains("serial driver"), "{err}");
+        let err = shell.exec(parse("partition a b").unwrap()).unwrap_err();
+        assert!(err.contains("serial driver"), "{err}");
+        // Dropping back to one thread restores them on the next cluster.
+        shell.exec(parse("threads 1").unwrap()).unwrap();
+        shell.exec(parse("cluster 2").unwrap()).unwrap();
+        shell.exec(parse("run 2").unwrap()).unwrap();
+        assert!(shell.exec(parse("loss 0.1").unwrap()).is_ok());
     }
 
     #[test]

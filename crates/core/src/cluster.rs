@@ -100,6 +100,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Set the poll start stagger between nodes. Tiny staggers (e.g.
+    /// 1 µs) keep all polls inside one conservative window, which is what
+    /// the parallel driver wants; the 1 ms default mimics real boot skew.
+    pub fn stagger(mut self, s: SimDur) -> Self {
+        self.stagger = s;
+        self
+    }
+
     /// Override one node's hardware.
     pub fn host_cfg(mut self, node: usize, cfg: HostConfig) -> Self {
         self.host_cfgs[node] = cfg;
@@ -148,35 +156,35 @@ pub struct ClusterWorld {
     /// Lifetime count of delivered control events.
     pub ctl_delivered: u64,
     /// Per-node d-mon service task (kernel thread).
-    svc_tasks: Vec<TaskId>,
+    pub(crate) svc_tasks: Vec<TaskId>,
     /// Per-node queue of pending CPU charges: the kernel thread is a
     /// serial server, so concurrent charges queue rather than overlap
     /// (overlapping them would under-account the stolen CPU).
-    svc_pending: Vec<std::collections::VecDeque<SimDur>>,
+    pub(crate) svc_pending: Vec<std::collections::VecDeque<SimDur>>,
     /// Whether each node's service task is currently draining a charge.
-    svc_busy: Vec<bool>,
+    pub(crate) svc_busy: Vec<bool>,
     /// Liveness per node; dead nodes neither poll nor receive (models
     /// crash failures for the fault-tolerance comparison).
-    alive: Vec<bool>,
+    pub(crate) alive: Vec<bool>,
     /// Injected network faults: partitions, message loss, link
     /// degradation — plus the counters every dropped delivery feeds.
     pub fault: simnet::FaultState,
     /// Generation token per node's poll series. Bumped on crash and
     /// revive so a stale periodic closure stops instead of polling a
     /// dead (or doubly-revived) node forever.
-    poll_token: Vec<u64>,
+    pub(crate) poll_token: Vec<u64>,
     /// Nodes the failure detector evicted from the directory. Only these
     /// auto-rejoin when they find themselves unsubscribed — nodes that
     /// were never subscribed (manual-subscription setups) stay out.
-    evicted: Vec<bool>,
+    pub(crate) evicted: Vec<bool>,
     /// Polling period, kept for re-arming a revived node's poll series.
-    poll_period: SimDur,
+    pub(crate) poll_period: SimDur,
     /// Per-node events handled (sent + received) in a sliding 1 s window —
     /// feeds the Iperf probe's interference model.
-    event_meter: Vec<BytesWindow>,
+    pub(crate) event_meter: Vec<BytesWindow>,
     /// Endpoints and rate of each started flood, so stopping one can also
     /// clear the hosts' NIC-level background observation.
-    flow_meta: std::collections::HashMap<simnet::FlowId, (NodeId, NodeId, f64)>,
+    pub(crate) flow_meta: std::collections::HashMap<simnet::FlowId, (NodeId, NodeId, f64)>,
 }
 
 impl ClusterWorld {
@@ -371,6 +379,7 @@ impl ClusterWorld {
                         }
                     }
                 }
+                ev.recycle();
             }
             EventKind::Heartbeat => {
                 let handler = self.dmons[to.0].on_heartbeat(&ev, now, &self.calib);
@@ -533,12 +542,19 @@ impl ClusterWorld {
 }
 
 /// The cluster simulation: world + event loop + convenience API.
+///
+/// By default events run on the serial closure-based scheduler. With
+/// [`ClusterSim::set_threads`] the same world runs on the sharded
+/// parallel engine ([`crate::pcluster`]), bit-identical to the serial
+/// run.
 pub struct ClusterSim {
     sim: Sim<ClusterWorld>,
     world: ClusterWorld,
     poll_period: SimDur,
     stagger: SimDur,
     started: bool,
+    threads: usize,
+    driver: Option<crate::pcluster::ParallelDriver>,
 }
 
 impl ClusterSim {
@@ -609,7 +625,47 @@ impl ClusterSim {
             poll_period: cfg.poll_period,
             stagger: cfg.stagger,
             started: false,
+            threads: 1,
+            driver: None,
         }
+    }
+
+    /// Run the simulation on `threads` worker shards (1 = the serial
+    /// scheduler, the default). Must be called before [`ClusterSim::start`].
+    /// The parallel run is bit-identical to the serial one; shard count is
+    /// clamped to the node count.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(!self.started, "set_threads must precede start()");
+        assert!(threads > 0, "threads must be at least 1");
+        self.threads = threads;
+        self.driver = if threads > 1 {
+            Some(crate::pcluster::ParallelDriver::new(
+                self.world.len(),
+                threads,
+                self.world.net.lookahead(),
+            ))
+        } else {
+            None
+        };
+    }
+
+    /// Configured worker thread count (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of worker shards when parallel, else 1.
+    pub fn shards(&self) -> usize {
+        self.driver
+            .as_ref()
+            .map_or(1, super::pcluster::ParallelDriver::shards)
+    }
+
+    /// Parallel engine counters (`None` on the serial driver).
+    pub fn parallel_stats(&self) -> Option<simcore::pdes::EngineStats> {
+        self.driver
+            .as_ref()
+            .map(super::pcluster::ParallelDriver::stats)
     }
 
     /// Schedule the periodic d-mon polls. Idempotent.
@@ -621,13 +677,17 @@ impl ClusterSim {
         let n = self.world.len();
         for i in 0..n {
             let first = SimTime::ZERO + self.poll_period + self.stagger * (i as u64);
-            ClusterWorld::arm_poll(
-                &mut self.sim,
-                i,
-                self.world.poll_token[i],
-                first,
-                self.poll_period,
-            );
+            if let Some(driver) = self.driver.as_mut() {
+                driver.schedule_poll(i, self.world.poll_token[i], first);
+            } else {
+                ClusterWorld::arm_poll(
+                    &mut self.sim,
+                    i,
+                    self.world.poll_token[i],
+                    first,
+                    self.poll_period,
+                );
+            }
         }
     }
 
@@ -637,6 +697,10 @@ impl ClusterSim {
     /// reseeds the loss RNG so a given plan is deterministic.
     pub fn apply_fault_plan(&mut self, plan: &simnet::FaultPlan) {
         self.world.fault.reseed(plan.seed());
+        if let Some(driver) = self.driver.as_mut() {
+            driver.schedule_fault_plan(plan.actions());
+            return;
+        }
         for (t, action) in plan.actions() {
             self.sim.schedule_at(
                 t,
@@ -649,17 +713,58 @@ impl ClusterSim {
 
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.driver
+            .as_ref()
+            .map_or_else(|| self.sim.now(), super::pcluster::ParallelDriver::now)
     }
 
     /// Run the event loop until `t`.
     pub fn run_until(&mut self, t: SimTime) {
+        if let Some(mut driver) = self.driver.take() {
+            let world = std::mem::replace(&mut self.world, Self::placeholder_world());
+            self.world = driver.run_until(world, t);
+            self.driver = Some(driver);
+            return;
+        }
         self.sim.run_until(&mut self.world, t);
     }
 
     /// Run the event loop for `d` from now.
     pub fn run_for(&mut self, d: SimDur) {
-        self.sim.run_for(&mut self.world, d);
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    /// An empty stand-in world occupying `self.world` while the parallel
+    /// engine owns the real one.
+    fn placeholder_world() -> ClusterWorld {
+        let mut dir = Directory::new(Topology::PeerToPeer);
+        let mon_chan = dir.open("dproc-monitoring");
+        let ctl_chan = dir.open("dproc-control");
+        ClusterWorld {
+            net: Network::new(0, LinkSpec::fast_ethernet()),
+            flows: FlowTable::new(),
+            hosts: Vec::new(),
+            dmons: Vec::new(),
+            linpacks: Vec::new(),
+            dir,
+            mon_chan,
+            ctl_chan,
+            calib: Calib::default(),
+            mon_latency_us: simcore::stats::Sampler::new(),
+            mon_delivered: 0,
+            ctl_delivered: 0,
+            svc_tasks: Vec::new(),
+            svc_pending: Vec::new(),
+            svc_busy: Vec::new(),
+            alive: Vec::new(),
+            fault: simnet::FaultState::new(0),
+            poll_token: Vec::new(),
+            evicted: Vec::new(),
+            poll_period: SimDur::from_secs(1),
+            event_meter: Vec::new(),
+            flow_meta: std::collections::HashMap::new(),
+        }
     }
 
     /// Immutable world access.
@@ -673,16 +778,27 @@ impl ClusterSim {
     }
 
     /// Both world and scheduler, for app layers that transmit directly.
+    /// Serial driver only.
     pub fn parts(&mut self) -> (&mut ClusterWorld, &mut Sim<ClusterWorld>) {
+        assert!(
+            self.driver.is_none(),
+            "ClusterSim::parts requires the serial driver (threads=1)"
+        );
         (&mut self.world, &mut self.sim)
     }
 
-    /// Schedule an arbitrary action at time `t`.
+    /// Schedule an arbitrary action at time `t`. Serial driver only —
+    /// ad-hoc closures cannot be logged and replayed by the parallel
+    /// engine.
     pub fn at(
         &mut self,
         t: SimTime,
         f: impl FnOnce(&mut ClusterWorld, &mut Sim<ClusterWorld>) + 'static,
     ) {
+        assert!(
+            self.driver.is_none(),
+            "ClusterSim::at requires the serial driver (threads=1)"
+        );
         self.sim.schedule_at(t, f);
     }
 

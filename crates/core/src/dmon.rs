@@ -466,6 +466,20 @@ impl DMon {
         self.peers.get(peer.0)?.map(|r| r.last_heard)
     }
 
+    /// Earliest future instant at which a currently-tracked peer could be
+    /// declared `Dead` by a poll: `last_heard + dead_after`, minimized over
+    /// peers not already dead. `None` when no verdict is pending. Used by
+    /// the parallel scheduler to decide whether a time window could contain
+    /// an eviction (a shared-registry mutation).
+    pub fn next_dead_deadline(&self) -> Option<SimTime> {
+        self.peers
+            .iter()
+            .flatten()
+            .filter(|r| r.health != PeerHealth::Dead)
+            .map(|r| r.last_heard + self.dead_after)
+            .min()
+    }
+
     /// This node's incarnation number.
     pub fn epoch(&self) -> u32 {
         self.epoch
@@ -968,7 +982,10 @@ impl DMon {
         } else {
             let policy = self.policies.get(&sub);
             let row = &self.last_sent[sub.0];
-            let mut records = Vec::with_capacity(samples.len());
+            // Recycled from delivered events (the delivery paths call
+            // `Event::recycle`), so the steady state allocates nothing.
+            let mut records = kecho::take_record_buf();
+            records.reserve(samples.len());
             for (i, (sample, module)) in samples.iter().zip(&self.modules).enumerate() {
                 // Policy-driven subscribers force every module to be
                 // sampled; `None` only defends against future callers.

@@ -47,6 +47,7 @@ pub mod dmon;
 pub mod measure;
 pub mod modules;
 pub mod params;
+pub(crate) mod pcluster;
 
 pub use calib::Calib;
 pub use cluster::{ClusterConfig, ClusterSim, ClusterWorld};

@@ -1,0 +1,936 @@
+//! Sharded parallel execution of the cluster simulation.
+//!
+//! This module mirrors every event handler in [`crate::cluster`] onto the
+//! [`simcore::pdes`] engine: the cluster's nodes are partitioned
+//! round-robin across worker shards, each node's entire kernel-side state
+//! (host, d-mon, `/proc` tree, service queue, uplink) lives on its shard,
+//! and the few pieces of genuinely global state — the channel directory,
+//! the switch-side downlinks, the fault state, the cluster-wide samplers —
+//! stay with the coordinator and are only touched through replayed effects
+//! ([`PFx`]) in exact serial order.
+//!
+//! # The mirror contract
+//!
+//! For bit-identity with the serial run, each handler here must emit its
+//! local children and global effects in *exactly* the program order the
+//! corresponding `ClusterWorld` handler calls `Sim::schedule_*` and
+//! mutates shared state. Every `schedule_*` call in the serial handler is
+//! one `out.schedule_*` here (same position); every shared-state mutation
+//! is one `out.fx(..)` (same position). The replay then assigns the same
+//! sequence numbers and applies the same mutations in the same order, so
+//! link reservations, RNG draws, sampler contents, and `/proc` text all
+//! come out identical.
+//!
+//! # Why parallel windows are safe
+//!
+//! During a parallel window every shard reads the shared state through
+//! `&PShared`. [`PCoord::plan`] guarantees no handler will need to mutate
+//! it by going serial whenever:
+//!
+//! * a fault action falls inside the window (`alive`/links/partitions
+//!   change),
+//! * probabilistic loss or a partition is active (`should_drop` consumes
+//!   RNG draws in delivery order),
+//! * a revived node has not yet re-registered (its next poll writes the
+//!   directory), or
+//! * any live failure detector could reach a Dead verdict inside the
+//!   window (an eviction writes the directory).
+//!
+//! Everything else a window can do — polls, module sampling, `/proc`
+//! writes, filter runs, deliveries to live nodes, CPU accounting — only
+//! touches the executing node's shard state plus read-only shared state.
+
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+use simcore::pdes::{
+    Coordinator, Emit, Engine, EngineStats, Sched, ShardWorld, SharedView, WindowMode,
+};
+use simcore::stats::Sampler;
+use simcore::{SimDur, SimTime};
+use simnet::link::{BytesWindow, DirLink, LinkSpec};
+use simnet::traffic::FlowTable;
+use simnet::{ConnId, FaultAction, FaultState, Network, NodeId, SplitNet};
+use simos::cpu::TaskState;
+use simos::host::Host;
+use simos::workload::Linpack;
+use simos::TaskId;
+
+use kecho::{wire, ChannelId, Directory, Event, EventKind, Hop, Topology};
+
+use crate::calib::Calib;
+use crate::cluster::ClusterWorld;
+use crate::dmon::DMon;
+
+/// Typed cluster events (the serial driver uses boxed closures; the
+/// parallel engine needs `Send` values it can log and merge).
+#[derive(Debug, Clone)]
+pub(crate) enum ClusterEvent {
+    /// One d-mon polling iteration, with its generation token.
+    Poll { i: usize, token: u64 },
+    /// The node's kernel service thread finished draining one CPU charge.
+    SvcDone { i: usize },
+    /// A network message arrives at `hop.to`.
+    Deliver {
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        sent_at: SimTime,
+        queued: SimDur,
+    },
+    /// The `k`-th scheduled fault action fires.
+    Fault { k: usize },
+}
+
+/// Global effects, applied by the coordinator in exact serial order.
+pub(crate) enum PFx {
+    /// Downlink half of `Network::send`: reserve the receiver's downlink,
+    /// account the bytes, and schedule the delivery on the receiver's
+    /// shard. The uplink half already ran on the sender's shard.
+    WireSend {
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        /// Timestamp for the latency sampler (the *original* send time
+        /// when a concentrator hub relays).
+        sent_at: SimTime,
+        /// When this wire transfer was initiated (uplink reservation time).
+        send_now: SimTime,
+        up_start: SimTime,
+        up_finish: SimTime,
+        head_at_switch: SimTime,
+    },
+    /// A monitoring event reached its subscriber.
+    MonDelivered { latency_us: f64 },
+    /// A control event reached its target.
+    CtlDelivered,
+    /// A delivery hit a crashed node's NIC.
+    CrashDrop,
+    /// A failure detector evicted `peer` from both channels.
+    Evict { peer: NodeId },
+    /// An evicted node re-registered on both channels.
+    Rejoin { node: NodeId },
+    /// Apply the `k`-th action of the fault timeline.
+    FaultAction { k: usize },
+}
+
+/// One node's shard-resident state: everything the serial `ClusterWorld`
+/// keeps per node, plus the node's uplink (only its own sends touch it).
+pub(crate) struct PNode {
+    id: NodeId,
+    host: Host,
+    dmon: DMon,
+    linpack: Linpack,
+    uplink: DirLink,
+    svc_task: TaskId,
+    svc_pending: VecDeque<SimDur>,
+    svc_busy: bool,
+    poll_token: u64,
+    event_meter: BytesWindow,
+}
+
+/// One worker shard's world: a subset of the nodes.
+pub(crate) struct PShard {
+    nodes: Vec<PNode>,
+    /// Global node id → index in `nodes` (usize::MAX for other shards).
+    local: Vec<usize>,
+    /// Deltas for the network's lifetime counters; commutative, folded
+    /// into the shared totals at reassembly.
+    net_deliveries: u64,
+    net_payload: u64,
+}
+
+/// Coordinator-owned state: the directory, downlinks, fault state, and
+/// cluster-wide counters, only written through [`PFx`] replay.
+pub(crate) struct PShared {
+    spec: LinkSpec,
+    downs: Vec<DirLink>,
+    net_deliveries: u64,
+    net_payload: u64,
+    flows: FlowTable,
+    flow_meta: std::collections::HashMap<simnet::FlowId, (NodeId, NodeId, f64)>,
+    dir: Directory,
+    mon_chan: ChannelId,
+    ctl_chan: ChannelId,
+    calib: Calib,
+    mon_latency_us: Sampler,
+    mon_delivered: u64,
+    ctl_delivered: u64,
+    alive: Vec<bool>,
+    evicted: Vec<bool>,
+    fault: FaultState,
+    poll_period: SimDur,
+    /// The scheduled fault timeline, indexed by `ClusterEvent::Fault::k`.
+    fault_actions: Vec<(SimTime, FaultAction)>,
+    /// Node → shard assignment.
+    shard_of: Vec<u32>,
+}
+
+impl PShard {
+    /// Mirror of `ClusterWorld::charge_cpu` + `svc_drain` (the immediate
+    /// drain a fresh charge triggers on an idle service thread).
+    fn charge_cpu(
+        &mut self,
+        l: usize,
+        now: SimTime,
+        cost: SimDur,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+    ) {
+        if cost.is_zero() {
+            return;
+        }
+        self.nodes[l].svc_pending.push_back(cost);
+        if !self.nodes[l].svc_busy {
+            self.svc_drain(l, now, out);
+        }
+    }
+
+    /// Mirror of `ClusterWorld::svc_drain`.
+    fn svc_drain(&mut self, l: usize, now: SimTime, out: &mut Emit<'_, ClusterEvent, PFx>) {
+        let n = &mut self.nodes[l];
+        let task = n.svc_task;
+        let Some(cost) = n.svc_pending.pop_front() else {
+            if n.svc_busy {
+                n.svc_busy = false;
+                n.host.cpu.set_state(now, task, TaskState::Sleeping);
+            }
+            return;
+        };
+        n.host.cpu.advance(now);
+        if !n.svc_busy {
+            n.svc_busy = true;
+            n.host.cpu.set_state(now, task, TaskState::Runnable);
+        }
+        let wall = SimDur::from_secs_f64(cost.as_secs_f64() / n.host.cpu.share());
+        out.schedule_in(wall, ClusterEvent::SvcDone { i: n.id.0 });
+    }
+
+    /// Mirror of `ClusterWorld::transmit`. The sender must live on this
+    /// shard.
+    fn transmit(
+        &mut self,
+        now: SimTime,
+        mut hop: Hop,
+        ev: Event,
+        bytes: usize,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+        sh: &PShared,
+    ) {
+        if let Topology::Central(hub) = sh.dir.topology() {
+            if hop.from != hub && hop.to != hub {
+                hop = Hop {
+                    from: hop.from,
+                    to: hub,
+                };
+            }
+        }
+        if !sh.alive[hop.from.0] {
+            return;
+        }
+        let l = self.local[hop.from.0];
+        self.nodes[l].event_meter.record(now, 1);
+        self.nodes[l].host.on_net_bytes(bytes as u64);
+        self.send_message(now, hop, ev, bytes, now, out, sh);
+    }
+
+    /// The network half of a send: the uplink math runs here on the
+    /// sender's shard (identical arithmetic to `Network::send`); the
+    /// downlink half travels as [`PFx::WireSend`] so the coordinator can
+    /// reserve the receiver's downlink in exact serial order.
+    #[allow(clippy::too_many_arguments)]
+    fn send_message(
+        &mut self,
+        now: SimTime,
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        sent_at: SimTime,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+        sh: &PShared,
+    ) {
+        self.net_deliveries += 1;
+        self.net_payload += bytes as u64;
+        if hop.from == hop.to {
+            // In-kernel loopback, same constant as `Network::send`.
+            let copy = SimDur::from_nanos(200 + (bytes as u64) / 10);
+            out.schedule_at(
+                now + copy,
+                ClusterEvent::Deliver {
+                    hop,
+                    ev,
+                    bytes,
+                    sent_at,
+                    queued: SimDur::ZERO,
+                },
+            );
+            return;
+        }
+        let first_pkt = bytes.min(sh.spec.mtu_payload);
+        let up = &mut self.nodes[self.local[hop.from.0]].uplink;
+        let t_up = up.tx_time_now(bytes);
+        let t_up_first = up.tx_time_now(first_pkt);
+        let (up_start, up_finish) = up.reserve(now, t_up);
+        up.account(now, bytes);
+        let head_at_switch = up_start + t_up_first + sh.spec.latency;
+        out.fx(PFx::WireSend {
+            hop,
+            ev,
+            bytes,
+            sent_at,
+            send_now: now,
+            up_start,
+            up_finish,
+            head_at_switch,
+        });
+    }
+
+    /// Mirror of `ClusterWorld::deliver`. The receiver lives on this shard.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        sent_at: SimTime,
+        queued: SimDur,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+        shared: &mut SharedView<'_, PShared>,
+    ) {
+        let to = hop.to;
+        if !shared.get().alive[to.0] {
+            out.fx(PFx::CrashDrop);
+            return;
+        }
+        if let Some(sh) = shared.get_mut() {
+            // Serial window: the drop check may consume RNG draws and bump
+            // counters — run it in exact delivery order, like the serial
+            // driver does.
+            if sh.fault.should_drop(hop.from, to).is_some() {
+                return;
+            }
+        } else {
+            // Parallel window: the planner guarantees a quiet fault state,
+            // under which `should_drop` is pure and returns None.
+            debug_assert!(
+                shared.get().fault.loss_prob() == 0.0 && shared.get().fault.partitions().is_empty(),
+                "parallel window with active loss/partition"
+            );
+        }
+        let sh = shared.get();
+        let one_way = now.since(sent_at);
+        let l = self.local[to.0];
+        self.nodes[l].event_meter.record(now, 1);
+        self.nodes[l].host.on_net_bytes(bytes as u64);
+
+        // Central-concentrator transit relay (addressed event passing
+        // through the hub).
+        if let Topology::Central(hub) = sh.dir.topology() {
+            if to == hub {
+                if let Some(target) = ev.target {
+                    if target != hub {
+                        let relay_cost = sh.calib.receive_cost(bytes)
+                            + sh.calib.submit_cost(bytes)
+                            + sh.calib.kernel_path_recv
+                            + sh.calib.kernel_path_send;
+                        self.charge_cpu(l, now, relay_cost, out);
+                        self.nodes[l].event_meter.record(now, 1);
+                        let relay_hop = Hop {
+                            from: hub,
+                            to: target,
+                        };
+                        // Keeps the original `sent_at` so the sampler sees
+                        // true end-to-end latency.
+                        self.send_message(now, relay_hop, ev, bytes, sent_at, out, sh);
+                        return;
+                    }
+                }
+            }
+        }
+
+        let conn = ConnId {
+            local: to,
+            remote: ev.sender,
+            proto: simnet::conn::Proto::Tcp,
+            tag: ev.channel,
+        };
+        {
+            let host = &mut self.nodes[l].host;
+            host.conns.open(conn, now);
+            host.conns.record_delivery(conn, now, bytes as u64, one_way);
+            if queued > sh.calib.rto {
+                host.conns.record_retransmission(conn);
+            }
+        }
+
+        match ev.kind {
+            EventKind::Monitoring => {
+                out.fx(PFx::MonDelivered {
+                    latency_us: one_way.as_micros_f64(),
+                });
+                let handler = {
+                    let n = &mut self.nodes[l];
+                    n.dmon.on_event(&mut n.host, &ev, bytes, now, &sh.calib)
+                };
+                self.charge_cpu(l, now, handler + sh.calib.kernel_path_recv, out);
+
+                if let Topology::Central(hub) = sh.dir.topology() {
+                    if to == hub {
+                        if let Some(origin) = ev.as_monitoring().map(|m| m.origin) {
+                            if origin != hub {
+                                let chan = ChannelId(ev.channel);
+                                let hops = sh.dir.plan_forward(chan, origin);
+                                for fwd in hops {
+                                    let relay_cost =
+                                        sh.calib.submit_cost(bytes) + sh.calib.kernel_path_send;
+                                    self.charge_cpu(l, now, relay_cost, out);
+                                    self.transmit(now, fwd, ev.clone(), bytes, out, sh);
+                                }
+                            }
+                        }
+                    }
+                }
+                ev.recycle();
+            }
+            EventKind::Heartbeat => {
+                let handler = self.nodes[l].dmon.on_heartbeat(&ev, now, &sh.calib);
+                self.charge_cpu(l, now, handler + sh.calib.heartbeat_path_recv, out);
+            }
+            EventKind::Control => {
+                out.fx(PFx::CtlDelivered);
+                if let Some(msg) = ev.as_control() {
+                    let outcome = self.nodes[l].dmon.on_control(ev.sender, msg, &sh.calib);
+                    self.charge_cpu(l, now, outcome.cpu + sh.calib.kernel_path_recv, out);
+                    if let Some(reply) = outcome.reply {
+                        let rev =
+                            self.nodes[l]
+                                .dmon
+                                .make_control_event(sh.ctl_chan, ev.sender, reply);
+                        let rbytes = wire::encoded_size(&rev);
+                        let send_cost = sh.calib.submit_cost(rbytes) + sh.calib.kernel_path_send;
+                        self.charge_cpu(l, now, send_cost, out);
+                        let rhop = Hop {
+                            from: to,
+                            to: ev.sender,
+                        };
+                        self.transmit(now, rhop, rev, rbytes, out, sh);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror of the poll closure in `ClusterWorld::arm_poll` +
+    /// `poll_node`: token check, poll, then the periodic re-arm (the
+    /// serial `schedule_periodic` wrapper re-arms *after* the handler).
+    fn poll(
+        &mut self,
+        i: usize,
+        token: u64,
+        now: SimTime,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+        shared: &SharedView<'_, PShared>,
+    ) {
+        let l = self.local[i];
+        if self.nodes[l].poll_token != token {
+            return;
+        }
+        let sh = shared.get();
+        if sh.alive[i] {
+            let outcome = {
+                let n = &mut self.nodes[l];
+                n.dmon.poll(
+                    &mut n.host,
+                    &sh.dir,
+                    sh.mon_chan,
+                    sh.ctl_chan,
+                    now,
+                    &sh.calib,
+                )
+            };
+            self.charge_cpu(l, now, outcome.cpu_cost, out);
+            for (hop, ev, bytes) in outcome.sends {
+                self.transmit(now, hop, ev, bytes, out, sh);
+            }
+            for peer in outcome.dead_peers {
+                out.fx(PFx::Evict { peer });
+            }
+            if outcome.rejoin && sh.evicted[i] {
+                out.fx(PFx::Rejoin { node: NodeId(i) });
+            }
+        }
+        out.schedule_at(now + sh.poll_period, ClusterEvent::Poll { i, token });
+    }
+}
+
+impl ShardWorld for PShard {
+    type Ev = ClusterEvent;
+    type Fx = PFx;
+    type Shared = PShared;
+
+    fn execute(
+        &mut self,
+        now: SimTime,
+        ev: ClusterEvent,
+        out: &mut Emit<'_, ClusterEvent, PFx>,
+        shared: &mut SharedView<'_, PShared>,
+    ) {
+        match ev {
+            ClusterEvent::Poll { i, token } => self.poll(i, token, now, out, shared),
+            ClusterEvent::SvcDone { i } => {
+                let l = self.local[i];
+                self.svc_drain(l, now, out);
+            }
+            ClusterEvent::Deliver {
+                hop,
+                ev,
+                bytes,
+                sent_at,
+                queued,
+            } => self.deliver(now, hop, ev, bytes, sent_at, queued, out, shared),
+            ClusterEvent::Fault { k } => out.fx(PFx::FaultAction { k }),
+        }
+    }
+}
+
+/// The coordinator: hazard planning + effect application.
+pub(crate) struct PCoord {
+    /// `(time, index)` of fault actions not yet applied, for the
+    /// imminent-fault hazard check.
+    fault_pending: BTreeSet<(SimTime, usize)>,
+}
+
+impl PCoord {
+    fn new() -> Self {
+        PCoord {
+            fault_pending: BTreeSet::new(),
+        }
+    }
+}
+
+impl Coordinator<PShard> for PCoord {
+    fn plan(
+        &mut self,
+        shared: &PShared,
+        worlds: &[&PShard],
+        _t0: SimTime,
+        bound: SimTime,
+    ) -> WindowMode {
+        // H-fault: a fault action inside the window flips alive bits,
+        // partitions, loss, or link capacities mid-window.
+        if let Some(&(t, _)) = self.fault_pending.first() {
+            if t <= bound {
+                return WindowMode::Serial;
+            }
+        }
+        // H-loss: active loss consumes RNG draws in delivery order; an
+        // active partition bumps drop counters in delivery order.
+        if shared.fault.loss_prob() > 0.0 || !shared.fault.partitions().is_empty() {
+            return WindowMode::Serial;
+        }
+        // H-rejoin: a revived-but-unregistered node's next poll writes
+        // the directory.
+        if shared
+            .alive
+            .iter()
+            .zip(&shared.evicted)
+            .any(|(&a, &e)| a && e)
+        {
+            return WindowMode::Serial;
+        }
+        // H-evict: a live failure detector could reach a Dead verdict (a
+        // directory eviction) at a poll inside the window. `last_heard`
+        // only moves later during a window, so this is conservative.
+        for w in worlds {
+            for n in &w.nodes {
+                if shared.alive[n.id.0] {
+                    if let Some(d) = n.dmon.next_dead_deadline() {
+                        if d <= bound {
+                            return WindowMode::Serial;
+                        }
+                    }
+                }
+            }
+        }
+        WindowMode::Parallel
+    }
+
+    fn apply(
+        &mut self,
+        now: SimTime,
+        fx: PFx,
+        shared: &mut PShared,
+        worlds: &mut [&mut PShard],
+        sched: &mut Sched<'_, '_, ClusterEvent>,
+    ) {
+        match fx {
+            PFx::WireSend {
+                hop,
+                ev,
+                bytes,
+                sent_at,
+                send_now,
+                up_start,
+                up_finish,
+                head_at_switch,
+            } => {
+                // Downlink half of `Network::send`, identical arithmetic.
+                let first_pkt = bytes.min(shared.spec.mtu_payload);
+                let down = &mut shared.downs[hop.to.0];
+                let t_down = down.tx_time_now(bytes);
+                let t_down_first = down.tx_time_now(first_pkt);
+                let (down_start, down_finish0) = down.reserve(head_at_switch, t_down);
+                let tail_constraint = up_finish + shared.spec.latency + t_down_first;
+                let down_finish = down_finish0.max(tail_constraint);
+                down.extend_busy(down_finish);
+                down.account(send_now, bytes);
+                let deliver_at = down_finish + shared.spec.latency;
+                let queued = (up_start - send_now) + (down_start - head_at_switch);
+                sched.schedule(
+                    shared.shard_of[hop.to.0] as usize,
+                    deliver_at,
+                    ClusterEvent::Deliver {
+                        hop,
+                        ev,
+                        bytes,
+                        sent_at,
+                        queued,
+                    },
+                );
+            }
+            PFx::MonDelivered { latency_us } => {
+                shared.mon_delivered += 1;
+                shared.mon_latency_us.add(latency_us);
+            }
+            PFx::CtlDelivered => shared.ctl_delivered += 1,
+            PFx::CrashDrop => shared.fault.note_crash_drop(),
+            PFx::Evict { peer } => {
+                shared.dir.unsubscribe(shared.mon_chan, peer);
+                shared.dir.unsubscribe(shared.ctl_chan, peer);
+                shared.evicted[peer.0] = true;
+            }
+            PFx::Rejoin { node } => {
+                shared.dir.subscribe(shared.mon_chan, node);
+                shared.dir.subscribe(shared.ctl_chan, node);
+                shared.evicted[node.0] = false;
+                notify_rejoin(worlds, &shared.alive, node, now);
+            }
+            PFx::FaultAction { k } => {
+                let (t, action) = shared.fault_actions[k].clone();
+                self.fault_pending.remove(&(t, k));
+                match action {
+                    FaultAction::Crash(node) => {
+                        // Mirror of `ClusterWorld::kill_node`.
+                        if !shared.alive[node.0] {
+                            return;
+                        }
+                        shared.alive[node.0] = false;
+                        let n = node_mut(worlds, &shared.shard_of, node);
+                        n.poll_token += 1;
+                        n.svc_pending.clear();
+                    }
+                    FaultAction::Revive(node) => {
+                        // Mirror of `ClusterWorld::revive_node`.
+                        if shared.alive[node.0] {
+                            return;
+                        }
+                        shared.alive[node.0] = true;
+                        {
+                            let n = node_mut(worlds, &shared.shard_of, node);
+                            let _ = n.host.proc.drain_writes();
+                            n.dmon.on_revive();
+                        }
+                        shared.dir.subscribe(shared.mon_chan, node);
+                        shared.dir.subscribe(shared.ctl_chan, node);
+                        shared.evicted[node.0] = false;
+                        notify_rejoin(worlds, &shared.alive, node, now);
+                        let token = {
+                            let n = node_mut(worlds, &shared.shard_of, node);
+                            n.poll_token += 1;
+                            n.poll_token
+                        };
+                        sched.schedule(
+                            shared.shard_of[node.0] as usize,
+                            now + shared.poll_period,
+                            ClusterEvent::Poll { i: node.0, token },
+                        );
+                    }
+                    ref other => {
+                        // Network-level faults; for Degrade/HealLink the
+                        // node's uplink lives on its shard, the downlink
+                        // here.
+                        let links = match *other {
+                            FaultAction::Degrade(node, _) | FaultAction::HealLink(node) => {
+                                let up = &mut node_mut(worlds, &shared.shard_of, node).uplink;
+                                Some((up, &mut shared.downs[node.0]))
+                            }
+                            _ => None,
+                        };
+                        shared.fault.apply_links(other, links);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of `ClusterWorld::notify_rejoin` across the shard worlds.
+fn notify_rejoin(worlds: &mut [&mut PShard], alive: &[bool], node: NodeId, now: SimTime) {
+    for w in worlds.iter_mut() {
+        for n in &mut w.nodes {
+            if n.id != node && alive[n.id.0] {
+                n.dmon.on_peer_rejoin(node, now);
+            }
+        }
+    }
+}
+
+fn node_mut<'a>(worlds: &'a mut [&mut PShard], shard_of: &[u32], node: NodeId) -> &'a mut PNode {
+    let w = &mut worlds[shard_of[node.0] as usize];
+    let l = w.local[node.0];
+    &mut w.nodes[l]
+}
+
+/// Tear a `ClusterWorld` into shard worlds + coordinator state.
+fn decompose(
+    world: ClusterWorld,
+    shards: usize,
+    shard_of: &[u32],
+    fault_actions: Vec<(SimTime, FaultAction)>,
+) -> (Vec<PShard>, PShared) {
+    let ClusterWorld {
+        net,
+        flows,
+        hosts,
+        dmons,
+        linpacks,
+        dir,
+        mon_chan,
+        ctl_chan,
+        calib,
+        mon_latency_us,
+        mon_delivered,
+        ctl_delivered,
+        svc_tasks,
+        svc_pending,
+        svc_busy,
+        alive,
+        fault,
+        poll_token,
+        evicted,
+        poll_period,
+        event_meter,
+        flow_meta,
+    } = world;
+    let n = hosts.len();
+    let SplitNet {
+        spec,
+        ups,
+        downs,
+        deliveries,
+        payload_bytes,
+    } = net.split_links();
+
+    let mut out: Vec<PShard> = (0..shards)
+        .map(|_| PShard {
+            nodes: Vec::new(),
+            local: vec![usize::MAX; n],
+            net_deliveries: 0,
+            net_payload: 0,
+        })
+        .collect();
+    let mut hosts = hosts.into_iter();
+    let mut dmons = dmons.into_iter();
+    let mut linpacks = linpacks.into_iter();
+    let mut ups = ups.into_iter();
+    let mut svc_tasks = svc_tasks.into_iter();
+    let mut svc_pending = svc_pending.into_iter();
+    let mut svc_busy = svc_busy.into_iter();
+    let mut poll_token = poll_token.into_iter();
+    let mut event_meter = event_meter.into_iter();
+    for (i, &s) in shard_of.iter().enumerate().take(n) {
+        let shard = &mut out[s as usize];
+        shard.local[i] = shard.nodes.len();
+        shard.nodes.push(PNode {
+            id: NodeId(i),
+            host: hosts.next().expect("host"),
+            dmon: dmons.next().expect("dmon"),
+            linpack: linpacks.next().expect("linpack"),
+            uplink: ups.next().expect("uplink"),
+            svc_task: svc_tasks.next().expect("svc task"),
+            svc_pending: svc_pending.next().expect("svc queue"),
+            svc_busy: svc_busy.next().expect("svc busy"),
+            poll_token: poll_token.next().expect("poll token"),
+            event_meter: event_meter.next().expect("event meter"),
+        });
+    }
+
+    let shared = PShared {
+        spec,
+        downs,
+        net_deliveries: deliveries,
+        net_payload: payload_bytes,
+        flows,
+        flow_meta,
+        dir,
+        mon_chan,
+        ctl_chan,
+        calib,
+        mon_latency_us,
+        mon_delivered,
+        ctl_delivered,
+        alive,
+        evicted,
+        fault,
+        poll_period,
+        fault_actions,
+        shard_of: shard_of.to_vec(),
+    };
+    (out, shared)
+}
+
+/// Reassemble the `ClusterWorld` (inverse of [`decompose`]).
+fn reassemble(shards: Vec<PShard>, shared: PShared) -> ClusterWorld {
+    let n = shared.alive.len();
+    let mut hosts: Vec<Option<Host>> = (0..n).map(|_| None).collect();
+    let mut dmons: Vec<Option<DMon>> = (0..n).map(|_| None).collect();
+    let mut linpacks: Vec<Option<Linpack>> = (0..n).map(|_| None).collect();
+    let mut ups: Vec<Option<DirLink>> = (0..n).map(|_| None).collect();
+    let mut svc_tasks: Vec<TaskId> = Vec::new();
+    let mut svc_task_slots: Vec<Option<TaskId>> = (0..n).map(|_| None).collect();
+    let mut svc_pending: Vec<Option<VecDeque<SimDur>>> = (0..n).map(|_| None).collect();
+    let mut svc_busy = vec![false; n];
+    let mut poll_token = vec![0u64; n];
+    let mut event_meter: Vec<Option<BytesWindow>> = (0..n).map(|_| None).collect();
+    let mut net_deliveries = shared.net_deliveries;
+    let mut net_payload = shared.net_payload;
+    for shard in shards {
+        net_deliveries += shard.net_deliveries;
+        net_payload += shard.net_payload;
+        for node in shard.nodes {
+            let i = node.id.0;
+            hosts[i] = Some(node.host);
+            dmons[i] = Some(node.dmon);
+            linpacks[i] = Some(node.linpack);
+            ups[i] = Some(node.uplink);
+            svc_task_slots[i] = Some(node.svc_task);
+            svc_pending[i] = Some(node.svc_pending);
+            svc_busy[i] = node.svc_busy;
+            poll_token[i] = node.poll_token;
+            event_meter[i] = Some(node.event_meter);
+        }
+    }
+    svc_tasks.extend(svc_task_slots.into_iter().map(|t| t.expect("svc task")));
+    let net = Network::from_split(SplitNet {
+        spec: shared.spec,
+        ups: ups.into_iter().map(|u| u.expect("uplink")).collect(),
+        downs: shared.downs,
+        deliveries: net_deliveries,
+        payload_bytes: net_payload,
+    });
+    ClusterWorld {
+        net,
+        flows: shared.flows,
+        hosts: hosts.into_iter().map(|h| h.expect("host")).collect(),
+        dmons: dmons.into_iter().map(|d| d.expect("dmon")).collect(),
+        linpacks: linpacks.into_iter().map(|l| l.expect("linpack")).collect(),
+        dir: shared.dir,
+        mon_chan: shared.mon_chan,
+        ctl_chan: shared.ctl_chan,
+        calib: shared.calib,
+        mon_latency_us: shared.mon_latency_us,
+        mon_delivered: shared.mon_delivered,
+        ctl_delivered: shared.ctl_delivered,
+        svc_tasks,
+        svc_pending: svc_pending
+            .into_iter()
+            .map(|q| q.expect("svc queue"))
+            .collect(),
+        svc_busy,
+        alive: shared.alive,
+        fault: shared.fault,
+        poll_token,
+        evicted: shared.evicted,
+        poll_period: shared.poll_period,
+        event_meter: event_meter
+            .into_iter()
+            .map(|m| m.expect("event meter"))
+            .collect(),
+        flow_meta: shared.flow_meta,
+    }
+}
+
+/// The parallel driver owned by `ClusterSim` when `threads > 1`: the pdes
+/// engine plus the node→shard map and the coordinator.
+pub(crate) struct ParallelDriver {
+    engine: Engine<PShard>,
+    coord: PCoord,
+    shard_of: Vec<u32>,
+    fault_actions: Vec<(SimTime, FaultAction)>,
+}
+
+impl ParallelDriver {
+    /// Build a driver for `n_nodes` partitioned round-robin over
+    /// `threads` shards (clamped to the node count), with the network's
+    /// link lookahead.
+    pub(crate) fn new(n_nodes: usize, threads: usize, lookahead: SimDur) -> Self {
+        let shards = threads.min(n_nodes).max(1);
+        ParallelDriver {
+            engine: Engine::new(shards, lookahead),
+            coord: PCoord::new(),
+            shard_of: (0..n_nodes).map(|i| (i % shards) as u32).collect(),
+            fault_actions: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub(crate) fn shards(&self) -> usize {
+        self.engine.shards()
+    }
+
+    /// Current engine time.
+    pub(crate) fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Engine counters (windows, executed events).
+    pub(crate) fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Seed one node's poll series (mirrors the serial `start()` loop —
+    /// one sequence number per node, in node order).
+    pub(crate) fn schedule_poll(&mut self, i: usize, token: u64, at: SimTime) {
+        self.engine.schedule(
+            self.shard_of[i] as usize,
+            at,
+            ClusterEvent::Poll { i, token },
+        );
+    }
+
+    /// Append a fault timeline (mirrors `apply_fault_plan` — one sequence
+    /// number per action, in plan order).
+    pub(crate) fn schedule_fault_plan(&mut self, actions: Vec<(SimTime, FaultAction)>) {
+        for (t, action) in actions {
+            let k = self.fault_actions.len();
+            self.fault_actions.push((t, action));
+            self.coord.fault_pending.insert((t, k));
+            self.engine.schedule(0, t, ClusterEvent::Fault { k });
+        }
+    }
+
+    /// Run the cluster to `until` on the worker shards and hand the
+    /// reassembled world back.
+    pub(crate) fn run_until(&mut self, world: ClusterWorld, until: SimTime) -> ClusterWorld {
+        let (worlds, mut shared) = decompose(
+            world,
+            self.engine.shards(),
+            &self.shard_of,
+            self.fault_actions.clone(),
+        );
+        let worlds = self
+            .engine
+            .run_until(worlds, &mut shared, &mut self.coord, until);
+        reassemble(worlds, shared)
+    }
+}

@@ -226,6 +226,42 @@ impl Event {
             _ => None,
         }
     }
+
+    /// Consume the event, returning its monitoring record buffer to the
+    /// thread-local pool (no-op for control/heartbeat events). Call this
+    /// at the end of a delivery path instead of dropping the event so the
+    /// publisher's next [`take_record_buf`] reuses the allocation.
+    pub fn recycle(self) {
+        if let Payload::Monitoring(m) = self.payload {
+            put_record_buf(m.records);
+        }
+    }
+}
+
+thread_local! {
+    /// Recycled record buffers, the per-delivery analogue of the wire
+    /// codec's encode pool. Bounded so a burst can't pin memory forever.
+    static RECORD_POOL: std::cell::RefCell<Vec<Vec<MonRecord>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Take an empty `Vec<MonRecord>` from the thread-local pool (allocates
+/// only when the pool is dry).
+pub fn take_record_buf() -> Vec<MonRecord> {
+    RECORD_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Return a record buffer to the thread-local pool for reuse.
+pub fn put_record_buf(mut v: Vec<MonRecord>) {
+    v.clear();
+    RECORD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 64 {
+            pool.push(v);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -30,7 +30,8 @@ pub mod wire;
 
 pub use directory::{ChannelId, Directory, Hop, Topology};
 pub use event::{
-    ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec,
+    put_record_buf, take_record_buf, ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord,
+    MonitoringPayload, ParamSpec,
 };
 pub use stream::{Observation, StreamTracker};
 pub use wire::{decode_event, encode_event, WireError};

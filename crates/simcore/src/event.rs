@@ -71,13 +71,15 @@ fn level_of(cur: u64, at: u64) -> usize {
     }
 }
 
-struct Entry<W> {
+struct Entry<T> {
     at: u64,
     seq: u64,
-    f: EventFn<W>,
+    f: T,
 }
 
-/// The hierarchical timer wheel.
+/// The hierarchical timer wheel, generic over the event payload `T` —
+/// boxed closures for [`Sim`], plain event values for the sharded parallel
+/// scheduler in [`crate::pdes`] (each shard owns one wheel).
 ///
 /// Invariants (checked by debug asserts, relied on by `pop_min_if`):
 /// - every pending entry satisfies `at >= cur`;
@@ -85,22 +87,22 @@ struct Entry<W> {
 ///   above level `l` equal to the cursor's and digit `l` equal to `i`
 ///   (strictly greater than the cursor's digit for `l >= 1`), because the
 ///   cursor can only advance past a slot's window by cascading that slot.
-struct Wheel<W> {
+pub(crate) struct Wheel<T> {
     /// Cursor in nanoseconds: lower bound of every pending entry. Never
     /// ahead of `Sim::now` at public API boundaries.
     cur: u64,
     /// `LEVELS * SLOTS` buckets, flat-indexed `level * SLOTS + slot`.
-    slots: Vec<Vec<Entry<W>>>,
+    slots: Vec<Vec<Entry<T>>>,
     /// Per-level occupancy bitmaps; bit `i` set iff slot `i` is non-empty.
     occ: [u64; LEVELS],
     /// Events beyond the wheel horizon, ordered by `(at, seq)`.
-    overflow: BTreeMap<(u64, u64), EventFn<W>>,
+    overflow: BTreeMap<(u64, u64), T>,
     /// Exact number of pending events (wheel + overflow).
     len: usize,
 }
 
-impl<W> Wheel<W> {
-    fn new() -> Self {
+impl<T> Wheel<T> {
+    pub(crate) fn new() -> Self {
         Wheel {
             cur: 0,
             slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
@@ -112,7 +114,7 @@ impl<W> Wheel<W> {
 
     /// Put an entry in the level/slot addressed by its time relative to the
     /// current cursor (or the overflow map past the horizon).
-    fn place(&mut self, e: Entry<W>) {
+    fn place(&mut self, e: Entry<T>) {
         debug_assert!(e.at >= self.cur, "placing an event behind the cursor");
         let l = level_of(self.cur, e.at);
         if l >= LEVELS {
@@ -124,14 +126,71 @@ impl<W> Wheel<W> {
         self.occ[l] |= 1 << idx;
     }
 
-    fn insert(&mut self, at: u64, seq: u64, f: EventFn<W>) {
+    pub(crate) fn insert(&mut self, at: u64, seq: u64, f: T) {
         self.place(Entry { at, seq, f });
         self.len += 1;
     }
 
+    /// Exact number of pending entries.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The earliest pending `(at, seq)` key without popping or advancing
+    /// the cursor. The lowest occupied level's earliest slot is guaranteed
+    /// to hold the global minimum: entries at level `l >= 1` store a digit
+    /// strictly greater than the cursor's, so they sort after everything at
+    /// lower levels, and within a level the earliest occupied slot holds
+    /// the smallest digit. Overflow entries differ from the cursor above
+    /// the horizon and therefore sort after every wheel resident.
+    pub(crate) fn next_key(&self) -> Option<(u64, u64)> {
+        for l in 0..LEVELS {
+            let m = self.occ[l];
+            if m == 0 {
+                continue;
+            }
+            let i = m.trailing_zeros() as usize;
+            let slot = &self.slots[l * SLOTS + i];
+            let mut best = (u64::MAX, u64::MAX);
+            for e in slot {
+                if (e.at, e.seq) < best {
+                    best = (e.at, e.seq);
+                }
+            }
+            return Some(best);
+        }
+        self.overflow.first_key_value().map(|(&k, _)| k)
+    }
+
+    /// Replace the sequence key of the pending entry `(at, old_seq)` with
+    /// `new_seq`, keeping it in place (slot addressing depends only on
+    /// `at`). Returns `false` if the entry already fired. Used by the
+    /// parallel scheduler to promote provisional in-window keys to exact
+    /// serial sequence numbers at window replay.
+    pub(crate) fn rekey(&mut self, at: u64, old_seq: u64, new_seq: u64) -> bool {
+        if at < self.cur {
+            return false;
+        }
+        let l = level_of(self.cur, at);
+        if l >= LEVELS {
+            if let Some(f) = self.overflow.remove(&(at, old_seq)) {
+                self.overflow.insert((at, new_seq), f);
+                return true;
+            }
+            return false;
+        }
+        let idx = ((at >> (LEVEL_BITS * l as u32)) & (SLOTS as u64 - 1)) as usize;
+        let slot = &mut self.slots[l * SLOTS + idx];
+        if let Some(e) = slot.iter_mut().find(|e| e.seq == old_seq && e.at == at) {
+            e.seq = new_seq;
+            return true;
+        }
+        false
+    }
+
     /// Remove the entry `(at, seq)` in place. Returns `false` if it already
     /// fired or was never scheduled.
-    fn cancel(&mut self, at: u64, seq: u64) -> bool {
+    pub(crate) fn cancel(&mut self, at: u64, seq: u64) -> bool {
         if at < self.cur {
             return false; // already fired
         }
@@ -159,7 +218,7 @@ impl<W> Wheel<W> {
     /// Pop the earliest `(at, seq)` event if its time is `<= bound`,
     /// cascading higher-level slots and draining the overflow map as the
     /// cursor advances. The cursor never advances past `bound`.
-    fn pop_min_if(&mut self, bound: u64) -> Option<(u64, u64, EventFn<W>)> {
+    pub(crate) fn pop_min_if(&mut self, bound: u64) -> Option<(u64, u64, T)> {
         loop {
             let mut cascaded = false;
             for l in 0..LEVELS {
@@ -239,7 +298,7 @@ impl<W> Wheel<W> {
 pub struct Sim<W> {
     now: SimTime,
     seq: u64,
-    wheel: Wheel<W>,
+    wheel: Wheel<EventFn<W>>,
     executed: u64,
 }
 
@@ -530,6 +589,53 @@ mod tests {
         let n = sim.run_to_completion(&mut w, 1000);
         assert_eq!(n, 1000);
         assert_eq!(w.count, 1000);
+    }
+
+    #[test]
+    fn wheel_next_key_peeks_without_popping() {
+        let mut w: Wheel<u32> = Wheel::new();
+        assert_eq!(w.next_key(), None);
+        w.insert(500, 3, 0);
+        w.insert(500, 1, 1);
+        w.insert(80, 7, 2);
+        let horizon = 1u64 << 48;
+        w.insert(horizon + 9, 4, 3);
+        assert_eq!(w.next_key(), Some((80, 7)));
+        assert_eq!(
+            w.pop_min_if(u64::MAX).map(|(a, s, _)| (a, s)),
+            Some((80, 7))
+        );
+        // Ties at the same time resolve by sequence.
+        assert_eq!(w.next_key(), Some((500, 1)));
+        assert_eq!(
+            w.pop_min_if(u64::MAX).map(|(a, s, _)| (a, s)),
+            Some((500, 1))
+        );
+        assert_eq!(
+            w.pop_min_if(u64::MAX).map(|(a, s, _)| (a, s)),
+            Some((500, 3))
+        );
+        // Only the overflow entry remains.
+        assert_eq!(w.next_key(), Some((horizon + 9, 4)));
+    }
+
+    #[test]
+    fn wheel_rekey_changes_pop_order() {
+        let mut w: Wheel<&'static str> = Wheel::new();
+        w.insert(100, 50, "late");
+        w.insert(100, 9, "early");
+        assert!(w.rekey(100, 50, 2), "pending entry rekeys");
+        assert!(!w.rekey(100, 50, 3), "old key is gone");
+        let horizon = 1u64 << 48;
+        w.insert(horizon + 1, 70, "far");
+        assert!(w.rekey(horizon + 1, 70, 1), "overflow entry rekeys");
+        assert_eq!(w.pop_min_if(u64::MAX).map(|e| e.2), Some("late"));
+        assert_eq!(w.pop_min_if(u64::MAX).map(|e| e.2), Some("early"));
+        assert_eq!(
+            w.pop_min_if(u64::MAX).map(|(a, s, v)| (a, s, v)).unwrap().1,
+            1
+        );
+        assert!(!w.rekey(100, 9, 5), "fired entry reports false");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use simcore::{SimRng, SimTime};
 
+use crate::link::DirLink;
 use crate::network::{Network, NodeId};
 
 /// One scheduled fault directive.
@@ -235,6 +236,25 @@ impl FaultState {
     /// Apply one network-level action. `Crash`/`Revive` are node-lifecycle
     /// actions the cluster glue owns; passing one here is a no-op.
     pub fn apply(&mut self, net: &mut Network, action: &FaultAction) {
+        let links = match *action {
+            FaultAction::Degrade(node, _) | FaultAction::HealLink(node) => {
+                Some(net.links_mut(node))
+            }
+            _ => None,
+        };
+        self.apply_links(action, links);
+    }
+
+    /// Same transition as [`FaultState::apply`] for a network whose links
+    /// have been split out for sharded execution (see
+    /// `Network::split_links`): when the action targets a node's links
+    /// (`Degrade`/`HealLink`), the caller passes that node's
+    /// `(uplink, downlink)` pair; other actions ignore `links`.
+    pub fn apply_links(
+        &mut self,
+        action: &FaultAction,
+        links: Option<(&mut DirLink, &mut DirLink)>,
+    ) {
         match *action {
             FaultAction::Partition(a, b) => {
                 if a != b {
@@ -248,20 +268,25 @@ impl FaultState {
                 self.loss = p.clamp(0.0, 1.0);
             }
             FaultAction::Degrade(node, fraction) => {
+                let (up, down) = links.expect("degrade needs the node's links");
                 // Replace any previous degradation rather than stacking.
-                self.heal_link(net, node);
-                let bps = net.uplink(node).spec().bandwidth_bps * fraction.clamp(0.0, 1.0);
-                net.add_background(node, node, bps);
+                if let Some(bps) = self.degraded.remove(&node.0) {
+                    up.remove_background(bps);
+                    down.remove_background(bps);
+                }
+                let bps = up.spec().bandwidth_bps * fraction.clamp(0.0, 1.0);
+                up.add_background(bps);
+                down.add_background(bps);
                 self.degraded.insert(node.0, bps);
             }
-            FaultAction::HealLink(node) => self.heal_link(net, node),
+            FaultAction::HealLink(node) => {
+                if let Some(bps) = self.degraded.remove(&node.0) {
+                    let (up, down) = links.expect("heal-link needs the node's links");
+                    up.remove_background(bps);
+                    down.remove_background(bps);
+                }
+            }
             FaultAction::Crash(_) | FaultAction::Revive(_) => {}
-        }
-    }
-
-    fn heal_link(&mut self, net: &mut Network, node: NodeId) {
-        if let Some(bps) = self.degraded.remove(&node.0) {
-            net.remove_background(node, node, bps);
         }
     }
 }

@@ -39,6 +39,21 @@ struct NodeLinks {
     down: DirLink,
 }
 
+/// A [`Network`] disassembled into shard-distributable pieces; produced by
+/// [`Network::split_links`] and consumed by [`Network::from_split`].
+pub struct SplitNet {
+    /// Link parameters (identical for every direction).
+    pub spec: LinkSpec,
+    /// `ups[i]` is node `i`'s uplink.
+    pub ups: Vec<DirLink>,
+    /// `downs[i]` is node `i`'s downlink.
+    pub downs: Vec<DirLink>,
+    /// Lifetime delivery counter.
+    pub deliveries: u64,
+    /// Lifetime payload-byte counter.
+    pub payload_bytes: u64,
+}
+
 /// A switched full-duplex star network.
 pub struct Network {
     spec: LinkSpec,
@@ -87,6 +102,49 @@ impl Network {
     /// Link parameters.
     pub fn spec(&self) -> &LinkSpec {
         &self.spec
+    }
+
+    /// Conservative parallel-simulation lookahead of this network (see
+    /// [`LinkSpec::lookahead`]): the minimum interval between sending a
+    /// message and its earliest possible delivery on another node.
+    pub fn lookahead(&self) -> SimDur {
+        self.spec.lookahead()
+    }
+
+    /// Tear the network apart for sharded parallel execution: per-node
+    /// uplinks (owned by the sender's shard) and downlinks (owned by the
+    /// coordinator, reserved in serial delivery order), plus the lifetime
+    /// counters. [`Network::from_split`] reassembles an identical network.
+    pub fn split_links(self) -> SplitNet {
+        let mut ups = Vec::with_capacity(self.nodes.len());
+        let mut downs = Vec::with_capacity(self.nodes.len());
+        for n in self.nodes {
+            ups.push(n.up);
+            downs.push(n.down);
+        }
+        SplitNet {
+            spec: self.spec,
+            ups,
+            downs,
+            deliveries: self.deliveries,
+            payload_bytes: self.payload_bytes,
+        }
+    }
+
+    /// Rebuild a network from its split-out parts.
+    pub fn from_split(parts: SplitNet) -> Self {
+        assert_eq!(parts.ups.len(), parts.downs.len(), "mismatched link sets");
+        Network {
+            spec: parts.spec,
+            nodes: parts
+                .ups
+                .into_iter()
+                .zip(parts.downs)
+                .map(|(up, down)| NodeLinks { up, down })
+                .collect(),
+            deliveries: parts.deliveries,
+            payload_bytes: parts.payload_bytes,
+        }
     }
 
     fn check(&self, id: NodeId) {
@@ -164,6 +222,13 @@ impl Network {
         self.check(to);
         self.nodes[from.0].up.remove_background(bps);
         self.nodes[to.0].down.remove_background(bps);
+    }
+
+    /// Mutable access to both directions of a node's link at once.
+    pub fn links_mut(&mut self, id: NodeId) -> (&mut DirLink, &mut DirLink) {
+        self.check(id);
+        let n = &mut self.nodes[id.0];
+        (&mut n.up, &mut n.down)
     }
 
     /// Mutable access to a node's uplink (tests, probes).

@@ -1,0 +1,282 @@
+//! Differential testing of the sharded parallel driver against the serial
+//! scheduler: every scenario must produce *bit-identical* final state —
+//! the full `/proc` forest on every host, the d-mon counters, the latency
+//! samplers (compared as raw f64 bits), the network and fault counters.
+//!
+//! The parallel engine's whole determinism argument (window replay with
+//! serial renumbering, see `simcore::pdes`) is only as good as this file.
+
+use dproc::cluster::{ClusterConfig, ClusterSim};
+use kecho::Topology;
+use proptest::prelude::*;
+use simcore::{SimDur, SimTime};
+use simnet::{FaultPlan, NodeId};
+use simos::host::HostConfig;
+
+/// Everything observable about a finished run, in comparable form.
+#[derive(PartialEq, Debug)]
+struct Fingerprint {
+    proc_trees: Vec<String>,
+    dmon_stats: Vec<String>,
+    mon_delivered: u64,
+    ctl_delivered: u64,
+    latency_len: usize,
+    latency_mean_bits: u64,
+    latency_p95_bits: u64,
+    net_deliveries: u64,
+    net_payload: u64,
+    fault_stats: String,
+}
+
+fn fingerprint(sim: &ClusterSim) -> Fingerprint {
+    let w = sim.world();
+    Fingerprint {
+        proc_trees: w.hosts.iter().map(|h| h.proc.render_tree()).collect(),
+        dmon_stats: w.dmons.iter().map(|d| format!("{:?}", d.stats)).collect(),
+        mon_delivered: w.mon_delivered,
+        ctl_delivered: w.ctl_delivered,
+        latency_len: w.mon_latency_us.len(),
+        latency_mean_bits: w.mon_latency_us.mean().to_bits(),
+        latency_p95_bits: w.mon_latency_us.percentile(95.0).to_bits(),
+        net_deliveries: w.net.deliveries(),
+        net_payload: w.net.payload_bytes(),
+        fault_stats: format!("{:?}", w.fault.stats),
+    }
+}
+
+/// Build + start a sim on `threads` shards, apply the scenario's setup,
+/// run it, and fingerprint the result.
+fn run_one(
+    cfg: impl Fn() -> ClusterConfig,
+    setup: impl Fn(&mut ClusterSim),
+    secs: u64,
+    threads: usize,
+) -> Fingerprint {
+    let mut sim = ClusterSim::new(cfg());
+    sim.set_threads(threads);
+    sim.start();
+    setup(&mut sim);
+    sim.run_until(SimTime::from_secs(secs));
+    fingerprint(&sim)
+}
+
+/// Assert the scenario is bit-identical across the serial driver and every
+/// requested thread count.
+fn assert_differential(
+    name: &str,
+    secs: u64,
+    cfg: impl Fn() -> ClusterConfig,
+    setup: impl Fn(&mut ClusterSim),
+) {
+    let serial = run_one(&cfg, &setup, secs, 1);
+    assert!(serial.mon_delivered > 0, "{name}: serial run did nothing");
+    for threads in [2, 3, 8] {
+        let par = run_one(&cfg, &setup, secs, threads);
+        assert_eq!(
+            serial, par,
+            "{name}: threads={threads} diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn default_cluster_is_bit_identical() {
+    assert_differential("default", 12, || ClusterConfig::new(4), |_| {});
+}
+
+#[test]
+fn microsecond_stagger_is_bit_identical() {
+    // The parallel-friendly configuration: all polls land in one window.
+    assert_differential(
+        "tiny-stagger",
+        12,
+        || ClusterConfig::new(6).stagger(SimDur::from_micros(1)),
+        |_| {},
+    );
+}
+
+#[test]
+fn central_topology_is_bit_identical() {
+    // Hub relays exercise the transit path (original send timestamps,
+    // relay CPU charges, fan-out on the monitoring channel).
+    assert_differential(
+        "central",
+        12,
+        || ClusterConfig::new(5).topology(Topology::Central(NodeId(0))),
+        |_| {},
+    );
+}
+
+#[test]
+fn workloads_are_bit_identical() {
+    // Linpack steals CPU from the service thread; Iperf floods perturb
+    // link reservations; both change every delivery time.
+    assert_differential(
+        "workloads",
+        12,
+        || ClusterConfig::new(4).host_cfg(2, HostConfig::uniprocessor()),
+        |sim| {
+            sim.start_linpack(NodeId(2), 2);
+            sim.start_iperf(NodeId(1), NodeId(3), 40e6);
+        },
+    );
+}
+
+#[test]
+fn event_pad_and_control_are_bit_identical() {
+    // Padded events change wire sizes; a control write triggers the
+    // control round-trip (request, handler, reply).
+    assert_differential(
+        "control",
+        12,
+        || ClusterConfig::new(4).event_pad(512),
+        |sim| {
+            sim.write_control(NodeId(1), "node0", "period * 2");
+            sim.write_control(NodeId(3), "node2", "LOADAVG delta 0.10");
+        },
+    );
+}
+
+#[test]
+fn fault_plan_is_bit_identical() {
+    // Crash + revive runs the node lifecycle (eviction, rejoin, epoch
+    // bumps); partition and loss force serial windows with RNG draws in
+    // delivery order; degrade rewrites link capacities mid-run.
+    assert_differential(
+        "faults",
+        14,
+        || ClusterConfig::new(5).failure_bounds(SimDur::from_secs(2), SimDur::from_secs(4)),
+        |sim| {
+            let plan = FaultPlan::new(42)
+                .crash_at(SimTime::from_secs(2), NodeId(1))
+                .partition_at(SimTime::from_secs(3), NodeId(2), NodeId(3))
+                .loss_at(SimTime::from_secs(4), 0.2)
+                .degrade_at(SimTime::from_secs(5), NodeId(4), 0.25)
+                .loss_at(SimTime::from_secs(6), 0.0)
+                .heal_at(SimTime::from_secs(7), NodeId(2), NodeId(3))
+                .revive_at(SimTime::from_secs(8), NodeId(1))
+                .heal_link_at(SimTime::from_secs(9), NodeId(4));
+            sim.apply_fault_plan(&plan);
+        },
+    );
+}
+
+#[test]
+fn parallel_windows_actually_run() {
+    // Guard against the suite passing vacuously with every window falling
+    // back to the serial path.
+    let mut sim = ClusterSim::new(ClusterConfig::new(6).stagger(SimDur::from_micros(1)));
+    sim.set_threads(4);
+    assert_eq!(sim.threads(), 4);
+    assert_eq!(sim.shards(), 4);
+    sim.start();
+    sim.run_until(SimTime::from_secs(12));
+    let stats = sim.parallel_stats().expect("parallel driver");
+    assert!(stats.executed > 0, "no events executed");
+    assert!(
+        stats.windows_parallel > stats.windows_serial,
+        "parallel windows should dominate a fault-free run: {stats:?}"
+    );
+}
+
+#[test]
+fn resumed_runs_are_bit_identical() {
+    // Splitting one run into many run_until calls must not change anything:
+    // window bounds depend only on event times, not on call boundaries.
+    let chunked = |threads: usize| {
+        let mut sim = ClusterSim::new(ClusterConfig::new(4));
+        sim.set_threads(threads);
+        sim.start();
+        for k in 1..=8 {
+            sim.run_until(SimTime::from_millis(1500 * k));
+        }
+        fingerprint(&sim)
+    };
+    let serial = run_one(|| ClusterConfig::new(4), |_| {}, 12, 1);
+    assert_eq!(serial, chunked(1), "chunked serial diverged");
+    assert_eq!(serial, chunked(4), "chunked threads=4 diverged");
+}
+
+// ---------- randomized differential ----------
+
+/// A randomly drawn scenario: node count, stagger, topology, pad, and an
+/// optional crash/partition fault plan.
+#[derive(Debug, Clone)]
+struct RandomScenario {
+    nodes: usize,
+    stagger_us: u64,
+    central: bool,
+    event_pad: u32,
+    plan: Option<(u64, usize, usize)>,
+    threads: usize,
+    secs: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = RandomScenario> {
+    (
+        2usize..7,
+        prop_oneof![Just(1u64), Just(300), Just(1000)],
+        any::<bool>(),
+        prop_oneof![Just(0u32), Just(256)],
+        (any::<bool>(), any::<u64>(), 0usize..6, 0usize..6),
+        2usize..9,
+        6u64..10,
+    )
+        .prop_map(
+            |(
+                nodes,
+                stagger_us,
+                central,
+                event_pad,
+                (with_plan, seed, crash, partner),
+                threads,
+                secs,
+            )| RandomScenario {
+                nodes,
+                stagger_us,
+                central,
+                event_pad,
+                plan: with_plan.then_some((seed, crash, partner)),
+                threads,
+                secs,
+            },
+        )
+}
+
+fn run_random(s: &RandomScenario, threads: usize) -> Fingerprint {
+    let mut cfg = ClusterConfig::new(s.nodes)
+        .stagger(SimDur::from_micros(s.stagger_us))
+        .event_pad(s.event_pad);
+    if s.central {
+        cfg = cfg.topology(Topology::Central(NodeId(0)));
+    }
+    let mut sim = ClusterSim::new(cfg);
+    sim.set_threads(threads);
+    sim.start();
+    if let Some((seed, crash, partner)) = s.plan {
+        let crash = crash % s.nodes;
+        let a = partner % s.nodes;
+        let b = (partner + 1) % s.nodes;
+        let mut plan = FaultPlan::new(seed)
+            .crash_at(SimTime::from_secs(2), NodeId(crash))
+            .revive_at(SimTime::from_secs(s.secs - 2), NodeId(crash));
+        if a != b {
+            plan = plan
+                .partition_at(SimTime::from_secs(3), NodeId(a), NodeId(b))
+                .heal_at(SimTime::from_secs(4), NodeId(a), NodeId(b));
+        }
+        sim.apply_fault_plan(&plan);
+    }
+    sim.run_until(SimTime::from_secs(s.secs));
+    fingerprint(&sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_scenarios_are_bit_identical(s in scenario_strategy()) {
+        let serial = run_random(&s, 1);
+        let par = run_random(&s, s.threads);
+        prop_assert_eq!(serial, par, "scenario {:?} diverged", s);
+    }
+}
