@@ -67,6 +67,11 @@ struct Measurement {
     ns_per_poll_tick: f64,
     allocs_per_event: f64,
     sched_events_per_sec: f64,
+    /// Filter evaluations that had to bypass the shared memo
+    /// (`MemoClass::Bypass`, i.e. impure filters). The standard bench
+    /// scenario deploys only parameter rules, so this must stay 0 — any
+    /// other value means the memo gate regressed.
+    memo_bypassed: u64,
 }
 
 fn measure(nodes: usize, warmup_s: u64, measure_s: u64) -> Measurement {
@@ -104,6 +109,12 @@ fn measure_threaded(
     let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
 
     let events = sim.world().mon_delivered - events_before;
+    let memo_bypassed: u64 = sim
+        .world()
+        .dmons
+        .iter()
+        .map(|d| d.stats.memo_bypassed)
+        .sum();
     let polls: u64 = sim
         .world()
         .dmons
@@ -123,6 +134,7 @@ fn measure_threaded(
             ns_per_poll_tick: wall.as_nanos() as f64 / polls.max(1) as f64,
             allocs_per_event: allocs as f64 / events.max(1) as f64,
             sched_events_per_sec: events as f64 / wall_s,
+            memo_bypassed,
         },
         shards,
     )
@@ -152,7 +164,7 @@ fn measure_speedup(nodes: usize, warmup_s: u64, measure_s: u64, threads: usize) 
 impl Measurement {
     fn json_fields(&self) -> String {
         format!(
-            "  \"scenario\": \"scalability{}\",\n  \"sim_secs\": {},\n  \"wall_ms\": {:.3},\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"ns_per_poll_tick\": {:.1},\n  \"allocs_per_event\": {:.2},\n  \"sched_events_per_sec\": {:.1}",
+            "  \"scenario\": \"scalability{}\",\n  \"sim_secs\": {},\n  \"wall_ms\": {:.3},\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \"ns_per_poll_tick\": {:.1},\n  \"allocs_per_event\": {:.2},\n  \"sched_events_per_sec\": {:.1},\n  \"memo_bypassed\": {}",
             self.nodes,
             self.sim_secs,
             self.wall_ms,
@@ -161,6 +173,7 @@ impl Measurement {
             self.ns_per_poll_tick,
             self.allocs_per_event,
             self.sched_events_per_sec,
+            self.memo_bypassed,
         )
     }
 }
@@ -222,11 +235,23 @@ fn main() {
         );
     }
 
+    // Record the replay-safety lint state alongside the perf numbers:
+    // how many findings the workspace scan produced (fresh + baselined).
+    // The committed tree keeps this at 0; the count travels with every
+    // bench artifact so a perf trajectory is also a lint trajectory.
+    let detlint = detlint_summary();
+
     let mut sections = vec![m.json_fields()];
     sections.push(format!(
         "  \"threads\": {},\n  \"shards\": {}",
         threads, speedups[0].shards
     ));
+    if let Some((fresh_errors, total)) = detlint {
+        sections.push(format!("  \"detlint_findings\": {total}"));
+        if fresh_errors > 0 {
+            eprintln!("bench_pipeline: WARNING {fresh_errors} unbaselined detlint error(s)");
+        }
+    }
     sections.extend(speedups.iter().map(Speedup::json_fields));
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     print!("{json}");
@@ -279,5 +304,53 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The bench scenario deploys only parameter rules — no E-code
+        // filters — so memo bypasses are fully deterministic (0 today).
+        // An exact mismatch against the baseline means the memo gate is
+        // misclassifying filters, not that the machine is noisy.
+        if let Some(base_bypass) = json_field(&base, "memo_bypassed") {
+            eprintln!(
+                "bench_pipeline: memo_bypassed {} vs baseline {:.0}",
+                m.memo_bypassed, base_bypass
+            );
+            #[allow(clippy::float_cmp)] // integer-valued counters, exact by design
+            if m.memo_bypassed as f64 != base_bypass {
+                eprintln!("bench_pipeline: MEMO GATE REGRESSION (bypass count changed)");
+                std::process::exit(1);
+            }
+        }
+        // Same for the lint state: new unbaselined errors fail the run.
+        if let Some((fresh_errors, _)) = detlint {
+            if fresh_errors > 0 {
+                eprintln!("bench_pipeline: DETLINT ERRORS present");
+                std::process::exit(1);
+            }
+        }
     }
+}
+
+/// Run the workspace replay-safety scan (same engine as
+/// `cargo run -p detlint -- --check`). Returns `(fresh_errors, total
+/// findings incl. baselined)`, or `None` when no workspace root is
+/// reachable from the current directory (e.g. an installed binary).
+fn detlint_summary() -> Option<(u64, u64)> {
+    let mut root = std::env::current_dir().ok()?;
+    loop {
+        if std::fs::read_to_string(root.join("Cargo.toml"))
+            .map(|t| t.contains("[workspace]"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        if !root.pop() {
+            return None;
+        }
+    }
+    let baseline_text = std::fs::read_to_string(root.join("detlint.baseline")).unwrap_or_default();
+    let baseline = detlint::Baseline::parse(&baseline_text);
+    let report = detlint::run_scan(&root, &baseline).ok()?;
+    Some((
+        report.fresh_errors() as u64,
+        (report.fresh.len() + report.baselined.len()) as u64,
+    ))
 }

@@ -81,6 +81,7 @@ enum Cmd {
     Lint {
         source: String,
     },
+    Detlint,
     Stats,
     Latency,
     Help,
@@ -228,6 +229,7 @@ fn parse(line: &str) -> Result<Cmd, String> {
                 source: rest.join(" "),
             })
         }
+        "detlint" => Ok(Cmd::Detlint),
         "stats" => Ok(Cmd::Stats),
         "latency" => Ok(Cmd::Latency),
         "help" | "?" => Ok(Cmd::Help),
@@ -254,6 +256,7 @@ loss <probability>          drop each delivery with this probability
 faults                      active faults and drop/detection counters
 threads <n>                 worker shards for the next cluster (1 = serial)
 lint <filter source>        run the static verifier on an E-code filter
+detlint                     replay-safety scan of the workspace sources
 stats                       per-node d-mon counters
 latency                     monitoring latency summary
 quit                        leave";
@@ -486,6 +489,7 @@ impl Shell {
                 Ok(Some(format!("threads = {n}{note}")))
             }
             Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
+            Cmd::Detlint => Ok(Some(detlint_report()?)),
             Cmd::Stats => match &self.sim {
                 Some(sim) => {
                     let mut out = String::new();
@@ -573,10 +577,75 @@ fn lint_report(source: &str) -> Result<String, String> {
             out.push_str(&format!("reads: {}\n", names.join(", ")));
         }
     }
+    match &cert.effects.writes {
+        MetricSet::All => out.push_str("writes: all output slots (dynamic index)\n"),
+        MetricSet::Fixed(set) if set.is_empty() => out.push_str("writes: nothing\n"),
+        MetricSet::Fixed(set) => {
+            let slots: Vec<String> = set.iter().map(|i| format!("output[{i}]")).collect();
+            out.push_str(&format!("writes: {}\n", slots.join(", ")));
+        }
+    }
+    let memo_note = match cert.effects.memo {
+        ecode::MemoClass::Shared => "one evaluation serves every subscriber",
+        ecode::MemoClass::SnapshotKeyed => {
+            "shared per input snapshot, records copied per subscriber"
+        }
+        ecode::MemoClass::Bypass => "touches last_value_sent — evaluated per subscriber",
+    };
+    out.push_str(&format!(
+        "memo: {} ({memo_note}); memo_safe = {}\n",
+        cert.effects.memo.label(),
+        cert.memo_safe
+    ));
     match filter.admission_error() {
         None => out.push_str("verdict: admitted"),
         Some(reason) => out.push_str(&format!("verdict: rejected — {reason}")),
     }
+    Ok(out)
+}
+
+/// Run the workspace replay-safety lint (same engine as
+/// `cargo run -p detlint -- --check`) and summarize the result plus the
+/// committed baseline.
+fn detlint_report() -> Result<String, String> {
+    use std::path::PathBuf;
+
+    // The shell may run from anywhere; find the workspace root the same
+    // way the detlint CLI does.
+    let mut root = std::env::current_dir().map_err(|e| format!("detlint: cwd: {e}"))?;
+    loop {
+        let manifest = root.join("Cargo.toml");
+        if std::fs::read_to_string(&manifest)
+            .map(|t| t.contains("[workspace]"))
+            .unwrap_or(false)
+        {
+            break;
+        }
+        if !root.pop() {
+            return Err("detlint: no workspace root above the current directory".into());
+        }
+    }
+    let baseline_path: PathBuf = root.join("detlint.baseline");
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_default();
+    let baseline = detlint::Baseline::parse(&baseline_text);
+    let report = detlint::run_scan(&root, &baseline).map_err(|e| format!("detlint: {e}"))?;
+    let mut out = String::new();
+    for f in &report.fresh {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "detlint: {} files, {} fns scanned; {} error(s), {} warning(s), {} baselined",
+        report.files_scanned,
+        report.fns_scanned,
+        report.fresh_errors(),
+        report
+            .fresh
+            .iter()
+            .filter(|f| f.severity == detlint::Severity::Warning)
+            .count(),
+        report.baselined.len()
+    ));
     Ok(out)
 }
 
@@ -726,6 +795,9 @@ mod tests {
             .unwrap();
         assert!(ok.contains("verdict: admitted"), "{ok}");
         assert!(ok.contains("reads: LOADAVG"), "{ok}");
+        assert!(ok.contains("writes: output[0]"), "{ok}");
+        assert!(ok.contains("memo: snapshot-keyed"), "{ok}");
+        assert!(ok.contains("memo_safe = true"), "{ok}");
         let bad = shell
             .exec(parse("lint { while (1) { } }").unwrap())
             .unwrap()
@@ -734,6 +806,24 @@ mod tests {
         assert!(bad.contains("verdict: rejected"), "{bad}");
         // Compile errors surface as recoverable shell errors.
         assert!(shell.exec(parse("lint { nonsense").unwrap()).is_err());
+        // An impure filter is admitted but loses memo sharing.
+        let impure = shell
+            .exec(parse("lint { if (input[LOADAVG].value > input[LOADAVG].last_value_sent) { output[0] = input[LOADAVG]; } }").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(impure.contains("memo: per-subscriber"), "{impure}");
+        assert!(impure.contains("memo_safe = false"), "{impure}");
+        assert!(impure.contains("verdict: admitted"), "{impure}");
+    }
+
+    #[test]
+    fn detlint_command_summarizes_the_workspace() {
+        let mut shell = Shell::new();
+        let out = shell.exec(parse("detlint").unwrap()).unwrap().unwrap();
+        assert!(out.contains("detlint:"), "{out}");
+        assert!(out.contains("files"), "{out}");
+        // The committed tree must scan clean.
+        assert!(out.contains("0 error(s)"), "{out}");
     }
 
     #[test]

@@ -560,6 +560,7 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Build a cluster from a configuration. Channels are opened and (by
     /// default) every node subscribes to both.
+    // detlint: replay-only — setup-time bootstrap, before any shard window
     pub fn new(cfg: ClusterConfig) -> Self {
         let n = cfg.names.len();
         assert!(n > 0, "cluster needs at least one node");

@@ -13,9 +13,9 @@
 //! the CPU cost to charge; the cluster glue executes sends and schedules
 //! deliveries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use ecode::{EnvSpec, Filter, MetricRecord, MetricSet};
+use ecode::{EnvSpec, Filter, MemoClass, MetricRecord, MetricSet};
 use kecho::{
     ChannelId, ControlMsg, Directory, Event, HeartbeatPayload, Hop, MonRecord, MonitoringPayload,
     ParamSpec, StreamTracker,
@@ -55,6 +55,11 @@ pub struct DmonStats {
     /// Module samplings skipped because no subscriber's stream could
     /// consume the metric (read-set-driven sampling).
     pub modules_skipped: u64,
+    /// Filter evaluations that bypassed the shared memo because the
+    /// effect pass could not prove the filter memo-safe (it reads or
+    /// writes per-subscriber `last_value_sent` state), so it ran once
+    /// per subscriber.
+    pub memo_bypassed: u64,
     /// Malformed control-file writes.
     pub control_errors: u64,
     /// Heartbeats submitted (to subscribers whose stream had no data).
@@ -153,19 +158,33 @@ struct PeerRecord {
     epoch: u32,
 }
 
-/// One memoized filter evaluation within the current poll: subscribers
-/// whose deployed filter has the same fingerprint and sees the same input
-/// snapshot reuse a single VM run.
+/// One memoized filter evaluation within the current poll. How a hit is
+/// keyed depends on what the filter's effect certificate proved:
+///
+/// * `MemoClass::Shared` (`snapshot == false`): the output is provably
+///   independent of per-subscriber state, so the source fingerprint
+///   alone keys the entry — no input clone, no snapshot compare.
+/// * `MemoClass::SnapshotKeyed` (`snapshot == true`): emitted records
+///   copy per-subscriber `last_value_sent`, so a hit additionally
+///   requires full input-snapshot equality.
+///
+/// `MemoClass::Bypass` filters never reach this table.
 struct FilterMemo {
     fingerprint: u64,
+    /// True when a hit must also compare the input snapshot.
+    snapshot: bool,
+    /// The input snapshot for snapshot-keyed entries; empty for
+    /// fingerprint-only entries.
     inputs: Vec<MetricRecord>,
     /// Accepted records + executed instructions, or `None` for a VM fault.
     result: Option<(Vec<MetricRecord>, u64)>,
 }
 
-/// FNV-1a over a filter's source — a cheap, deterministic fingerprint for
-/// the per-poll memo table (collisions are resolved by comparing the full
-/// input snapshot, so a fingerprint clash costs a VM run, never wrong data).
+/// FNV-1a over a filter's source — a cheap, deterministic fingerprint
+/// for the per-poll memo table. Distinct deployed sources with colliding
+/// fingerprints are detected at deploy time and quarantined in
+/// [`DMon::fp_tainted`]; tainted fingerprints bypass the memo entirely,
+/// so a clash costs VM runs, never wrong data.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -198,8 +217,9 @@ pub struct DMon {
     /// alongside `/proc`. Rows grow to each origin's highest metric id.
     remote_values: Vec<Vec<Option<(f64, SimTime)>>>,
     /// Learned schema extensions: metric/file names for foreign ids beyond
-    /// the standard module set, per origin.
-    remote_ext: HashMap<(NodeId, u32), (String, String)>,
+    /// the standard module set, per origin. Ordered so name lookups scan
+    /// an origin's range deterministically.
+    remote_ext: BTreeMap<(NodeId, u32), (String, String)>,
     /// Number of modules present at construction (the cluster-wide
     /// standard set); ids beyond this need schema info on the wire.
     base_modules: usize,
@@ -259,6 +279,13 @@ pub struct DMon {
     filter_inputs: Vec<MetricRecord>,
     /// Per-poll filter memo table (cleared at the top of every poll).
     memo: Vec<FilterMemo>,
+    /// Source text per deployed-filter fingerprint, kept to detect FNV
+    /// collisions between *distinct* sources at deploy time. Bounded by
+    /// the number of distinct filter sources ever deployed here.
+    fp_sources: BTreeMap<u64, String>,
+    /// Fingerprints two distinct sources have hashed to. The memo skips
+    /// these permanently — correctness must not hinge on a 64-bit hash.
+    fp_tainted: BTreeSet<u64>,
     /// Self-observability.
     pub stats: DmonStats,
 }
@@ -286,7 +313,7 @@ impl DMon {
             filters: HashMap::new(),
             last_sent: vec![Vec::new(); n],
             remote_values: vec![Vec::new(); n],
-            remote_ext: HashMap::new(),
+            remote_ext: BTreeMap::new(),
             base_modules,
             rejections: HashMap::new(),
             seq: 0,
@@ -309,6 +336,8 @@ impl DMon {
             ext_schema: Vec::new(),
             filter_inputs: Vec::new(),
             memo: Vec::new(),
+            fp_sources: BTreeMap::new(),
+            fp_tainted: BTreeSet::new(),
             stats: DmonStats::default(),
         }
     }
@@ -352,11 +381,13 @@ impl DMon {
         // Filters were compiled against the shorter environment; they stay
         // valid (indices are stable) but cannot see the new metric until
         // redeployed. Recompile in place so subscribers pick it up.
-        let sources: Vec<(NodeId, String)> = self
+        // detlint: allow(unordered-iter) sorted before use on the next line
+        let mut sources: Vec<(NodeId, String)> = self
             .filters
             .iter()
             .map(|(&sub, f)| (sub, f.source().to_string()))
             .collect();
+        sources.sort_by_key(|&(sub, _)| sub);
         for (sub, source) in sources {
             if let Ok(f) = Filter::compile(&source, &self.env) {
                 self.filters.insert(sub, f);
@@ -402,11 +433,13 @@ impl DMon {
             return self.remote_value_at(origin, idx as u32);
         }
         // A metric this node has no module for: resolve through the
-        // schema the origin shipped with its events.
+        // schema the origin shipped with its events. The map is ordered
+        // by (origin, id), so this scans exactly the origin's ids in
+        // ascending order.
         let (&(_, idx), _) = self
             .remote_ext
-            .iter()
-            .find(|(&(o, _), (name, _))| o == origin && name == metric)?;
+            .range((origin, 0)..=(origin, u32::MAX))
+            .find(|(_, (name, _))| name == metric)?;
         self.remote_value_at(origin, idx)
     }
 
@@ -726,9 +759,7 @@ impl DMon {
                 // one per poll: a preformatted liveness packet only needs
                 // to outpace the peer's stale bound, and Figs. 4/6 depend
                 // on filtered streams staying nearly free.
-                let silence = self.stream_last_send[sub.0]
-                    .map(|t| now.since(t))
-                    .unwrap_or(SimDur::MAX);
+                let silence = self.stream_last_send[sub.0].map_or(SimDur::MAX, |t| now.since(t));
                 if silence < self.heartbeat_every {
                     continue;
                 }
@@ -902,6 +933,24 @@ impl DMon {
         needed
     }
 
+    /// Record a deployed filter source's fingerprint. When two distinct
+    /// sources ever hash to the same FNV-1a value on this node, the
+    /// fingerprint is permanently tainted and the shared memo refuses to
+    /// serve it — sharing must rest on the effect certificate, never on
+    /// a 64-bit hash being collision-free.
+    fn note_filter_fingerprint(&mut self, source: &str) {
+        let fp = fnv1a(source.as_bytes());
+        match self.fp_sources.get(&fp) {
+            None => {
+                self.fp_sources.insert(fp, source.to_string());
+            }
+            Some(prev) if prev == source => {}
+            Some(_) => {
+                self.fp_tainted.insert(fp);
+            }
+        }
+    }
+
     /// Decide which metric records to send to one subscriber.
     fn select_records(
         &mut self,
@@ -920,11 +969,7 @@ impl DMon {
             inputs.clear();
             let row = &self.last_sent[sub.0];
             for (i, s) in samples.iter().enumerate() {
-                let last = row
-                    .get(i)
-                    .and_then(|o| o.as_ref())
-                    .map(|&(v, _)| v)
-                    .unwrap_or(0.0);
+                let last = row.get(i).and_then(|o| o.as_ref()).map_or(0.0, |&(v, _)| v);
                 inputs.push(MetricRecord {
                     id: i as u32,
                     value: s.unwrap_or(0.0),
@@ -932,29 +977,52 @@ impl DMon {
                     timestamp: now.as_secs_f64(),
                 });
             }
-            // Subscribers sharing a filter (same source fingerprint) AND
-            // the same input snapshot within this poll reuse one VM run.
-            // The modeled cost is still charged per logical run — the
+            // The effect certificate decides how (and whether) this run
+            // may be shared with other subscribers within the poll. The
+            // modeled cost is still charged per logical run — the
             // figures measure what a kernel would spend, not what the
             // memo saves the simulator.
             let fp = fnv1a(filter.source().as_bytes());
-            let hit = self
-                .memo
-                .iter()
-                .position(|m| m.fingerprint == fp && m.inputs == inputs);
-            let result = match hit {
-                Some(i) => self.memo[i].result.clone(),
-                None => {
-                    let result = match filter.run(&inputs) {
+            let class = if self.fp_tainted.contains(&fp) {
+                // Distinct sources hash to this fingerprint; sharing
+                // could pick the wrong entry, so never share it.
+                MemoClass::Bypass
+            } else {
+                filter.cert().effects.memo
+            };
+            let result = match class {
+                MemoClass::Bypass => {
+                    // Per-subscriber state feeds the output: one VM run
+                    // per subscriber, observable via `memo_bypassed`.
+                    self.stats.memo_bypassed += 1;
+                    match filter.run(&inputs) {
                         Ok(out) => Some((out.records_if_accepted(), out.instructions())),
                         Err(_) => None,
-                    };
-                    self.memo.push(FilterMemo {
-                        fingerprint: fp,
-                        inputs: inputs.clone(),
-                        result: result.clone(),
+                    }
+                }
+                MemoClass::Shared | MemoClass::SnapshotKeyed => {
+                    let snapshot = class == MemoClass::SnapshotKeyed;
+                    let hit = self.memo.iter().position(|m| {
+                        m.fingerprint == fp
+                            && m.snapshot == snapshot
+                            && (!snapshot || m.inputs == inputs)
                     });
-                    result
+                    match hit {
+                        Some(i) => self.memo[i].result.clone(),
+                        None => {
+                            let result = match filter.run(&inputs) {
+                                Ok(out) => Some((out.records_if_accepted(), out.instructions())),
+                                Err(_) => None,
+                            };
+                            self.memo.push(FilterMemo {
+                                fingerprint: fp,
+                                snapshot,
+                                inputs: if snapshot { inputs.clone() } else { Vec::new() },
+                                result: result.clone(),
+                            });
+                            result
+                        }
+                    }
                 }
             };
             self.filter_inputs = inputs;
@@ -993,8 +1061,7 @@ impl DMon {
                 let (last_value, last_at) = row
                     .get(i)
                     .and_then(|o| o.as_ref())
-                    .map(|&(v, t)| (v, Some(t)))
-                    .unwrap_or((0.0, None));
+                    .map_or((0.0, None), |&(v, t)| (v, Some(t)));
                 let ctx = RuleCtx {
                     value,
                     last_sent_value: last_value,
@@ -1164,15 +1231,11 @@ impl DMon {
             }
             values[id] = Some((r.value, now));
             let file: &str = if id < self.base_modules {
-                self.modules
-                    .get(id)
-                    .map(|m| m.file_name())
-                    .unwrap_or("extra")
+                self.modules.get(id).map_or("extra", |m| m.file_name())
             } else {
                 self.remote_ext
                     .get(&(origin, r.metric_id))
-                    .map(|(_, f)| f.as_str())
-                    .unwrap_or("extra")
+                    .map_or("extra", |(_, f)| f.as_str())
             };
             let handles = &mut self.remote_file_handles[origin.0];
             if handles.len() <= id {
@@ -1241,8 +1304,7 @@ impl DMon {
                         .modules
                         .iter()
                         .find(|m| m.file_name() == rest)
-                        .map(|m| m.metric_name().to_string())
-                        .unwrap_or_else(|| rest.to_string());
+                        .map_or_else(|| rest.to_string(), |m| m.metric_name().to_string());
                     self.policies.entry(from).or_default().clear_metric(&name);
                     return ControlOutcome::cost(calib.policy_eval);
                 }
@@ -1269,8 +1331,7 @@ impl DMon {
                     .modules
                     .iter()
                     .find(|m| m.file_name() == metric)
-                    .map(|m| m.metric_name().to_string())
-                    .unwrap_or_else(|| metric.to_string());
+                    .map_or_else(|| metric.to_string(), |m| m.metric_name().to_string());
                 let metric = metric.as_str();
                 let rule = Rule::from_spec(*param);
                 let policy = self.policies.entry(from).or_default();
@@ -1296,6 +1357,7 @@ impl DMon {
                                 reply: Some(ControlMsg::FilterRejected { reason }),
                             };
                         }
+                        self.note_filter_fingerprint(source);
                         self.filters.insert(from, f);
                     }
                     Err(_) => {
@@ -1945,5 +2007,164 @@ mod tests {
         dmon.set_event_pad(5000);
         let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
         assert!(out.sends[0].2 > 5000);
+    }
+
+    /// Source of a filter whose decision depends on per-subscriber
+    /// `last_value_sent` — the effect pass must classify it Bypass.
+    const IMPURE_SRC: &str =
+        "{ if (input[LOADAVG].value > input[LOADAVG].last_value_sent) { output[0] = input[LOADAVG]; } }";
+
+    /// Source of a pure passthrough filter — SnapshotKeyed class.
+    const PURE_SRC: &str = "{ output[0] = input[LOADAVG]; }";
+
+    #[test]
+    fn impure_filter_bypasses_memo_per_subscriber() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: IMPURE_SRC.into(),
+                },
+                &calib,
+            );
+            assert!(!dmon.filter_for(sub).unwrap().cert().memo_safe);
+        }
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        // Both subscribers got their own VM run despite identical source.
+        assert_eq!(dmon.stats.memo_bypassed, 2);
+        assert!(
+            dmon.memo.is_empty(),
+            "bypassed runs never populate the memo"
+        );
+    }
+
+    #[test]
+    fn impure_filter_diverges_per_subscriber_state() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: IMPURE_SRC.into(),
+                },
+                &calib,
+            );
+        }
+        // Make LOADAVG visibly nonzero, poll once so the last-sent rows
+        // exist, then desync the two subscribers' state by hand: sub 1
+        // believes nothing was ever sent, sub 2 believes a huge value was.
+        host.cpu.spawn_compute(SimTime::from_secs(1), "a");
+        host.cpu.spawn_compute(SimTime::from_secs(1), "b");
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(100), &calib);
+        if let Some(slot) = dmon.last_sent[1].first_mut() {
+            *slot = Some((0.0, SimTime::from_secs(100)));
+        }
+        if let Some(slot) = dmon.last_sent[2].first_mut() {
+            *slot = Some((1e12, SimTime::from_secs(100)));
+        }
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(101), &calib);
+        let recs = |to: NodeId| {
+            out.sends
+                .iter()
+                .filter(|(h, _, _)| h.to == to)
+                .filter_map(|(_, ev, _)| ev.as_monitoring().map(|m| m.records.len()))
+                .sum::<usize>()
+        };
+        // Subscriber 1's threshold is still beatable, subscriber 2's is
+        // not: same filter, same samples, different per-subscriber result.
+        assert!(recs(NodeId(1)) > 0, "sub 1 should receive data");
+        assert_eq!(recs(NodeId(2)), 0, "sub 2's last-sent gate stays shut");
+        assert!(dmon.stats.memo_bypassed >= 4);
+    }
+
+    #[test]
+    fn pure_filter_shares_one_memo_entry() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: PURE_SRC.into(),
+                },
+                &calib,
+            );
+            let cert = dmon.filter_for(sub).unwrap().cert();
+            assert!(cert.memo_safe);
+            assert_eq!(cert.effects.memo, MemoClass::SnapshotKeyed);
+        }
+        let out = dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.stats.memo_bypassed, 0);
+        assert_eq!(dmon.memo.len(), 1, "one shared entry for both subscribers");
+        let per_sub: Vec<_> = out
+            .sends
+            .iter()
+            .filter_map(|(_, ev, _)| ev.as_monitoring())
+            .collect();
+        assert_eq!(per_sub.len(), 2);
+        assert_eq!(per_sub[0].records, per_sub[1].records);
+    }
+
+    #[test]
+    fn non_emitting_filter_memoizes_on_fingerprint_alone() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: "{ int x = 0; }".into(),
+                },
+                &calib,
+            );
+            assert_eq!(
+                dmon.filter_for(sub).unwrap().cert().effects.memo,
+                MemoClass::Shared
+            );
+        }
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert_eq!(dmon.memo.len(), 1);
+        assert!(
+            dmon.memo[0].inputs.is_empty(),
+            "fingerprint-only entries never clone the input snapshot"
+        );
+        assert_eq!(dmon.stats.memo_bypassed, 0);
+    }
+
+    #[test]
+    fn tainted_fingerprint_disables_sharing() {
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: PURE_SRC.into(),
+                },
+                &calib,
+            );
+        }
+        // Simulate an FNV collision between distinct sources: a real one
+        // is infeasible to construct, so inject the taint directly.
+        dmon.fp_tainted.insert(fnv1a(PURE_SRC.as_bytes()));
+        dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
+        assert!(dmon.memo.is_empty());
+        assert_eq!(dmon.stats.memo_bypassed, 2);
+    }
+
+    #[test]
+    fn fingerprint_collision_detection_is_exact() {
+        let (mut dmon, _host, _dir, _mon, _ctl, _calib) = setup();
+        dmon.note_filter_fingerprint("{ int a = 1; }");
+        // Same source again: no taint.
+        dmon.note_filter_fingerprint("{ int a = 1; }");
+        assert!(dmon.fp_tainted.is_empty());
+        // A different source with a different fingerprint: no taint.
+        dmon.note_filter_fingerprint("{ int b = 2; }");
+        assert!(dmon.fp_tainted.is_empty());
+        // Force the pathological case: a second source filed under the
+        // first one's fingerprint.
+        let fp = fnv1a(b"{ int a = 1; }");
+        dmon.fp_sources.insert(fp, "{ something else }".into());
+        dmon.note_filter_fingerprint("{ int a = 1; }");
+        assert!(dmon.fp_tainted.contains(&fp));
     }
 }

@@ -196,6 +196,7 @@ impl MonitorModule for NetMon {
         // `"conn {}->{} tag {} rtt_us {} retx {} lost {}"` formatting
         // (NodeId displays as `n<index>`).
         let mut used = 0;
+        // detlint: allow(unordered-iter) ConnTrack::iter walks its sorted index
         for (id, st) in host.conns.iter() {
             if self.line_pool.len() == used {
                 self.line_pool.push(String::with_capacity(48));
@@ -210,7 +211,7 @@ impl MonitorModule for NetMon {
             s.push_str(" tag ");
             fastfmt::push_u64(s, id.tag as u64);
             s.push_str(" rtt_us ");
-            fastfmt::push_u64(s, st.rtt().map(simcore::SimDur::as_micros).unwrap_or(0));
+            fastfmt::push_u64(s, st.rtt().map_or(0, simcore::SimDur::as_micros));
             s.push_str(" retx ");
             fastfmt::push_u64(s, st.retransmissions());
             s.push_str(" lost ");

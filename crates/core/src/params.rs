@@ -145,6 +145,7 @@ impl PolicySet {
 
     /// True if no rules are configured at all.
     pub fn is_empty(&self) -> bool {
+        // detlint: allow(unordered-iter) all() is order-insensitive
         self.wildcard.is_empty() && self.per_metric.values().all(std::vec::Vec::is_empty)
     }
 }

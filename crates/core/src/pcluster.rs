@@ -468,6 +468,7 @@ impl ShardWorld for PShard {
     type Fx = PFx;
     type Shared = PShared;
 
+    // detlint: shard-entry
     fn execute(
         &mut self,
         now: SimTime,
@@ -555,6 +556,7 @@ impl Coordinator<PShard> for PCoord {
         WindowMode::Parallel
     }
 
+    // detlint: replay-only
     fn apply(
         &mut self,
         now: SimTime,

@@ -1,0 +1,15 @@
+//! Seeded violation: wall-clock read on the shard path.
+//! NOT compiled — parsed by detlint's own tests.
+
+// detlint: shard-entry
+fn execute() {
+    step();
+}
+
+fn step() {
+    let started = std::time::Instant::now();
+    work();
+    let _elapsed = started.elapsed();
+}
+
+fn work() {}

@@ -1,0 +1,18 @@
+//! Seeded violations: Directory mutation from shard context, and a
+//! `replay-only` escape hatch outside a coordinator module.
+//! NOT compiled — parsed by detlint's own tests.
+
+// detlint: shard-entry
+fn execute(dir: &mut Directory) {
+    // Subscribing mid-window reshapes the channel registry; replay of
+    // this window would see a different directory.
+    dir.subscribe(1, 2);
+    sneaky(dir);
+}
+
+// This annotation does not belong here: the fixture is not cluster.rs
+// and not a PCoord impl, so it raises misplaced-annotation.
+// detlint: replay-only
+fn sneaky(dir: &mut Directory) {
+    dir.open(7);
+}

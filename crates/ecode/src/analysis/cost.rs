@@ -111,9 +111,7 @@ fn cost_stmt(stmt: &RStmt, env: &mut ConstEnv) -> Result<u64, Unbound> {
             body,
             env,
         ),
-        RStmtKind::Return(value) => {
-            Ok(value.as_ref().map(expr_cost).unwrap_or(0).saturating_add(1))
-        }
+        RStmtKind::Return(value) => Ok(value.as_ref().map_or(0, expr_cost).saturating_add(1)),
         RStmtKind::Break | RStmtKind::Continue => Ok(1),
         RStmtKind::Block(body) => cost_stmts(body, env),
     }

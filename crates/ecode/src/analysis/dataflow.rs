@@ -23,8 +23,7 @@ pub fn lint(prog: &RProgram, cfg: &Cfg) -> Vec<Diagnostic> {
 fn slot_name(prog: &RProgram, slot: u16) -> &str {
     prog.slot_names
         .get(slot as usize)
-        .map(String::as_str)
-        .unwrap_or("?")
+        .map_or("?", String::as_str)
 }
 
 /// Report the frontier of unreachable blocks: unreachable, non-empty,

@@ -1,0 +1,212 @@
+//! Effect analysis: output write-set, state-dependence, and the memo
+//! classification that gates the publisher's shared-filter memo.
+//!
+//! The VM itself is a pure function of its inputs — a filter cannot
+//! touch anything outside its locals and output slots. The *only*
+//! per-subscriber state a publisher feeds in is each metric's
+//! `last_value_sent`, which differs between subscribers of the same
+//! channel. Sharing one VM run across subscribers (the per-poll memo in
+//! d-mon) is therefore sound exactly when the output is provably
+//! independent of that field. This pass proves it, or refuses to.
+//!
+//! Three classes fall out of the walk:
+//!
+//! * [`MemoClass::Shared`] — the filter neither reads
+//!   `last_value_sent` nor emits whole records (a whole-record emit
+//!   copies the per-subscriber field into the output). Its result is
+//!   identical for every subscriber within a poll, so one run keyed on
+//!   the source fingerprint alone serves them all.
+//! * [`MemoClass::SnapshotKeyed`] — the filter emits whole records but
+//!   never *reads* `last_value_sent`: its decisions are shared, but the
+//!   emitted bytes embed per-subscriber state, so a shared run is sound
+//!   only under full input-snapshot equality.
+//! * [`MemoClass::Bypass`] — the filter reads or writes
+//!   `last_value_sent`; its behaviour is genuinely per-subscriber and
+//!   the memo must be bypassed entirely.
+//!
+//! The walk is conservative: any syntactic occurrence counts, reachable
+//! or not. A dead `last_value_sent` read costs sharing, never
+//! soundness.
+
+use super::MetricSet;
+use crate::ast::Field;
+use crate::sema::{RExpr, RExprKind, RProgram, RStmt, RStmtKind};
+
+/// How a publisher may share one evaluation of this filter across the
+/// subscribers that deployed identical source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoClass {
+    /// Output provably independent of per-subscriber state: share on
+    /// the source fingerprint alone.
+    Shared,
+    /// Decisions are state-independent but emitted records copy
+    /// per-subscriber state: share only under input-snapshot equality.
+    SnapshotKeyed,
+    /// Reads or writes per-subscriber state: never share.
+    Bypass,
+}
+
+impl MemoClass {
+    /// Human-readable label (shell `lint` output).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoClass::Shared => "shared",
+            MemoClass::SnapshotKeyed => "snapshot-keyed",
+            MemoClass::Bypass => "per-subscriber",
+        }
+    }
+}
+
+/// What a filter can do to the world, as proven by the static walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectSummary {
+    /// Output slot indices the filter may write (`output[i] = ...` and
+    /// `output[i].field = ...`). [`MetricSet::All`] when any slot index
+    /// is not a compile-time constant.
+    pub writes: MetricSet,
+    /// Reads `input[...].last_value_sent` somewhere.
+    pub reads_last_sent: bool,
+    /// Writes `output[...].last_value_sent` somewhere.
+    pub writes_last_sent: bool,
+    /// Emits a whole input record (`output[i] = input[j];`), which
+    /// copies the per-subscriber `last_value_sent` field verbatim.
+    pub copies_records: bool,
+    /// The sharing verdict derived from the flags above.
+    pub memo: MemoClass,
+}
+
+impl EffectSummary {
+    /// True when the memo may serve this filter at all (any class but
+    /// [`MemoClass::Bypass`]). Mirrored as `FilterCert::memo_safe`.
+    pub fn memo_safe(&self) -> bool {
+        self.memo != MemoClass::Bypass
+    }
+
+    /// True when repeated evaluation against the same snapshot is
+    /// indistinguishable from a single one. Every filter is — the VM
+    /// holds no persistent state — but the flag is part of the
+    /// certificate so the deploy layer asserts it rather than assumes
+    /// it.
+    pub fn idempotent(&self) -> bool {
+        true
+    }
+}
+
+/// Scan a folded program for its effect summary.
+pub fn scan(prog: &RProgram) -> EffectSummary {
+    let mut scanner = Scanner {
+        writes: MetricSet::empty(),
+        reads_last_sent: false,
+        writes_last_sent: false,
+        copies_records: false,
+    };
+    scanner.stmts(&prog.body);
+    let memo = if scanner.reads_last_sent || scanner.writes_last_sent {
+        MemoClass::Bypass
+    } else if scanner.copies_records {
+        MemoClass::SnapshotKeyed
+    } else {
+        MemoClass::Shared
+    };
+    EffectSummary {
+        writes: scanner.writes,
+        reads_last_sent: scanner.reads_last_sent,
+        writes_last_sent: scanner.writes_last_sent,
+        copies_records: scanner.copies_records,
+        memo,
+    }
+}
+
+struct Scanner {
+    writes: MetricSet,
+    reads_last_sent: bool,
+    writes_last_sent: bool,
+    copies_records: bool,
+}
+
+impl Scanner {
+    fn stmts(&mut self, stmts: &[RStmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, stmt: &RStmt) {
+        match &stmt.kind {
+            RStmtKind::Store { value, .. } => self.expr(value),
+            RStmtKind::OutputRecord { index, input_index } => {
+                self.copies_records = true;
+                self.write_index(index);
+                self.expr(input_index);
+            }
+            RStmtKind::OutputField {
+                index,
+                field,
+                value,
+            } => {
+                if *field == Field::LastValueSent {
+                    self.writes_last_sent = true;
+                }
+                self.write_index(index);
+                self.expr(value);
+            }
+            RStmtKind::If { cond, then, else_ } => {
+                self.expr(cond);
+                self.stmts(then);
+                self.stmts(else_);
+            }
+            RStmtKind::Loop {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.expr(cond);
+                }
+                if let Some(step) = step {
+                    self.stmt(step);
+                }
+                self.stmts(body);
+            }
+            RStmtKind::Return(value) => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+            RStmtKind::Break | RStmtKind::Continue => {}
+            RStmtKind::Block(body) => self.stmts(body),
+        }
+    }
+
+    fn expr(&mut self, e: &RExpr) {
+        match &e.kind {
+            RExprKind::ConstI(_) | RExprKind::ConstF(_) | RExprKind::Local(_) => {}
+            RExprKind::InputField(index, field) => {
+                if *field == Field::LastValueSent {
+                    self.reads_last_sent = true;
+                }
+                self.expr(index);
+            }
+            RExprKind::Binary(_, l, r) => {
+                self.expr(l);
+                self.expr(r);
+            }
+            RExprKind::Unary(_, inner) => self.expr(inner),
+        }
+    }
+
+    /// Record a write to `output[index]`.
+    fn write_index(&mut self, index: &RExpr) {
+        match index.kind {
+            RExprKind::ConstI(v) if v >= 0 => self.writes.insert(v as usize),
+            _ => {
+                self.writes.make_all();
+                self.expr(index);
+            }
+        }
+    }
+}

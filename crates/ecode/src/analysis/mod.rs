@@ -28,6 +28,7 @@
 mod cfg;
 mod cost;
 mod dataflow;
+mod effects;
 mod interval;
 mod readset;
 
@@ -38,6 +39,7 @@ use crate::sema::RProgram;
 use crate::token::Pos;
 
 pub use cost::CostBound;
+pub use effects::{EffectSummary, MemoClass};
 
 /// How serious a diagnostic is. Lints never block deployment (that is
 /// the cost certificate's job); severity is advisory.
@@ -149,6 +151,14 @@ pub struct FilterCert {
     pub reads: MetricSet,
     /// Whether any reachable statement emits an output record.
     pub emits: bool,
+    /// Whether the publisher's shared-filter memo may serve this filter
+    /// at all: proven false when the filter reads or writes the
+    /// per-subscriber `last_value_sent` state, in which case it must be
+    /// evaluated once per subscriber.
+    pub memo_safe: bool,
+    /// The full effect summary behind `memo_safe`: write-set,
+    /// state-dependence flags, and the sharing class.
+    pub effects: EffectSummary,
     /// Lint findings (advisory; never block deployment by themselves).
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -199,10 +209,13 @@ pub fn lint(prog: &RProgram) -> Vec<Diagnostic> {
 /// or the bound will not cover the emitted instruction stream.
 pub fn certify(prog: &RProgram) -> FilterCert {
     let (reads, emits) = readset::scan(prog);
+    let effects = effects::scan(prog);
     FilterCert {
         cost: cost::bound_program(prog),
         reads,
         emits,
+        memo_safe: effects.memo_safe(),
+        effects,
         diagnostics: Vec::new(),
     }
 }

@@ -448,3 +448,79 @@ fn cert_attached_by_filter_compile() {
     assert!(f.cert().emits);
     assert!(f.cert().diagnostics.is_empty());
 }
+
+// ---- effect pass ----------------------------------------------------
+
+#[test]
+fn pure_non_emitting_filter_is_shared_class() {
+    let cert = deploy_cert("{ int x = 0; if (input[A].value > 1) { x = 2; } }");
+    assert!(cert.memo_safe);
+    assert_eq!(cert.effects.memo, MemoClass::Shared);
+    assert!(!cert.effects.reads_last_sent);
+    assert!(!cert.effects.copies_records);
+    assert_eq!(cert.effects.writes, MetricSet::empty());
+    assert!(cert.effects.idempotent());
+}
+
+#[test]
+fn record_emitting_filter_is_snapshot_keyed() {
+    let cert = deploy_cert("{ if (input[A].value > 1) { output[0] = input[A]; } }");
+    assert!(cert.memo_safe);
+    assert_eq!(cert.effects.memo, MemoClass::SnapshotKeyed);
+    assert!(cert.effects.copies_records);
+    let MetricSet::Fixed(writes) = &cert.effects.writes else {
+        panic!("constant slot index should stay fixed");
+    };
+    assert_eq!(writes.iter().copied().collect::<Vec<_>>(), vec![0]);
+}
+
+#[test]
+fn last_value_sent_read_forces_bypass() {
+    let cert =
+        deploy_cert("{ if (input[A].value > input[A].last_value_sent) { output[0] = input[A]; } }");
+    assert!(!cert.memo_safe);
+    assert_eq!(cert.effects.memo, MemoClass::Bypass);
+    assert!(cert.effects.reads_last_sent);
+}
+
+#[test]
+fn last_value_sent_write_forces_bypass() {
+    let cert = deploy_cert("{ output[0] = input[A]; output[0].last_value_sent = 5.0; }");
+    assert!(!cert.memo_safe);
+    assert!(cert.effects.writes_last_sent);
+    assert!(!cert.effects.reads_last_sent);
+}
+
+#[test]
+fn never_taken_last_value_sent_read_still_forces_bypass() {
+    // Conservative: a syntactic occurrence in the folded program
+    // suffices; the pass never reasons about which branches run. (A
+    // constant-false branch is different — the folder erases it before
+    // certification, and with it the read.)
+    let cert = deploy_cert("{ if (input[B].value > 1e18) { int x = input[A].last_value_sent; } }");
+    assert!(!cert.memo_safe);
+}
+
+#[test]
+fn dynamic_output_slot_collapses_write_set() {
+    let cert = deploy_cert("{ int i; for (i = 0; i < 2; i = i + 1) { output[i] = input[A]; } }");
+    assert_eq!(cert.effects.writes, MetricSet::All);
+    assert_eq!(cert.effects.memo, MemoClass::SnapshotKeyed);
+}
+
+#[test]
+fn fig3_is_bypass_class() {
+    // Figure 3's CACHE_MISS clause compares against last_value_sent, so
+    // the whole filter is per-subscriber.
+    let f = crate::Filter::compile(FIG3_SOURCE, &fig3_env()).unwrap();
+    assert!(!f.cert().memo_safe);
+    assert_eq!(f.cert().effects.memo, MemoClass::Bypass);
+}
+
+#[test]
+fn output_field_value_read_of_state_is_caught() {
+    // The state read hides inside an output-field value expression.
+    let cert = deploy_cert("{ output[0] = input[A]; output[0].value = input[B].last_value_sent; }");
+    assert!(!cert.memo_safe);
+    assert!(cert.effects.reads_last_sent);
+}

@@ -66,6 +66,8 @@ pub mod sema;
 pub mod token;
 pub mod vm;
 
-pub use analysis::{CostBound, Diagnostic, FilterCert, LintKind, MetricSet, Severity};
+pub use analysis::{
+    CostBound, Diagnostic, EffectSummary, FilterCert, LintKind, MemoClass, MetricSet, Severity,
+};
 pub use error::{CompileError, RuntimeError};
 pub use filter::{fig3_env, EnvSpec, Filter, FilterOutput, MetricRecord, FIG3_SOURCE};

@@ -116,7 +116,7 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
     buf.put_u32_le(ev.channel);
     buf.put_u64_le(ev.seq);
     buf.put_u32_le(ev.sender.0 as u32);
-    buf.put_u32_le(ev.target.map(|n| n.0 as u32).unwrap_or(u32::MAX));
+    buf.put_u32_le(ev.target.map_or(u32::MAX, |n| n.0 as u32));
     match &ev.payload {
         Payload::Monitoring(m) => {
             buf.put_u32_le(m.origin.0 as u32);

@@ -77,8 +77,7 @@ where
 /// Suggested worker count: available parallelism capped at `max`.
 pub fn suggested_threads(max: usize) -> usize {
     std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1)
+        .map_or(1, std::num::NonZero::get)
         .min(max)
         .max(1)
 }

@@ -243,12 +243,12 @@ impl Sampler {
 
     /// Maximum (`NaN` if empty).
     pub fn max(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NAN, f64::max)
+        self.values.iter().copied().fold(f64::NAN, f64::max)
     }
 
     /// Minimum (`NaN` if empty).
     pub fn min(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NAN, f64::min)
+        self.values.iter().copied().fold(f64::NAN, f64::min)
     }
 
     /// Borrow the raw samples.

@@ -13,7 +13,7 @@ use crate::link::BytesWindow;
 use crate::network::NodeId;
 
 /// Transport protocol of a tracked connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Proto {
     /// Reliable, counts retransmissions.
     Tcp,
@@ -22,7 +22,7 @@ pub enum Proto {
 }
 
 /// Connection identifier: (local, remote, protocol, port-like tag).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnId {
     /// Local endpoint.
     pub local: NodeId,
@@ -99,9 +99,18 @@ impl ConnStats {
 }
 
 /// Kernel connection table of one host.
+///
+/// Lookups go through the hash map; every *iteration* goes through
+/// `order`, a sorted index maintained on open/close. Hash-order
+/// iteration is banned on the monitoring path (f64 sums and report
+/// rows must not depend on hasher state — see the workspace `detlint`
+/// rules), and connections churn rarely enough that keeping the index
+/// sorted is cheaper than sorting per poll.
 #[derive(Debug, Default)]
 pub struct ConnTrack {
     conns: FxHashMap<ConnId, ConnStats>,
+    /// All open connection ids, ascending.
+    order: Vec<ConnId>,
 }
 
 impl ConnTrack {
@@ -109,16 +118,23 @@ impl ConnTrack {
     pub fn new() -> Self {
         ConnTrack {
             conns: FxHashMap::default(),
+            order: Vec::new(),
         }
     }
 
     /// Register a connection (no-op if already present).
     pub fn open(&mut self, id: ConnId, now: SimTime) {
-        self.conns.entry(id).or_insert_with(|| ConnStats::new(now));
+        if let Err(at) = self.order.binary_search(&id) {
+            self.order.insert(at, id);
+            self.conns.insert(id, ConnStats::new(now));
+        }
     }
 
     /// Remove a connection; returns its final stats if it existed.
     pub fn close(&mut self, id: ConnId) -> Option<ConnStats> {
+        if let Ok(at) = self.order.binary_search(&id) {
+            self.order.remove(at);
+        }
         self.conns.remove(&id)
     }
 
@@ -172,13 +188,23 @@ impl ConnTrack {
     }
 
     /// Total bandwidth used by *all* connections over the last second.
+    /// Summed in connection-id order: f64 addition is not associative,
+    /// so hash-order summation would make the total depend on hasher
+    /// state and break bit-identical replay.
     pub fn total_used_bps(&mut self, now: SimTime) -> f64 {
-        self.conns.values_mut().map(|s| s.used_bps(now)).sum()
+        let mut total = 0.0;
+        for id in &self.order {
+            let stats = self.conns.get_mut(id).expect("order tracks conns");
+            total += stats.used_bps(now);
+        }
+        total
     }
 
-    /// Iterate over connections.
+    /// Iterate over connections in ascending connection-id order.
     pub fn iter(&self) -> impl Iterator<Item = (&ConnId, &ConnStats)> {
-        self.conns.iter()
+        self.order
+            .iter()
+            .map(|id| (id, self.conns.get(id).expect("order tracks conns")))
     }
 }
 
@@ -289,5 +315,22 @@ mod tests {
         );
         assert_eq!(ct.get(cid(1)).unwrap().opened_at(), SimTime::ZERO);
         assert_eq!(ct.iter().count(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_connection_id() {
+        let mut ct = ConnTrack::new();
+        // Insert in a scrambled order; iteration must come back sorted.
+        for tag in [7u32, 2, 9, 1, 4] {
+            ct.open(cid(tag), SimTime::ZERO);
+        }
+        let tags: Vec<u32> = ct.iter().map(|(id, _)| id.tag).collect();
+        assert_eq!(tags, vec![1, 2, 4, 7, 9]);
+        ct.close(cid(4));
+        let tags: Vec<u32> = ct.iter().map(|(id, _)| id.tag).collect();
+        assert_eq!(tags, vec![1, 2, 7, 9]);
+        // Closing an unknown id leaves the index intact.
+        assert!(ct.close(cid(100)).is_none());
+        assert_eq!(ct.iter().count(), 4);
     }
 }

@@ -245,7 +245,7 @@ impl CpuSched {
     pub fn loadavg(&self, now: SimTime, period: SimDur) -> f64 {
         assert!(!period.is_zero(), "zero loadavg window");
         let start = now - period;
-        let mut level = self.rq_history.front().map(|&(_, l)| l).unwrap_or(0);
+        let mut level = self.rq_history.front().map_or(0, |&(_, l)| l);
         let mut weighted = 0.0;
         let mut cursor = start;
         for &(t, l) in &self.rq_history {

@@ -211,9 +211,7 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
             Policy::Static(m) => m,
             Policy::Dynamic(set) => {
                 let dmon = &w.dmons[server.0];
-                let stream_bps = last_mode
-                    .map(|m| m.bytes(&spec) as f64 * 8.0 * rate_hz)
-                    .unwrap_or(0.0);
+                let stream_bps = last_mode.map_or(0.0, |m| m.bytes(&spec) as f64 * 8.0 * rate_hz);
                 // The decision trusts the monitored view only while the
                 // server-side failure detector still considers the client
                 // fresh; past the staleness bound the policy degrades to

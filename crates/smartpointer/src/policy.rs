@@ -89,8 +89,7 @@ impl ClientView {
         let stream_bps = bytes as f64 * rate_hz;
         let other_bps = self
             .disk_sectors_per_s
-            .map(|s| s * 512.0)
-            .unwrap_or(0.0)
+            .map_or(0.0, |s| s * 512.0)
             // Don't double-count the stream's own writes.
             .max(stream_bps)
             - stream_bps;

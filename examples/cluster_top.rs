@@ -17,16 +17,13 @@ fn dashboard(sim: &ClusterSim) -> String {
         let name = &w.hosts[i].name;
         let load = w.dmons[0]
             .remote_value(NodeId(i), "LOADAVG")
-            .map(|(v, _)| v)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |(v, _)| v);
         let free = w.dmons[0]
             .remote_value(NodeId(i), "FREEMEM")
-            .map(|(v, _)| v / 1e6)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |(v, _)| v / 1e6);
         let disk = w.dmons[0]
             .remote_value(NodeId(i), "DISKUSAGE")
-            .map(|(v, _)| v)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |(v, _)| v);
         out.push_str(&format!(
             "{name:>12}  {load:>5.2}  {free:>7.0}  {disk:>10.0}\n"
         ));

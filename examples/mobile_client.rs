@@ -51,8 +51,7 @@ fn main() {
         // management, no client-side involvement.
         let battery = sim.world().dmons[0]
             .remote_value(NodeId(1), "BATTERY")
-            .map(|(v, _)| v)
-            .unwrap_or(1.0);
+            .map_or(1.0, |(v, _)| v);
         if battery < 0.5 && !throttled {
             // Low-power mode: server-side pre-rendering at reduced quality.
             // (Deep subsampling would be wrong here — it *raises* client

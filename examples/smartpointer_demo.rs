@@ -54,8 +54,7 @@ fn run(policy: Policy, label: &str) {
         let mode = st
             .mode_log
             .last()
-            .map(|(_, m)| m.clone())
-            .unwrap_or_else(|| "-".into());
+            .map_or_else(|| "-".into(), |(_, m)| m.clone());
         println!(
             "  {:>4}  {:>7}  {:<6}  {:>11.1}  {:>7}",
             40 * (step + 1),
