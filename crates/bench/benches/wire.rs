@@ -15,6 +15,7 @@ fn event(records: usize, pad: u32) -> Event {
             origin: NodeId(2),
             epoch: 0,
             stream_seq: 0,
+            credit_grant: 0,
             records: (0..records)
                 .map(|i| MonRecord {
                     metric_id: i as u32,

@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use dproc::cluster::{ClusterConfig, ClusterSim};
 use simcore::{SimDur, SimTime};
+use simnet::{FaultPlan, LinkSpec, NodeId};
 
 /// System allocator wrapper counting every allocation (not bytes — the
 /// metric tracked is allocator round-trips on the hot path).
@@ -140,6 +141,50 @@ fn measure_threaded(
     )
 }
 
+/// Counters from the scripted overload scenario: a 3-node mesh with
+/// megabyte events and a fan-out-tight link queue, one node's links
+/// degraded to 10% capacity for 40 simulated seconds, then healed. The
+/// counters are pure discrete-event-sim outputs — bit-deterministic on
+/// any machine — so `--check` compares them exactly: a change means the
+/// backpressure/ladder policy changed, not that the machine was noisy.
+struct Overload {
+    link_drops: u64,
+    events_shed: u64,
+    ladder_transitions: u64,
+}
+
+fn measure_overload() -> Overload {
+    let mut cfg = ClusterConfig::new(3)
+        .poll_period(SimDur::from_secs(1))
+        .failure_bounds(SimDur::from_secs(3), SimDur::from_secs(8))
+        .event_pad(1_500_000);
+    cfg.link = LinkSpec::fast_ethernet().with_queue(2, 64 * 1024 * 1024);
+    let mut sim = ClusterSim::new(cfg);
+    sim.set_threads(1);
+    sim.start();
+    sim.apply_fault_plan(
+        &FaultPlan::new(0x0BAD_10AD)
+            .degrade_at(SimTime::from_secs(5), NodeId(2), 0.9)
+            .heal_link_at(SimTime::from_secs(45), NodeId(2)),
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let w = sim.world();
+    Overload {
+        link_drops: w.net.link_drops(),
+        events_shed: w.dmons.iter().map(|d| d.stats.events_shed).sum(),
+        ladder_transitions: w.dmons.iter().map(|d| d.stats.ladder_transitions).sum(),
+    }
+}
+
+impl Overload {
+    fn json_fields(&self) -> String {
+        format!(
+            "  \"link_drops\": {},\n  \"events_shed\": {},\n  \"ladder_transitions\": {}",
+            self.link_drops, self.events_shed, self.ladder_transitions,
+        )
+    }
+}
+
 /// Serial-vs-sharded wall clock on one scenario size.
 struct Speedup {
     nodes: usize,
@@ -235,6 +280,15 @@ fn main() {
         );
     }
 
+    // The overload section: deterministic robustness counters from a
+    // scripted congestion scenario, so the perf trajectory also tracks
+    // the backpressure policy.
+    let overload = measure_overload();
+    eprintln!(
+        "bench_pipeline: overload: {} link drops, {} shed, {} ladder transitions",
+        overload.link_drops, overload.events_shed, overload.ladder_transitions
+    );
+
     // Record the replay-safety lint state alongside the perf numbers:
     // how many findings the workspace scan produced (fresh + baselined).
     // The committed tree keeps this at 0; the count travels with every
@@ -252,6 +306,7 @@ fn main() {
             eprintln!("bench_pipeline: WARNING {fresh_errors} unbaselined detlint error(s)");
         }
     }
+    sections.push(overload.json_fields());
     sections.extend(speedups.iter().map(Speedup::json_fields));
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     print!("{json}");
@@ -317,6 +372,24 @@ fn main() {
             if m.memo_bypassed as f64 != base_bypass {
                 eprintln!("bench_pipeline: MEMO GATE REGRESSION (bypass count changed)");
                 std::process::exit(1);
+            }
+        }
+        // Overload counters are bit-deterministic sim outputs — exact
+        // comparison, no noise band. A mismatch means the backpressure
+        // or ladder policy changed without the baseline being
+        // regenerated alongside it.
+        for (key, got) in [
+            ("link_drops", overload.link_drops),
+            ("events_shed", overload.events_shed),
+            ("ladder_transitions", overload.ladder_transitions),
+        ] {
+            if let Some(base_v) = json_field(&base, key) {
+                eprintln!("bench_pipeline: {key} {got} vs baseline {base_v:.0}");
+                #[allow(clippy::float_cmp)] // integer-valued counters, exact by design
+                if got as f64 != base_v {
+                    eprintln!("bench_pipeline: OVERLOAD POLICY DRIFT ({key} changed)");
+                    std::process::exit(1);
+                }
             }
         }
         // Same for the lint state: new unbaselined errors fail the run.

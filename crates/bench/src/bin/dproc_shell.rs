@@ -82,6 +82,10 @@ enum Cmd {
         source: String,
     },
     Detlint,
+    Credits {
+        node: String,
+    },
+    Overload,
     Stats,
     Latency,
     Help,
@@ -230,6 +234,11 @@ fn parse(line: &str) -> Result<Cmd, String> {
             })
         }
         "detlint" => Ok(Cmd::Detlint),
+        "credits" => match rest[..] {
+            [node] => Ok(Cmd::Credits { node: node.into() }),
+            _ => Err("usage: credits <node>".into()),
+        },
+        "overload" => Ok(Cmd::Overload),
         "stats" => Ok(Cmd::Stats),
         "latency" => Ok(Cmd::Latency),
         "help" | "?" => Ok(Cmd::Help),
@@ -257,6 +266,8 @@ faults                      active faults and drop/detection counters
 threads <n>                 worker shards for the next cluster (1 = serial)
 lint <filter source>        run the static verifier on an E-code filter
 detlint                     replay-safety scan of the workspace sources
+credits <node>              a publisher's credit windows, outboxes, chokes
+overload                    ladder levels, shed/stall counters, link drops
 stats                       per-node d-mon counters
 latency                     monitoring latency summary
 quit                        leave";
@@ -490,6 +501,58 @@ impl Shell {
             }
             Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
             Cmd::Detlint => Ok(Some(detlint_report()?)),
+            Cmd::Credits { node } => {
+                let id = self.node(&node)?;
+                let sim = self.sim.as_ref().expect("checked");
+                let w = sim.world();
+                let d = &w.dmons[id.0];
+                let mut out = format!("{node} as publisher, per subscriber stream:\n");
+                out.push_str("subscriber     credits  parked  choked\n");
+                for i in 0..w.len() {
+                    if i == id.0 {
+                        continue;
+                    }
+                    let sub = NodeId(i);
+                    out.push_str(&format!(
+                        "{:<12} {:>9} {:>7} {:>7}\n",
+                        w.hosts[i].name,
+                        d.credits_for(sub),
+                        d.outbox_len(sub),
+                        d.choked_toward(sub),
+                    ));
+                }
+                out.push_str(&format!(
+                    "shed {} events, {} credit-stalled polls",
+                    d.stats.events_shed, d.stats.credits_stalled
+                ));
+                Ok(Some(out))
+            }
+            Cmd::Overload => match &self.sim {
+                Some(sim) => {
+                    let w = sim.world();
+                    let mut out = String::new();
+                    out.push_str("node          ladder  transitions  shed  stalled_polls\n");
+                    for i in 0..w.len() {
+                        let d = &w.dmons[i];
+                        out.push_str(&format!(
+                            "{:<12} {:>7} {:>12} {:>5} {:>14}\n",
+                            w.hosts[i].name,
+                            d.ladder_level(),
+                            d.stats.ladder_transitions,
+                            d.stats.events_shed,
+                            d.stats.credits_stalled,
+                        ));
+                    }
+                    let (hwm, _) = w.net.queue_hwm();
+                    out.push_str(&format!(
+                        "network: {} link tail-drops, queue high-water {} msgs",
+                        w.net.link_drops(),
+                        hwm
+                    ));
+                    Ok(Some(out))
+                }
+                None => Err("no cluster yet".into()),
+            },
             Cmd::Stats => match &self.sim {
                 Some(sim) => {
                     let mut out = String::new();
@@ -719,6 +782,13 @@ mod tests {
             }
         );
         assert_eq!(parse("threads 4").unwrap(), Cmd::Threads { n: 4 });
+        assert_eq!(
+            parse("credits alan").unwrap(),
+            Cmd::Credits {
+                node: "alan".into()
+            }
+        );
+        assert_eq!(parse("overload").unwrap(), Cmd::Overload);
         assert_eq!(parse("  # comment").unwrap(), Cmd::Nothing);
         assert_eq!(parse("").unwrap(), Cmd::Nothing);
         assert_eq!(parse("quit").unwrap(), Cmd::Quit);
@@ -744,6 +814,8 @@ mod tests {
             "threads",
             "threads zero",
             "threads 0",
+            "credits",
+            "credits two nodes",
             "frobnicate",
         ] {
             assert!(parse(bad).is_err(), "should reject `{bad}`");
@@ -868,6 +940,43 @@ mod tests {
         assert!(shell.exec(parse("revive alan").unwrap()).is_err());
         assert!(shell.exec(parse("partition alan alan").unwrap()).is_err());
         assert!(shell.exec(parse("loss 2.0").unwrap()).is_err());
+    }
+
+    #[test]
+    fn credits_and_overload_commands_surface_flow_control() {
+        let mut shell = Shell::new();
+        // Both need a cluster.
+        assert!(shell.exec(parse("credits node0").unwrap()).is_err());
+        assert!(shell.exec(parse("overload").unwrap()).is_err());
+        shell
+            .exec(parse("cluster 3 alan maui etna").unwrap())
+            .unwrap();
+        shell.exec(parse("run 10").unwrap()).unwrap();
+        // A healthy cluster: full windows, nothing parked, ladder 0.
+        let out = shell.exec(parse("credits alan").unwrap()).unwrap().unwrap();
+        assert!(out.contains("maui") && out.contains("etna"), "{out}");
+        assert!(out.contains("subscriber"), "{out}");
+        assert!(!out.contains("alan  "), "publisher not its own subscriber");
+        let out = shell.exec(parse("overload").unwrap()).unwrap().unwrap();
+        assert!(out.contains("ladder"), "{out}");
+        assert!(out.contains("link tail-drops"), "{out}");
+        for line in out.lines().skip(1).take(3) {
+            assert!(line.contains(" 0"), "healthy cluster shows zeros: {line}");
+        }
+        // Crash a subscriber: the survivors' windows toward it deflate
+        // (spend with no grants coming back) — visible through `credits`
+        // before the failure detector evicts the peer and reaps the
+        // stream state.
+        shell.exec(parse("kill etna").unwrap()).unwrap();
+        shell.exec(parse("run 4").unwrap()).unwrap();
+        let out = shell.exec(parse("credits alan").unwrap()).unwrap().unwrap();
+        assert!(out.contains("etna"), "{out}");
+        assert!(out.contains("credit-stalled polls"), "{out}");
+        let sim = shell.sim.as_ref().unwrap();
+        assert!(
+            sim.world().dmons[0].credits_for(NodeId(2)) < kecho::INITIAL_CREDITS,
+            "window toward the dead subscriber should be deflating:\n{out}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use simcore::{Repeat, Sim, SimDur, SimTime};
 use simnet::link::{BytesWindow, LinkSpec};
 use simnet::traffic::FlowTable;
-use simnet::{ConnId, Delivery, Network, NodeId};
+use simnet::{ConnId, Delivery, Network, NodeId, TrafficClass};
 use simos::cpu::TaskState;
 use simos::host::{Host, HostConfig};
 use simos::workload::Linpack;
@@ -187,6 +187,18 @@ pub struct ClusterWorld {
     pub(crate) flow_meta: std::collections::HashMap<simnet::FlowId, (NodeId, NodeId, f64)>,
 }
 
+/// The link-layer lane an event travels in. Monitoring data is bulk —
+/// it queues and can be tail-dropped at a bounded link queue. Heartbeats
+/// and control frames ride the strict-priority lane: tiny, cap-exempt,
+/// and never stuck behind a saturated data queue, so failure detection
+/// and reconfiguration stay live under overload.
+pub(crate) fn class_of(ev: &Event) -> TrafficClass {
+    match ev.kind {
+        EventKind::Monitoring => TrafficClass::Bulk,
+        EventKind::Control | EventKind::Heartbeat => TrafficClass::Priority,
+    }
+}
+
 impl ClusterWorld {
     /// Cluster size.
     pub fn len(&self) -> usize {
@@ -265,7 +277,22 @@ impl ClusterWorld {
         let now = sim.now();
         self.event_meter[hop.from.0].record(now, 1);
         self.hosts[hop.from.0].on_net_bytes(bytes as u64);
-        let delivery: Delivery = self.net.send(now, hop.from, hop.to, bytes);
+        let delivery: Delivery = self
+            .net
+            .send_class(now, hop.from, hop.to, bytes, class_of(&ev));
+        if let Some(dir) = delivery.dropped {
+            // An uplink tail-drop happened in the sender's own kernel —
+            // locally observable, so the publisher's d-mon chokes the
+            // stream instead of burning more credits on a dead queue.
+            // Downlink drops happen inside the switch; no one learns of
+            // them here (the subscriber infers the gap later).
+            if dir == simnet::DropDir::Uplink && ev.kind == EventKind::Monitoring {
+                if let (true, Some(sub)) = (hop.from == ev.sender, ev.target) {
+                    self.dmons[hop.from.0].on_wire_drop(sub);
+                }
+            }
+            return;
+        }
         let sent_at = now;
         let queued = delivery.queued;
         sim.schedule_at(
@@ -318,7 +345,10 @@ impl ClusterWorld {
                             from: hub,
                             to: target,
                         };
-                        let delivery = self.net.send(now, hub, target, bytes);
+                        let delivery = self.net.send_class(now, hub, target, bytes, class_of(&ev));
+                        if delivery.dropped.is_some() {
+                            return; // relay leg tail-dropped
+                        }
                         let relay_queued = delivery.queued;
                         sim.schedule_at(
                             delivery.deliver_at,

@@ -13,12 +13,12 @@
 //! the CPU cost to charge; the cluster glue executes sends and schedules
 //! deliveries.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use ecode::{EnvSpec, Filter, MemoClass, MetricRecord, MetricSet};
 use kecho::{
-    ChannelId, ControlMsg, Directory, Event, HeartbeatPayload, Hop, MonRecord, MonitoringPayload,
-    ParamSpec, StreamTracker,
+    ChannelId, ControlMsg, CreditWindow, Directory, Event, HeartbeatPayload, Hop, MonRecord,
+    MonitoringPayload, Observation, ParamSpec, StreamTracker, GRANT_THRESHOLD, OUTBOX_CAP,
 };
 use simcore::fastfmt;
 use simcore::stats::Sampler;
@@ -79,6 +79,18 @@ pub struct DmonStats {
     /// Recoveries: a Dead peer spoke again, or a publisher restarted with
     /// a new epoch; counted when this node replays its customizations.
     pub resyncs: u64,
+    /// Monitoring events shed (oldest-first) from a stalled subscriber's
+    /// bounded outbox, plus events discarded when their subscriber was
+    /// evicted as Dead. Shed events never consumed a `stream_seq`, so they
+    /// create no gap on the subscriber side — the counter here is the only
+    /// record of them.
+    pub events_shed: u64,
+    /// Polls during which at least one event stayed parked because a
+    /// subscriber's credit window was empty (one tick per stalled
+    /// subscriber per poll).
+    pub credits_stalled: u64,
+    /// Degradation-ladder level changes, in either direction.
+    pub ladder_transitions: u64,
     /// Per-iteration event-submission CPU cost in microseconds (what the
     /// paper measures with rdtsc for Figs. 6–7).
     pub submit_cost_us: Sampler,
@@ -194,6 +206,43 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Data-plane stretch multiplier per degradation-ladder level: at level
+/// `L` a node builds data events only every `LADDER_STRETCH[L]`-th poll.
+/// Heartbeats and control traffic are never stretched.
+const LADDER_STRETCH: [u64; 5] = [1, 2, 2, 4, 4];
+
+/// Highest ladder level (summary-only digest).
+const LADDER_TOP: u8 = 4;
+
+/// Consecutive stalled polls before the ladder steps down one level.
+const LADDER_DOWN_AFTER: u32 = 3;
+
+/// Consecutive clear polls (and drained outboxes) before the ladder
+/// steps back up one level — the hysteresis that stops a borderline load
+/// from flapping the level every poll.
+const LADDER_UP_AFTER: u32 = 5;
+
+/// Relative-change gate applied to records at ladder level 2 and above:
+/// a sample within this fraction of the last value sent is coarsened
+/// away.
+const LADDER_DELTA_GATE: f64 = 0.10;
+
+/// Longest a stream stays parked after consecutive uplink tail-drops
+/// (in polls). Kept at the failure detector's default dead bound so even
+/// the deepest backoff re-probes within one detection window — heartbeats
+/// keep flowing every `heartbeat_every` during a park, so liveness never
+/// depends on the retry.
+const CHOKE_PARK_CAP: u32 = 8;
+
+/// A monitoring payload parked in a subscriber's outbox while credits
+/// are stalled. Entries carry no `stream_seq` — the slot is allocated at
+/// the actual send — so shedding an entry leaves no hole in the stream.
+#[derive(Clone)]
+struct OutboxEntry {
+    records: Vec<MonRecord>,
+    ext_names: Vec<(u32, String, String)>,
+}
+
 /// The d-mon module of one node.
 pub struct DMon {
     node: NodeId,
@@ -286,6 +335,67 @@ pub struct DMon {
     /// Fingerprints two distinct sources have hashed to. The memo skips
     /// these permanently — correctness must not hinge on a 64-bit hash.
     fp_tainted: BTreeSet<u64>,
+    /// Publisher-side credit window per subscriber stream, indexed by
+    /// node id. Reset when the subscriber is evicted or this node
+    /// restarts.
+    credit: Vec<CreditWindow>,
+    /// Bounded per-subscriber outbox of payloads awaiting credits,
+    /// indexed by node id; overflow sheds oldest-first.
+    outbox: Vec<VecDeque<OutboxEntry>>,
+    /// Subscriber-side grant accounting: data events absorbed from each
+    /// publisher since the last credit grant, indexed by node id.
+    ungranted: Vec<u32>,
+    /// Loss repayments owed to each publisher: credits minted when a
+    /// stream gap proved its frames destroyed (they spent the publisher's
+    /// credits but consumed no receive capacity here). Flushed every poll
+    /// as a standalone priority-lane `Credit` frame — repayments exist
+    /// precisely while the bulk path is dropping, where a piggybacked
+    /// grant would die with its carrier.
+    repay: Vec<u32>,
+    /// Sender-side cumulative counter (mod 256, never resting on 0) of
+    /// credits piggybacked onto data events toward each subscriber. The
+    /// wire carries the counter, not the increment, so a grant whose
+    /// carrier tail-dropped is re-delivered by the next surviving frame.
+    grant_cum: Vec<u8>,
+    /// Receiver-side cursor: the last piggybacked counter value accepted
+    /// from each publisher; the wrapping difference on arrival is the
+    /// fresh grant.
+    grant_seen: Vec<u8>,
+    /// Whether any data event arrived from each publisher since this
+    /// node's previous poll. A publisher that owes us nothing goes quiet
+    /// naturally; one that went quiet while we still hold sub-threshold
+    /// grant debt is credit-starved — the poll flushes the remainder.
+    data_since_poll: Vec<bool>,
+    /// Remaining polls each subscriber stream stays parked after a
+    /// tail-drop at this node's own uplink queue, indexed by subscriber
+    /// id. A parked stream holds data without burning credits (the local
+    /// NIC said the queue is full — spending more right now is pointless)
+    /// and falls through to the heartbeat path. The park always expires —
+    /// the next data send re-probes the path — so no external frame is
+    /// ever needed to reopen the stream; an early credit grant reopens it
+    /// sooner.
+    choke_park: Vec<u32>,
+    /// Consecutive uplink tail-drops toward each subscriber — the binary
+    /// exponential backoff run (parks of 1, 2, 4, then
+    /// [`CHOKE_PARK_CAP`] polls). Sustained overload therefore converges
+    /// to long parked stretches, which is exactly the consecutive-stall
+    /// signal the degradation ladder keys on; a credit grant resets the
+    /// run.
+    choke_run: Vec<u8>,
+    /// Whether this node's own uplink queue tail-dropped any frame since
+    /// the previous poll. A local qdisc drop is the most direct overload
+    /// evidence a node has — credit stalls can lag it by many polls when
+    /// grant trickle keeps the window half-open — so the degradation
+    /// ladder counts a drop-marred poll as stalled.
+    wire_dropped_since_poll: bool,
+    /// Degradation-ladder level (0 = full fidelity .. [`LADDER_TOP`]).
+    ladder: u8,
+    /// Consecutive polls with a credit-stalled subscriber.
+    stall_run: u32,
+    /// Consecutive polls with no stalled subscriber.
+    clear_run: u32,
+    /// Interned handle for `cluster/<own>/overload`.
+    overload_handle: Option<ProcHandle>,
     /// Self-observability.
     pub stats: DmonStats,
 }
@@ -338,6 +448,20 @@ impl DMon {
             memo: Vec::new(),
             fp_sources: BTreeMap::new(),
             fp_tainted: BTreeSet::new(),
+            credit: vec![CreditWindow::new(); n],
+            outbox: vec![VecDeque::new(); n],
+            ungranted: vec![0; n],
+            repay: vec![0; n],
+            grant_cum: vec![0; n],
+            grant_seen: vec![0; n],
+            data_since_poll: vec![false; n],
+            choke_park: vec![0; n],
+            choke_run: vec![0; n],
+            wire_dropped_since_poll: false,
+            ladder: 0,
+            stall_run: 0,
+            clear_run: 0,
+            overload_handle: None,
             stats: DmonStats::default(),
         }
     }
@@ -536,6 +660,72 @@ impl DMon {
         self.last_sent.get(subscriber.0).map_or(0, Vec::len)
     }
 
+    /// Current degradation-ladder level (0 = full fidelity, 4 =
+    /// summary-only digest).
+    pub fn ladder_level(&self) -> u8 {
+        self.ladder
+    }
+
+    /// Events parked for `sub` awaiting credits.
+    pub fn outbox_len(&self, sub: NodeId) -> usize {
+        self.outbox.get(sub.0).map_or(0, VecDeque::len)
+    }
+
+    /// Credits currently available toward `sub`.
+    pub fn credits_for(&self, sub: NodeId) -> u32 {
+        self.credit.get(sub.0).map_or(0, CreditWindow::available)
+    }
+
+    /// The full credit window toward `sub` (granted/consumed counters
+    /// included), for observability surfaces.
+    pub fn credit_window(&self, sub: NodeId) -> Option<&CreditWindow> {
+        self.credit.get(sub.0)
+    }
+
+    /// The kernel's own uplink queue tail-dropped a data frame bound for
+    /// `sub`. Unlike in-network loss, this IS locally observable (a real
+    /// qdisc reports the drop), so react immediately: choke the stream
+    /// for the next poll — sending again into the same full queue would
+    /// burn another credit — and erase the stream-send timestamp so that
+    /// poll emits a heartbeat on the priority lane instead. The subscriber
+    /// keeps its liveness proof and sees the gap the dropped frame left;
+    /// the poll after that re-probes the path (under sustained overload
+    /// each retry's drop re-chokes, halving the burn rate).
+    pub fn on_wire_drop(&mut self, sub: NodeId) {
+        let Some(run) = self.choke_run.get_mut(sub.0) else {
+            return;
+        };
+        *run = run.saturating_add(1);
+        self.choke_park[sub.0] = (1u32 << u32::from(*run - 1).min(3)).min(CHOKE_PARK_CAP);
+        self.wire_dropped_since_poll = true;
+        if let Some(t) = self.stream_last_send.get_mut(sub.0) {
+            *t = None;
+        }
+    }
+
+    /// Whether the stream toward `sub` is currently parked by a local
+    /// uplink tail-drop backoff.
+    pub fn choked_toward(&self, sub: NodeId) -> bool {
+        self.choke_park.get(sub.0).is_some_and(|&p| p > 0)
+    }
+
+    /// A credit grant from `peer` is fresh evidence the path toward it
+    /// works: reopen a parked stream and reset its drop backoff.
+    fn unchoke(&mut self, peer: NodeId) {
+        if let Some(p) = self.choke_park.get_mut(peer.0) {
+            *p = 0;
+        }
+        if let Some(r) = self.choke_run.get_mut(peer.0) {
+            *r = 0;
+        }
+    }
+
+    /// Read access to the stream tracker observing `peer`'s stream
+    /// (tests, probes).
+    pub fn stream_tracker(&self, peer: NodeId) -> Option<&StreamTracker> {
+        self.trackers.get(peer.0)
+    }
+
     /// Crash-stop restart: volatile state (deployed policies/filters,
     /// remote views, stream positions, detector state) is lost; the
     /// incarnation is bumped so peers recognize the restart. Lifetime
@@ -555,6 +745,24 @@ impl DMon {
         self.deployed_ctl.clear();
         self.pending_resync.clear();
         self.sent_per_sub.fill(0);
+        // Flow-control and overload state is volatile too: windows reopen
+        // full, parked payloads died with the kernel, the ladder restarts
+        // at full fidelity.
+        self.credit
+            .iter_mut()
+            .for_each(|w| *w = CreditWindow::new());
+        self.outbox.iter_mut().for_each(VecDeque::clear);
+        self.ungranted.fill(0);
+        self.repay.fill(0);
+        self.grant_cum.fill(0);
+        self.grant_seen.fill(0);
+        self.data_since_poll.fill(false);
+        self.choke_park.fill(0);
+        self.choke_run.fill(0);
+        self.wire_dropped_since_poll = false;
+        self.ladder = 0;
+        self.stall_run = 0;
+        self.clear_run = 0;
         // Interned /proc handles survive: the host (and its proc tree)
         // persists across a crash-restart in this model, so the paths they
         // name are still the right files. Stale remote schema mappings do
@@ -564,12 +772,40 @@ impl DMon {
     }
 
     /// Fold a liveness proof from `origin` into the detector + trackers.
-    fn note_alive(&mut self, origin: NodeId, epoch: u32, stream_seq: u32, now: SimTime) {
+    /// Returns the stream observation so callers can react to gaps.
+    fn note_alive(
+        &mut self,
+        origin: NodeId,
+        epoch: u32,
+        stream_seq: u32,
+        now: SimTime,
+    ) -> Observation {
         if origin == self.node {
-            return;
+            return Observation::default();
         }
         let obs = self.trackers[origin.0].observe(epoch, stream_seq);
-        self.stats.gaps_detected += obs.missing.len() as u64;
+        self.stats.gaps_detected += obs.lost;
+        // A proven-lost frame spent one of the publisher's credits but
+        // consumed none of our receive capacity: repay it, so the window
+        // bounds in-flight plus not-yet-revealed loss instead of deflating
+        // permanently. Wire loss still throttles the stream for exactly
+        // the reveal lag — a loss is only repaid once a later arrival or
+        // heartbeat proves the gap — which is the backpressure the choke
+        // and ladder key on. Once the path heals, the repayments walk the
+        // window back to full strength; absorbed-data grants alone are
+        // one-for-one and would leave a post-overload stream limping on a
+        // deflated window forever.
+        self.repay[origin.0] =
+            self.repay[origin.0].saturating_add(u32::try_from(obs.lost).unwrap_or(u32::MAX));
+        if obs.healed {
+            // A straggler disproved an earlier loss accusation (see
+            // `Observation::healed`); keep the counter exact — and take
+            // back the credit the false accusation minted (the arrival
+            // itself earns the ordinary absorbed-data credit in
+            // `on_event`).
+            self.stats.gaps_detected = self.stats.gaps_detected.saturating_sub(1);
+            self.repay[origin.0] = self.repay[origin.0].saturating_sub(1);
+        }
         let rec = self.peers[origin.0].get_or_insert(PeerRecord {
             last_heard: now,
             health: PeerHealth::Fresh,
@@ -582,6 +818,7 @@ impl DMon {
         if recovered && !self.pending_resync.contains(&origin) {
             self.pending_resync.push(origin);
         }
+        obs
     }
 
     /// The channel registry announced that `peer` (re-)subscribed. A
@@ -743,24 +980,200 @@ impl DMon {
         for &peer in &dead_peers {
             self.last_sent[peer.0] = Vec::new();
             self.stream_last_send[peer.0] = None;
+            // Flow-control state dies with the stream: parked payloads
+            // for a dead subscriber are shed, its window reopens full for
+            // a possible recovery, grant accounting toward it resets.
+            while let Some(e) = self.outbox[peer.0].pop_front() {
+                kecho::put_record_buf(e.records);
+                self.stats.events_shed += 1;
+            }
+            self.credit[peer.0] = CreditWindow::new();
+            self.ungranted[peer.0] = 0;
+            self.repay[peer.0] = 0;
+            self.grant_cum[peer.0] = 0;
+            self.grant_seen[peer.0] = 0;
+            self.data_since_poll[peer.0] = false;
+            self.choke_park[peer.0] = 0;
+            self.choke_run[peer.0] = 0;
         }
 
         // 3. Per subscriber: parameters or filter decide what to send; a
         // stream with no data this round carries a heartbeat instead, so
         // silence-by-filter stays distinguishable from death. Peers this
         // detector already declared Dead get nothing — that is the point.
+        //
+        // Data events pass through the subscriber's credit window first:
+        // a payload is parked in the bounded outbox and only leaves when
+        // a credit is available (oldest-first; overflow sheds oldest).
+        // Heartbeats never consume credits — a stalled stream still
+        // proves this node alive.
+        let stretch = LADDER_STRETCH[self.ladder as usize];
+        let data_poll = self.stats.iterations.is_multiple_of(stretch);
+        let mut stalled_any = false;
         for sub in dir.subscribers(mon_chan) {
             if sub == self.node || self.peer_health(sub) == Some(PeerHealth::Dead) {
                 continue;
             }
-            let records = self.select_records(sub, &samples, now, calib, &mut cpu);
-            if records.is_empty() {
+            let mut records = if data_poll {
+                self.select_records(sub, &samples, now, calib, &mut cpu)
+            } else {
+                // Stretched-away poll: the ladder trades update rate for
+                // relief; liveness rides on heartbeats below.
+                Vec::new()
+            };
+            // Ladder levels 2+ coarsen: only meaningfully-changed samples
+            // survive. Levels 3+ shed low-priority modules entirely; the
+            // top level keeps a single-metric digest.
+            if self.ladder >= 2 {
+                records.retain(|r| {
+                    (r.value - r.last_value_sent).abs()
+                        > LADDER_DELTA_GATE * r.last_value_sent.abs()
+                });
+            }
+            if self.ladder >= 3 {
+                let keep = if self.ladder >= LADDER_TOP { 1 } else { 2 };
+                records.retain(|r| (r.metric_id as usize) < keep);
+            }
+            if !records.is_empty() {
+                let row = &mut self.last_sent[sub.0];
+                if row.len() < self.modules.len() {
+                    row.resize(self.modules.len(), None);
+                }
+                for r in &records {
+                    if let Some(slot) = row.get_mut(r.metric_id as usize) {
+                        *slot = Some((r.value, now));
+                    }
+                }
+                // Records for run-time-registered modules carry their
+                // schema (metric + /proc file names) so any subscriber can
+                // interpret them — ECho's typed events, in miniature. The
+                // schema text lives in `ext_schema` (rebuilt on
+                // registration); the common all-base-modules case stays
+                // allocation-free.
+                let ext_names: Vec<(u32, String, String)> = if self.ext_schema.is_empty() {
+                    Vec::new()
+                } else {
+                    self.ext_schema
+                        .iter()
+                        .filter(|(id, _, _)| records.iter().any(|r| r.metric_id == *id))
+                        .cloned()
+                        .collect()
+                };
+                self.outbox[sub.0].push_back(OutboxEntry { records, ext_names });
+                if self.outbox[sub.0].len() > OUTBOX_CAP {
+                    let e = self.outbox[sub.0].pop_front().expect("outbox over cap");
+                    kecho::put_record_buf(e.records);
+                    self.stats.events_shed += 1;
+                }
+            }
+            // Drain the outbox as far as credits allow. Sequence numbers
+            // are stamped here, at the actual send, so parked or shed
+            // payloads leave no hole in the stream.
+            // A tail-drop park is evidence about the uplink queue, not a
+            // standing verdict: it always expires (counting down here),
+            // after which the stream re-probes the path, so no external
+            // frame is ever required to reopen it. Holding the choke until
+            // a grant arrived would deadlock now that grants piggyback on
+            // reverse data — a peer with zero grant debt has no frame to
+            // unchoke with.
+            let choked = self.choke_park[sub.0] > 0;
+            if choked {
+                self.choke_park[sub.0] -= 1;
+            }
+            let mut sent_data = false;
+            while !choked && !self.outbox[sub.0].is_empty() {
+                if !self.credit[sub.0].try_consume() {
+                    break;
+                }
+                let e = self.outbox[sub.0].pop_front().expect("checked non-empty");
+                self.seq += 1;
+                // Piggyback this node's grant debt for the reverse stream:
+                // a subscriber that also publishes tops its peers up on
+                // data it was sending anyway, so steady-state flow control
+                // in a bidirectional mesh adds no standalone Credit frames
+                // (which are charged per event by the NIC-interrupt
+                // interference model the Iperf probe reproduces). The wire
+                // byte is a *cumulative* counter, not the increment: if
+                // this frame tail-drops, the next surviving frame's byte
+                // re-delivers the grant, so a write-off here can never
+                // strand credits. Streams whose own spend toward the peer
+                // is going unacknowledged skip the attach — their bulk
+                // frames are probably dying, so the debt is left for the
+                // loss-immune priority-lane Credit frame instead.
+                if !self.credit[sub.0].grant_overdue() {
+                    let mut grant = self.ungranted[sub.0].min(u32::from(u8::MAX));
+                    if grant > 0 && self.grant_cum[sub.0].wrapping_add(grant as u8) == 0 {
+                        // The counter never rests on 0 (0 on the wire
+                        // means "no grant info"): defer one credit so the
+                        // cursor arithmetic stays unambiguous.
+                        grant -= 1;
+                    }
+                    self.grant_cum[sub.0] = self.grant_cum[sub.0].wrapping_add(grant as u8);
+                    self.ungranted[sub.0] -= grant;
+                }
+                let grant = u32::from(self.grant_cum[sub.0]);
+                let mut ev = Event::monitoring(
+                    mon_chan.0,
+                    self.seq,
+                    self.node,
+                    MonitoringPayload {
+                        origin: self.node,
+                        epoch: self.epoch,
+                        stream_seq: self.next_stream_seq(sub),
+                        credit_grant: grant,
+                        records: e.records,
+                        pad_bytes: self.event_pad,
+                        ext_names: e.ext_names,
+                    },
+                );
+                // Streams are customized per subscriber, so every
+                // monitoring event is addressed — the central-concentrator
+                // topology needs the final destination to relay.
+                ev.target = Some(sub);
+                let bytes = kecho::wire::encoded_size(&ev);
+                let handler = calib.submit_cost(bytes);
+                cpu += handler + calib.kernel_path_send;
+                self.stats.events_sent += 1;
+                self.stats.bytes_sent += bytes as u64;
+                self.stats.submit_cost_partial(handler);
+                self.sent_per_sub[sub.0] += 1;
+                self.stream_last_send[sub.0] = Some(now);
+                sent_data = true;
+                sends.push((
+                    Hop {
+                        from: self.node,
+                        to: sub,
+                    },
+                    ev,
+                    bytes,
+                ));
+            }
+            if !self.outbox[sub.0].is_empty() {
+                self.stats.credits_stalled += 1;
+                stalled_any = true;
+            }
+            // A grant is overdue when the stream has spent well past the
+            // grant threshold without hearing back — the subscriber has
+            // stopped absorbing, which under bounded link queues means
+            // the data frames are probably dying in the network. Data
+            // sends normally substitute for heartbeats, but frames that
+            // never arrive prove nothing: pair the stream with explicit
+            // priority-lane heartbeats until a grant lands, so the
+            // subscriber keeps its liveness proof (and its gap
+            // accounting) however lossy the bulk lane is.
+            let overdue = self.credit[sub.0].grant_overdue();
+            if !sent_data || overdue {
                 // Heartbeats are rate-limited to `heartbeat_every`, not
                 // one per poll: a preformatted liveness packet only needs
                 // to outpace the peer's stale bound, and Figs. 4/6 depend
-                // on filtered streams staying nearly free.
+                // on filtered streams staying nearly free. A
+                // credit-stalled stream reaches here too — the subscriber
+                // keeps hearing the publisher is alive even while it
+                // cannot absorb data. An overdue stream skips the rate
+                // limit: its own data sends reset the silence clock while
+                // proving nothing.
                 let silence = self.stream_last_send[sub.0].map_or(SimDur::MAX, |t| now.since(t));
-                if silence < self.heartbeat_every {
+                if !overdue && silence < self.heartbeat_every {
                     continue;
                 }
                 self.seq += 1;
@@ -788,61 +1201,55 @@ impl DMon {
                     ev,
                     bytes,
                 ));
-                continue;
             }
-            let row = &mut self.last_sent[sub.0];
-            if row.len() < self.modules.len() {
-                row.resize(self.modules.len(), None);
-            }
-            for r in &records {
-                if let Some(slot) = row.get_mut(r.metric_id as usize) {
-                    *slot = Some((r.value, now));
-                }
-            }
-            self.seq += 1;
-            // Records for run-time-registered modules carry their schema
-            // (metric + /proc file names) so any subscriber can interpret
-            // them — ECho's typed events, in miniature. The schema text
-            // lives in `ext_schema` (rebuilt on registration); the common
-            // all-base-modules case stays allocation-free.
-            let ext_names: Vec<(u32, String, String)> = if self.ext_schema.is_empty() {
-                Vec::new()
+        }
+
+        // 3b. Subscriber side of flow control: top up publishers whose
+        // data this node has absorbed since its last grant. Decided at
+        // poll time (not per arrival), so grants are replay-safe and
+        // batch to about one control frame per window half.
+        let mut grants: Vec<(NodeId, u32)> = Vec::new();
+        for idx in 0..self.ungranted.len() {
+            // Batch absorbed-data grants behind the threshold — but flush
+            // any remainder when the publisher's data stream has gone
+            // quiet: a stalled publisher trickling below the threshold
+            // would otherwise never be topped back up (credit deadlock
+            // after wire loss).
+            let pending = self.ungranted[idx];
+            let quiet_debt = pending > 0 && !self.data_since_poll[idx];
+            let absorbed = if pending >= GRANT_THRESHOLD || quiet_debt {
+                pending
             } else {
-                self.ext_schema
-                    .iter()
-                    .filter(|(id, _, _)| records.iter().any(|r| r.metric_id == *id))
-                    .cloned()
-                    .collect()
+                0
             };
-            let mut ev = Event::monitoring(
-                mon_chan.0,
+            // Loss repayments ship immediately, never batched: they exist
+            // precisely while the publisher's bulk frames are dying, when
+            // a starved window is the bottleneck and a piggybacked grant
+            // would die with its carrier. The standalone frame rides the
+            // priority lane, so it is loss-immune.
+            let credits = absorbed + self.repay[idx];
+            if credits > 0 {
+                grants.push((NodeId(idx), credits));
+                self.ungranted[idx] -= absorbed;
+                self.repay[idx] = 0;
+            }
+        }
+        self.data_since_poll.fill(false);
+        for (publisher, credits) in grants {
+            self.seq += 1;
+            let ev = Event::control(
+                ctl_chan.0,
                 self.seq,
                 self.node,
-                MonitoringPayload {
-                    origin: self.node,
-                    epoch: self.epoch,
-                    stream_seq: self.next_stream_seq(sub),
-                    records,
-                    pad_bytes: self.event_pad,
-                    ext_names,
-                },
+                publisher,
+                ControlMsg::Credit { credits },
             );
-            // Streams are customized per subscriber, so every monitoring
-            // event is addressed — the central-concentrator topology needs
-            // the final destination to relay.
-            ev.target = Some(sub);
             let bytes = kecho::wire::encoded_size(&ev);
-            let handler = calib.submit_cost(bytes);
-            cpu += handler + calib.kernel_path_send;
-            self.stats.events_sent += 1;
-            self.stats.bytes_sent += bytes as u64;
-            self.stats.submit_cost_partial(handler);
-            self.sent_per_sub[sub.0] += 1;
-            self.stream_last_send[sub.0] = Some(now);
+            cpu += calib.submit_cost(bytes) + calib.kernel_path_send;
             sends.push((
                 Hop {
                     from: self.node,
-                    to: sub,
+                    to: publisher,
                 },
                 ev,
                 bytes,
@@ -881,6 +1288,58 @@ impl DMon {
                 Err(()) => self.stats.control_errors += 1,
             }
         }
+
+        // 5b. Degradation ladder: sustained credit stalls step this node
+        // down one level at a time (stretch the update period → coarsen
+        // thresholds → drop low-priority modules → summary-only digest);
+        // stepping back up needs a hysteresis run of clear polls AND fully
+        // drained outboxes, so a borderline load cannot flap the level.
+        let outboxes_empty = self.outbox.iter().all(VecDeque::is_empty);
+        // A poll marred by a local uplink tail-drop counts as stalled even
+        // if every outbox drained: the NIC is refusing this node's own
+        // output, which is overload however healthy the credit windows
+        // still look (grant trickle from delivered frames can hold them
+        // half-open for many polls).
+        let stalled_any = stalled_any || std::mem::take(&mut self.wire_dropped_since_poll);
+        if stalled_any {
+            self.stall_run += 1;
+            self.clear_run = 0;
+        } else {
+            self.clear_run += 1;
+            self.stall_run = 0;
+        }
+        if self.stall_run >= LADDER_DOWN_AFTER && self.ladder < LADDER_TOP {
+            self.ladder += 1;
+            self.stats.ladder_transitions += 1;
+            self.stall_run = 0;
+        }
+        if self.clear_run >= LADDER_UP_AFTER && self.ladder > 0 && outboxes_empty {
+            self.ladder -= 1;
+            self.stats.ladder_transitions += 1;
+            self.clear_run = 0;
+        }
+        let oh = match self.overload_handle {
+            Some(h) => h,
+            None => {
+                let own = &self.cluster_names[self.node.0];
+                let h = host
+                    .proc
+                    .intern(&format!("cluster/{own}/overload"))
+                    .expect("own overload path");
+                self.overload_handle = Some(h);
+                h
+            }
+        };
+        let buf = host.proc.handle_buf(oh);
+        buf.clear();
+        buf.push_str("level ");
+        fastfmt::push_u64(buf, u64::from(self.ladder));
+        buf.push_str(" events_shed ");
+        fastfmt::push_u64(buf, self.stats.events_shed);
+        buf.push_str(" credits_stalled ");
+        fastfmt::push_u64(buf, self.stats.credits_stalled);
+        buf.push_str(" ladder_transitions ");
+        fastfmt::push_u64(buf, self.stats.ladder_transitions);
 
         // 6. Close the iteration's books.
         cpu += calib.receive_poll_cost;
@@ -1188,7 +1647,9 @@ impl DMon {
                     log.push(msg.clone());
                 }
             }
-            ControlMsg::Announce | ControlMsg::FilterRejected { .. } => {}
+            ControlMsg::Announce
+            | ControlMsg::FilterRejected { .. }
+            | ControlMsg::Credit { .. } => {}
         }
     }
 
@@ -1207,7 +1668,33 @@ impl DMon {
             return SimDur::ZERO;
         };
         let origin = payload.origin;
-        self.note_alive(origin, payload.epoch, payload.stream_seq, now);
+        let obs = self.note_alive(origin, payload.epoch, payload.stream_seq, now);
+        if origin != self.node {
+            // Grant accounting: this arrival consumed one of the credits
+            // we granted the publisher; the next poll tops it back up once
+            // enough have accumulated.
+            self.ungranted[origin.0] = self.ungranted[origin.0].saturating_add(1);
+            self.data_since_poll[origin.0] = true;
+            // The piggybacked-grant counter for our reverse stream. Only
+            // stream-advancing arrivals move the cursor: a reordered
+            // straggler carries an outdated counter whose wrapping delta
+            // would read as a huge bogus grant. A restarted publisher
+            // starts a fresh counter, so the cursor restarts with it.
+            if obs.restarted {
+                self.grant_seen[origin.0] = 0;
+            }
+            let cum = payload.credit_grant.min(u32::from(u8::MAX)) as u8;
+            if cum != 0 && !obs.stale {
+                let delta = cum.wrapping_sub(self.grant_seen[origin.0]);
+                self.grant_seen[origin.0] = cum;
+                if delta > 0 {
+                    if let Some(w) = self.credit.get_mut(origin.0) {
+                        w.grant(u32::from(delta));
+                    }
+                    self.unchoke(origin);
+                }
+            }
+        }
         for (id, metric, file) in &payload.ext_names {
             let known = self
                 .remote_ext
@@ -1287,6 +1774,10 @@ impl DMon {
         let Some(hb) = ev.as_heartbeat() else {
             return SimDur::ZERO;
         };
+        // Loss repayment happens inside `note_alive`: a heartbeat that
+        // reveals a gap proves the publisher alive with its data dying on
+        // the wire, and the repaid credits let it re-probe the path
+        // without waiting a full round-trip of absorbed data.
         self.note_alive(hb.origin, hb.epoch, hb.stream_seq, now);
         self.stats.heartbeats_received += 1;
         calib.heartbeat_cost
@@ -1371,6 +1862,16 @@ impl DMon {
                 ControlOutcome::cost(calib.policy_eval)
             }
             ControlMsg::Announce => ControlOutcome::cost(SimDur::ZERO),
+            ControlMsg::Credit { credits } => {
+                // We are the publisher: the subscriber absorbed data and
+                // reopens our window toward it. A grant is also fresh
+                // evidence the path works, so a choked stream reopens.
+                if let Some(w) = self.credit.get_mut(from.0) {
+                    w.grant(*credits);
+                }
+                self.unchoke(from);
+                ControlOutcome::cost(calib.policy_eval)
+            }
             ControlMsg::FilterRejected { reason } => {
                 // We are the subscriber: a publisher refused our filter.
                 self.rejections.insert(from, reason.clone());
@@ -1735,6 +2236,7 @@ mod tests {
                 origin: NodeId(2),
                 epoch: 0,
                 stream_seq: 0,
+                credit_grant: 0,
                 records: vec![MonRecord {
                     metric_id: 0,
                     value: 2.5,
@@ -1860,6 +2362,7 @@ mod tests {
                 origin,
                 epoch,
                 stream_seq: sseq,
+                credit_grant: 0,
                 records: vec![MonRecord {
                     metric_id: 0,
                     value: 1.0,
@@ -2166,5 +2669,73 @@ mod tests {
         dmon.fp_sources.insert(fp, "{ something else }".into());
         dmon.note_filter_fingerprint("{ int a = 1; }");
         assert!(dmon.fp_tainted.contains(&fp));
+    }
+
+    #[test]
+    fn stalled_outbox_sheds_oldest_and_drains_on_grant() {
+        use kecho::INITIAL_CREDITS;
+        let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Keep the failure detector out of the picture: this test never
+        // delivers a frame, and eviction would reap the outboxes we are
+        // trying to overflow.
+        dmon.set_failure_bounds(SimDur::from_secs(100_000), SimDur::from_secs(200_000));
+
+        // No grant ever arrives, so each stream burns its initial window
+        // and parks events. The credit famine also walks the ladder down —
+        // stretched polls plus the change-coarsening gate slow production,
+        // so the load must keep moving for the digest records to keep
+        // passing the gate and overflow the bounded outbox. A period-3
+        // run-queue sawtooth (coprime with the top rung's stretch of 4)
+        // guarantees every stretched sample sees a >10 % swing; polls sit
+        // 120 s apart so the 60 s loadavg window settles between them.
+        let polls = 220u64;
+        let t = |s: u64| SimTime::from_secs(120 * s);
+        let mut burst: Vec<simos::cpu::TaskId> = Vec::new();
+        for s in 1..=polls {
+            if s % 3 == 0 {
+                for id in burst.drain(..) {
+                    host.cpu.kill(t(s), id);
+                }
+            } else {
+                for k in 0..4 {
+                    burst.push(host.cpu.spawn_compute(t(s), format!("burst{s}-{k}")));
+                }
+            }
+            dmon.poll(&mut host, &dir, mon, ctl, t(s), &calib);
+            for peer in [NodeId(1), NodeId(2)] {
+                assert!(dmon.outbox_len(peer) <= OUTBOX_CAP, "outbox over cap");
+            }
+        }
+        assert_eq!(dmon.outbox_len(NodeId(1)), OUTBOX_CAP, "backlog at cap");
+        assert_eq!(dmon.outbox_len(NodeId(2)), OUTBOX_CAP, "backlog at cap");
+        assert_eq!(dmon.credits_for(NodeId(1)), 0, "window exhausted");
+        assert!(dmon.stats.events_shed > 0, "overflow shed nothing");
+        assert!(dmon.stats.credits_stalled > 0, "stall polls were counted");
+        assert!(dmon.ladder_level() > 0, "famine never engaged the ladder");
+        assert_eq!(
+            dmon.stats.events_sent,
+            2 * u64::from(INITIAL_CREDITS),
+            "nothing left this node once the windows emptied"
+        );
+
+        // A grant from one subscriber reopens exactly that stream: the
+        // backlog drains oldest-first up to the granted budget while the
+        // other stream stays parked at the cap.
+        dmon.on_control(
+            NodeId(1),
+            &ControlMsg::Credit {
+                credits: INITIAL_CREDITS,
+            },
+            &calib,
+        );
+        let out = dmon.poll(&mut host, &dir, mon, ctl, t(polls + 1), &calib);
+        let to1 = out
+            .sends
+            .iter()
+            .filter(|(h, ev, _)| h.to == NodeId(1) && ev.as_monitoring().is_some())
+            .count();
+        assert_eq!(to1 as u32, INITIAL_CREDITS, "drained the granted budget");
+        assert!(dmon.outbox_len(NodeId(1)) < OUTBOX_CAP);
+        assert_eq!(dmon.outbox_len(NodeId(2)), OUTBOX_CAP, "no cross-talk");
     }
 }

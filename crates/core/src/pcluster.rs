@@ -50,7 +50,7 @@ use simcore::stats::Sampler;
 use simcore::{SimDur, SimTime};
 use simnet::link::{BytesWindow, DirLink, LinkSpec};
 use simnet::traffic::FlowTable;
-use simnet::{ConnId, FaultAction, FaultState, Network, NodeId, SplitNet};
+use simnet::{ConnId, FaultAction, FaultState, Network, NodeId, SplitNet, TrafficClass};
 use simos::cpu::TaskState;
 use simos::host::Host;
 use simos::workload::Linpack;
@@ -59,7 +59,7 @@ use simos::TaskId;
 use kecho::{wire, ChannelId, Directory, Event, EventKind, Hop, Topology};
 
 use crate::calib::Calib;
-use crate::cluster::ClusterWorld;
+use crate::cluster::{class_of, ClusterWorld};
 use crate::dmon::DMon;
 
 /// Typed cluster events (the serial driver uses boxed closures; the
@@ -265,12 +265,34 @@ impl PShard {
             );
             return;
         }
+        let class = class_of(&ev);
+        let wire_len = sh.spec.wire_bytes(bytes) as u64;
         let first_pkt = bytes.min(sh.spec.mtu_payload);
-        let up = &mut self.nodes[self.local[hop.from.0]].uplink;
+        let from_local = self.local[hop.from.0];
+        let up = &mut self.nodes[from_local].uplink;
+        if class == TrafficClass::Bulk && !up.admit(now, wire_len) {
+            // Uplink tail-drop: the counters above already ran (serial
+            // bumps them unconditionally at the top of `send_class`), but
+            // no wire effect is emitted — the message never leaves. The
+            // sender's d-mon lives on this shard, so the choke mirrors
+            // serial `transmit` exactly.
+            if ev.kind == EventKind::Monitoring && hop.from == ev.sender {
+                if let Some(sub) = ev.target {
+                    self.nodes[from_local].dmon.on_wire_drop(sub);
+                }
+            }
+            return;
+        }
         let t_up = up.tx_time_now(bytes);
         let t_up_first = up.tx_time_now(first_pkt);
-        let (up_start, up_finish) = up.reserve(now, t_up);
+        let (up_start, up_finish) = match class {
+            TrafficClass::Bulk => up.reserve(now, t_up),
+            TrafficClass::Priority => (now, now + t_up),
+        };
         up.account(now, bytes);
+        if class == TrafficClass::Bulk {
+            up.occupy(up_finish, wire_len);
+        }
         let head_at_switch = up_start + t_up_first + sh.spec.latency;
         out.fx(PFx::WireSend {
             hop,
@@ -576,16 +598,37 @@ impl Coordinator<PShard> for PCoord {
                 up_finish,
                 head_at_switch,
             } => {
-                // Downlink half of `Network::send`, identical arithmetic.
+                // Downlink half of `Network::send_class`, identical
+                // arithmetic. WireSend replays in exact serial order, so
+                // the downlink queue (admit/occupy) evolves identically.
+                let class = class_of(&ev);
+                let wire_len = shared.spec.wire_bytes(bytes) as u64;
                 let first_pkt = bytes.min(shared.spec.mtu_payload);
                 let down = &mut shared.downs[hop.to.0];
+                if class == TrafficClass::Bulk && !down.admit(send_now, wire_len) {
+                    // Downlink tail-drop: the uplink half already ran on
+                    // the sender's shard (as in serial); nothing arrives.
+                    return;
+                }
                 let t_down = down.tx_time_now(bytes);
                 let t_down_first = down.tx_time_now(first_pkt);
-                let (down_start, down_finish0) = down.reserve(head_at_switch, t_down);
                 let tail_constraint = up_finish + shared.spec.latency + t_down_first;
-                let down_finish = down_finish0.max(tail_constraint);
-                down.extend_busy(down_finish);
+                let (down_start, down_finish) = match class {
+                    TrafficClass::Bulk => {
+                        let (start, finish0) = down.reserve(head_at_switch, t_down);
+                        let finish = finish0.max(tail_constraint);
+                        down.extend_busy(finish);
+                        (start, finish)
+                    }
+                    TrafficClass::Priority => {
+                        let finish = (head_at_switch + t_down).max(tail_constraint);
+                        (head_at_switch, finish)
+                    }
+                };
                 down.account(send_now, bytes);
+                if class == TrafficClass::Bulk {
+                    down.occupy(down_finish, wire_len);
+                }
                 let deliver_at = down_finish + shared.spec.latency;
                 let queued = (up_start - send_now) + (down_start - head_at_switch);
                 sched.schedule(

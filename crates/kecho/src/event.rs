@@ -39,6 +39,18 @@ pub struct MonitoringPayload {
     /// Position in the per-(publisher, subscriber) stream. Consecutive on
     /// each stream (heartbeats occupy slots too); a skip means loss.
     pub stream_seq: u32,
+    /// Piggybacked flow-control counter for the *reverse* stream
+    /// (receiver publishes to this event's sender too): a cumulative
+    /// mod-256 total of the credits the sender, as subscriber, has
+    /// granted by piggyback — the receiver grants itself the wrapping
+    /// difference from the last counter value it saw. Carrying the
+    /// running total instead of an increment makes the channel
+    /// loss-tolerant (the next surviving frame re-delivers what a
+    /// tail-dropped carrier held), and steady-state flow control in a
+    /// bidirectional mesh costs zero standalone [`ControlMsg::Credit`]
+    /// frames. One byte on the wire, present only when non-zero; the
+    /// counter never rests on zero once a grant has been made.
+    pub credit_grant: u32,
     /// The records that survived parameters/filters.
     pub records: Vec<MonRecord>,
     /// Extra bytes of payload, modeling event bodies beyond the record
@@ -111,6 +123,14 @@ pub enum ControlMsg {
     FilterRejected {
         /// Why the filter was not admitted.
         reason: String,
+    },
+    /// Flow-control grant from a subscriber: the sending publisher may
+    /// emit this many more data events on the (publisher, subscriber)
+    /// stream (see the [`crate::credit`] module). Control frames
+    /// themselves never consume credits.
+    Credit {
+        /// Additional data events permitted.
+        credits: u32,
     },
 }
 
@@ -278,6 +298,7 @@ mod tests {
                 origin: NodeId(0),
                 epoch: 0,
                 stream_seq: 0,
+                credit_grant: 0,
                 records: vec![],
                 pad_bytes: 0,
                 ext_names: Vec::new(),

@@ -23,15 +23,17 @@
 //! cluster glue in `dproc` turns hops into `simnet` sends and schedules
 //! deliveries.
 
+pub mod credit;
 pub mod directory;
 pub mod event;
 pub mod stream;
 pub mod wire;
 
+pub use credit::{CreditWindow, GRANT_OVERDUE, GRANT_THRESHOLD, INITIAL_CREDITS, OUTBOX_CAP};
 pub use directory::{ChannelId, Directory, Hop, Topology};
 pub use event::{
     put_record_buf, take_record_buf, ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord,
     MonitoringPayload, ParamSpec,
 };
-pub use stream::{Observation, StreamTracker};
+pub use stream::{Observation, StreamTracker, MAX_GAP_RANGES};
 pub use wire::{decode_event, encode_event, WireError};

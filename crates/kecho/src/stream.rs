@@ -9,18 +9,37 @@
 //! crashed and came back, so expectations reset instead of charging the
 //! whole lost tail as loss.
 
+/// Hard cap on the gap ranges a tracker retains. A long partition proves
+/// millions of sequence numbers lost; remembering them individually would
+/// grow without bound, so the log keeps at most this many coalesced
+/// `(first, last)` ranges and forgets the oldest beyond it. The exact
+/// *count* of lost positions is always preserved in [`StreamTracker::gaps`].
+pub const MAX_GAP_RANGES: usize = 32;
+
 /// What one arrival told us about the stream.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Observation {
-    /// Sequence numbers proven lost: everything between the last arrival
-    /// and this one, exclusive. Empty when the stream is contiguous.
-    pub missing: Vec<u32>,
+    /// Sequence numbers proven lost, as an inclusive `(first, last)`
+    /// range: everything between the last arrival and this one,
+    /// exclusive. `None` when the stream is contiguous. A gap is always
+    /// one contiguous run, so this is O(1) memory no matter how long the
+    /// outage was.
+    pub missing: Option<(u32, u32)>,
+    /// Exact number of lost positions in `missing` (`0` when contiguous).
+    pub lost: u64,
     /// The publisher restarted (first contact in a new epoch). Missing
     /// numbers are never reported for a restart.
     pub restarted: bool,
     /// The arrival was from the past — a duplicate, a reordered
     /// straggler, or an old incarnation. It does not advance the stream.
     pub stale: bool,
+    /// The arrival retroactively *cleared* a position previously counted
+    /// lost: nothing in this protocol is ever retransmitted, so a
+    /// same-epoch straggler below the expected position can only be an
+    /// in-flight frame the tracker accused too eagerly (a priority-lane
+    /// heartbeat outran it through a queued bulk lane). The loss counters
+    /// have already been rolled back when this is set.
+    pub healed: bool,
 }
 
 /// Continuity state for one incoming stream.
@@ -34,6 +53,9 @@ pub struct StreamTracker {
     gaps: u64,
     /// Total restarts observed.
     restarts: u64,
+    /// Recent lost ranges, inclusive, coalesced when adjacent and capped
+    /// at [`MAX_GAP_RANGES`] (oldest forgotten first).
+    gap_log: Vec<(u32, u32)>,
 }
 
 impl StreamTracker {
@@ -60,14 +82,78 @@ impl StreamTracker {
                     obs.restarted = true;
                 } else if epoch < self.epoch || seq < expected {
                     obs.stale = true;
+                    if epoch == self.epoch && self.unlog_gap(seq) {
+                        // A current-epoch straggler that fills a recorded
+                        // gap: the frame was in flight, not lost. Without
+                        // retransmission that is the only way a position
+                        // can arrive twice, so rolling the count back
+                        // keeps `gaps` exact under reordering.
+                        self.gaps = self.gaps.saturating_sub(1);
+                        obs.healed = true;
+                    }
                 } else {
-                    obs.missing = (expected..seq).collect();
-                    self.gaps += obs.missing.len() as u64;
+                    if seq > expected {
+                        obs.missing = Some((expected, seq - 1));
+                        obs.lost = u64::from(seq - expected);
+                        self.gaps += obs.lost;
+                        self.log_gap(expected, seq - 1);
+                    }
                     self.next = Some(seq.wrapping_add(1));
                 }
             }
         }
         obs
+    }
+
+    /// Remove one position from the gap log (a straggler disproved the
+    /// accusation). Returns whether the position was found; splitting a
+    /// range may grow the log, so the cap is re-enforced here too.
+    fn unlog_gap(&mut self, seq: u32) -> bool {
+        let Some(i) = self
+            .gap_log
+            .iter()
+            .position(|&(first, last)| first <= seq && seq <= last)
+        else {
+            return false;
+        };
+        let (first, last) = self.gap_log[i];
+        match (seq == first, seq == last) {
+            (true, true) => {
+                self.gap_log.remove(i);
+            }
+            (true, false) => self.gap_log[i].0 = seq + 1,
+            (false, true) => self.gap_log[i].1 = seq - 1,
+            (false, false) => {
+                self.gap_log[i].1 = seq - 1;
+                self.gap_log.insert(i + 1, (seq + 1, last));
+                if self.gap_log.len() > MAX_GAP_RANGES {
+                    self.gap_log.remove(0);
+                }
+            }
+        }
+        true
+    }
+
+    /// Append a lost range to the bounded log, coalescing with the
+    /// previous entry when contiguous.
+    fn log_gap(&mut self, first: u32, last: u32) {
+        if let Some(tail) = self.gap_log.last_mut() {
+            if tail.1.wrapping_add(1) == first {
+                tail.1 = last;
+                return;
+            }
+        }
+        if self.gap_log.len() == MAX_GAP_RANGES {
+            self.gap_log.remove(0);
+        }
+        self.gap_log.push((first, last));
+    }
+
+    /// Recent lost ranges, inclusive, oldest first — at most
+    /// [`MAX_GAP_RANGES`] entries.
+    #[must_use]
+    pub fn gap_ranges(&self) -> &[(u32, u32)] {
+        &self.gap_log
     }
 
     /// Has this stream ever delivered?
@@ -113,18 +199,20 @@ mod tests {
     fn first_contact_mid_stream_is_not_a_gap() {
         let mut t = StreamTracker::new();
         let obs = t.observe(3, 500);
-        assert!(obs.missing.is_empty());
+        assert!(obs.missing.is_none());
         assert!(!obs.restarted);
         assert_eq!(t.observe(3, 501), Observation::default());
     }
 
     #[test]
-    fn skip_reports_exact_missing_numbers() {
+    fn skip_reports_exact_missing_range() {
         let mut t = StreamTracker::new();
         t.observe(0, 0);
         let obs = t.observe(0, 5);
-        assert_eq!(obs.missing, vec![1, 2, 3, 4]);
+        assert_eq!(obs.missing, Some((1, 4)));
+        assert_eq!(obs.lost, 4);
         assert_eq!(t.gaps(), 4);
+        assert_eq!(t.gap_ranges(), &[(1, 4)]);
         assert_eq!(t.observe(0, 6), Observation::default());
     }
 
@@ -135,10 +223,52 @@ mod tests {
         t.observe(0, 41);
         let obs = t.observe(1, 0);
         assert!(obs.restarted);
-        assert!(obs.missing.is_empty());
+        assert!(obs.missing.is_none());
         assert_eq!(t.gaps(), 0);
         assert_eq!(t.restarts(), 1);
         assert_eq!(t.observe(1, 1), Observation::default());
+    }
+
+    #[test]
+    fn long_outage_is_one_range_and_an_exact_count() {
+        // A partition that destroys a million stream positions must not
+        // materialize a million-entry report.
+        let mut t = StreamTracker::new();
+        t.observe(0, 0);
+        let obs = t.observe(0, 1_000_001);
+        assert_eq!(obs.missing, Some((1, 1_000_000)));
+        assert_eq!(obs.lost, 1_000_000);
+        assert_eq!(t.gaps(), 1_000_000);
+        assert_eq!(t.gap_ranges().len(), 1);
+    }
+
+    #[test]
+    fn adjacent_gaps_coalesce_in_the_log() {
+        let mut t = StreamTracker::new();
+        t.observe(0, 0);
+        t.observe(0, 3); // lost 1-2
+                         // 3 arrived; 4 lost; 5 arrives -> range (4,4), adjacent to nothing.
+        t.observe(0, 5);
+        // 6 lost; 7 arrives -> (6,6): NOT adjacent to (4,4) (5 arrived).
+        t.observe(0, 7);
+        assert_eq!(t.gap_ranges(), &[(1, 2), (4, 4), (6, 6)]);
+        assert_eq!(t.gaps(), 4);
+    }
+
+    #[test]
+    fn gap_log_is_hard_capped() {
+        let mut t = StreamTracker::new();
+        t.observe(0, 0);
+        // Every second position lost: each makes its own range.
+        let mut seq = 0u32;
+        for _ in 0..(MAX_GAP_RANGES as u32 + 10) {
+            seq += 2;
+            t.observe(0, seq);
+        }
+        assert_eq!(t.gap_ranges().len(), MAX_GAP_RANGES, "log capped");
+        assert_eq!(t.gaps(), u64::from(seq) / 2, "exact count survives the cap");
+        // Oldest ranges were forgotten; the newest is the last gap.
+        assert_eq!(*t.gap_ranges().last().unwrap(), (seq - 1, seq - 1));
     }
 
     #[test]
@@ -150,5 +280,33 @@ mod tests {
         assert!(t.observe(0, 99).stale, "old incarnation");
         // None of that moved the stream.
         assert_eq!(t.observe(1, 11), Observation::default());
+    }
+
+    #[test]
+    fn late_straggler_heals_a_false_loss_accusation() {
+        let mut t = StreamTracker::new();
+        t.observe(0, 0);
+        // Positions 1-3 skipped — accused lost.
+        assert_eq!(t.observe(0, 4).lost, 3);
+        assert_eq!(t.gaps(), 3);
+        // Position 2 limps in late (it was queued, not dropped): the
+        // count rolls back and the range splits around it.
+        let obs = t.observe(0, 2);
+        assert!(obs.stale && obs.healed);
+        assert_eq!(t.gaps(), 2);
+        assert_eq!(t.gap_ranges(), &[(1, 1), (3, 3)]);
+        // Healing the remaining endpoints empties the log.
+        assert!(t.observe(0, 1).healed);
+        assert!(t.observe(0, 3).healed);
+        assert_eq!(t.gaps(), 0);
+        assert!(t.gap_ranges().is_empty());
+        // A genuine duplicate of an arrived position heals nothing.
+        let dup = t.observe(0, 2);
+        assert!(dup.stale && !dup.healed);
+        // An old-epoch straggler never heals a current-epoch gap.
+        t.observe(1, 0);
+        t.observe(1, 3); // epoch 1, lost 1-2
+        assert!(!t.observe(0, 1).healed, "old incarnation cannot heal");
+        assert_eq!(t.gaps(), 2);
     }
 }

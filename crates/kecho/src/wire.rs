@@ -3,24 +3,30 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u8  version (2)
+//! u8  version (3)
 //! u8  kind (0 = monitoring, 1 = control, 2 = heartbeat)
 //! u32 channel
 //! u64 seq
 //! u32 sender
 //! u32 target (u32::MAX = none)
 //! ... payload (kind-specific)
+//! u32 checksum (FNV-1a over every preceding byte)
 //! ```
 //!
 //! Monitoring payload: `u32 origin`, `u32 epoch`, `u32 stream_seq`,
-//! `u16 n_records`, records of `(u32 id, f64 value, f64 last, f64 ts)`,
-//! `u32 pad_len`, `pad_len` zero bytes. Control payload: `u8 tag` then
-//! message-specific fields; strings are `u32 len` + UTF-8 bytes.
-//! Heartbeat payload: `u32 origin`, `u32 epoch`, `u32 stream_seq`.
+//! `u8 n_records` (low 7 bits; bit 7 set means a `u8` piggybacked
+//! credit grant follows), optional `u8 credit_grant`, records of
+//! `(u32 id, f64 value, f64 last, f64 ts)`, `u32 pad_len`, `pad_len`
+//! zero bytes. Control payload: `u8 tag` then message-specific fields;
+//! strings are `u32 len` + UTF-8 bytes. Heartbeat payload: `u32 origin`,
+//! `u32 epoch`, `u32 stream_seq`.
 //!
-//! Version history: v1 had no epoch/stream_seq and no heartbeat kind.
-//! v1 buffers are rejected, not translated — all nodes in a simulated
-//! cluster run the same codec.
+//! Version history: v1 had no epoch/stream_seq and no heartbeat kind; v2
+//! had no integrity trailer, 16-bit record/extension counts, and no
+//! credit-grant control tag; v3 had no piggybacked credit-grant byte on
+//! monitoring payloads (and a full 8-bit record count). Old buffers are
+//! rejected, not translated — all nodes in a simulated cluster run the
+//! same codec.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use simnet::NodeId;
@@ -31,7 +37,7 @@ use crate::event::{
 };
 
 /// Current wire version.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 4;
 
 /// Decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +50,10 @@ pub enum WireError {
     BadTag(u8),
     /// String bytes were not UTF-8.
     BadString,
+    /// The frame parsed but its integrity trailer did not match: bytes
+    /// were corrupted in flight. The event must not be attributed to any
+    /// stream.
+    Corrupt,
 }
 
 impl std::fmt::Display for WireError {
@@ -53,8 +63,21 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
             WireError::BadTag(t) => write!(f, "unknown tag byte {t}"),
             WireError::BadString => write!(f, "invalid UTF-8 in string field"),
+            WireError::Corrupt => write!(f, "checksum mismatch (corrupted frame)"),
         }
     }
+}
+
+/// FNV-1a over a byte slice, the frame integrity check. Not cryptographic
+/// — it defends against corruption, not forgery, exactly like a link
+/// CRC.
+fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
 }
 
 impl std::error::Error for WireError {}
@@ -101,6 +124,8 @@ pub fn encode_event(ev: &Event) -> Bytes {
         let need = encoded_size(ev);
         buf.reserve(need);
         write_event(&mut buf, ev);
+        let sum = fnv1a32(&buf[..]);
+        buf.put_u32_le(sum);
         debug_assert_eq!(buf.len(), need, "encoded_size disagrees with encoder");
         buf.split().freeze()
     })
@@ -122,7 +147,15 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
             buf.put_u32_le(m.origin.0 as u32);
             buf.put_u32_le(m.epoch);
             buf.put_u32_le(m.stream_seq);
-            buf.put_u16_le(m.records.len() as u16);
+            debug_assert!(m.records.len() <= 0x7F, "too many records");
+            debug_assert!(m.credit_grant <= u32::from(u8::MAX), "grant too large");
+            // Bit 7 of the record count flags a piggybacked grant byte, so
+            // the common grant-free event pays nothing for the feature.
+            let flag = if m.credit_grant > 0 { 0x80 } else { 0 };
+            buf.put_u8(m.records.len() as u8 | flag);
+            if m.credit_grant > 0 {
+                buf.put_u8(m.credit_grant as u8);
+            }
             for r in &m.records {
                 buf.put_u32_le(r.metric_id);
                 buf.put_f64_le(r.value);
@@ -131,7 +164,8 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
             }
             buf.put_u32_le(m.pad_bytes);
             buf.put_bytes(0, m.pad_bytes as usize);
-            buf.put_u16_le(m.ext_names.len() as u16);
+            debug_assert!(m.ext_names.len() <= u8::MAX as usize, "too many extensions");
+            buf.put_u8(m.ext_names.len() as u8);
             for (id, metric, file) in &m.ext_names {
                 buf.put_u32_le(*id);
                 put_string(buf, metric);
@@ -176,6 +210,10 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
                 buf.put_u8(4);
                 put_string(buf, reason);
             }
+            ControlMsg::Credit { credits } => {
+                buf.put_u8(5);
+                buf.put_u32_le(*credits);
+            }
         },
         Payload::Heartbeat(h) => {
             buf.put_u32_le(h.origin.0 as u32);
@@ -185,8 +223,29 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
     }
 }
 
-/// Decode an event from bytes.
-pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
+/// Decode an event from bytes. Parse errors (truncation, bad tags, bad
+/// strings) are reported as such; a frame that parses but fails the
+/// integrity trailer is [`WireError::Corrupt`] — either way a mutated
+/// buffer can never be silently attributed to a stream.
+pub fn decode_event(full: Bytes) -> Result<Event, WireError> {
+    if full.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let body_len = full.len() - 4;
+    let ev = parse_body(full.slice(..body_len))?;
+    let want = u32::from_le_bytes([
+        full[body_len],
+        full[body_len + 1],
+        full[body_len + 2],
+        full[body_len + 3],
+    ]);
+    if fnv1a32(&full[..body_len]) != want {
+        return Err(WireError::Corrupt);
+    }
+    Ok(ev)
+}
+
+fn parse_body(mut buf: Bytes) -> Result<Event, WireError> {
     if buf.remaining() < 2 + 4 + 8 + 4 + 4 {
         return Err(WireError::Truncated);
     }
@@ -211,13 +270,22 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
     };
     let payload = match kind {
         EventKind::Monitoring => {
-            if buf.remaining() < 4 + 4 + 4 + 2 {
+            if buf.remaining() < 4 + 4 + 4 + 1 {
                 return Err(WireError::Truncated);
             }
             let origin = NodeId(buf.get_u32_le() as usize);
             let epoch = buf.get_u32_le();
             let stream_seq = buf.get_u32_le();
-            let n = buf.get_u16_le() as usize;
+            let n_raw = buf.get_u8();
+            let n = (n_raw & 0x7F) as usize;
+            let credit_grant = if n_raw & 0x80 != 0 {
+                if buf.remaining() < 1 {
+                    return Err(WireError::Truncated);
+                }
+                u32::from(buf.get_u8())
+            } else {
+                0
+            };
             if buf.remaining() < n * 28 {
                 return Err(WireError::Truncated);
             }
@@ -238,10 +306,10 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
                 return Err(WireError::Truncated);
             }
             buf.advance(pad as usize);
-            if buf.remaining() < 2 {
+            if buf.remaining() < 1 {
                 return Err(WireError::Truncated);
             }
-            let n_ext = buf.get_u16_le() as usize;
+            let n_ext = buf.get_u8() as usize;
             let mut ext_names = Vec::with_capacity(n_ext);
             for _ in 0..n_ext {
                 if buf.remaining() < 4 {
@@ -256,6 +324,7 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
                 origin,
                 epoch,
                 stream_seq,
+                credit_grant,
                 records,
                 pad_bytes: pad,
                 ext_names,
@@ -306,6 +375,14 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
                 4 => ControlMsg::FilterRejected {
                     reason: get_string(&mut buf)?,
                 },
+                5 => {
+                    if buf.remaining() < 4 {
+                        return Err(WireError::Truncated);
+                    }
+                    ControlMsg::Credit {
+                        credits: buf.get_u32_le(),
+                    }
+                }
                 t => return Err(WireError::BadTag(t)),
             };
             Payload::Control(msg)
@@ -335,15 +412,17 @@ pub fn decode_event(mut buf: Bytes) -> Result<Event, WireError> {
 /// used by the network model to size transfers cheaply).
 pub fn encoded_size(ev: &Event) -> usize {
     let header = 2 + 4 + 8 + 4 + 4;
+    let trailer = 4; // FNV-1a integrity checksum
     let payload = match &ev.payload {
         Payload::Monitoring(m) => {
             4 + 4
                 + 4
-                + 2
+                + 1
+                + usize::from(m.credit_grant > 0)
                 + m.records.len() * 28
                 + 4
                 + m.pad_bytes as usize
-                + 2
+                + 1
                 + m.ext_names
                     .iter()
                     .map(|(_, metric, file)| 4 + 4 + metric.len() + 4 + file.len())
@@ -362,10 +441,11 @@ pub fn encoded_size(ev: &Event) -> usize {
             ControlMsg::DeployFilter { source } => 1 + 4 + source.len(),
             ControlMsg::FilterRejected { reason } => 1 + 4 + reason.len(),
             ControlMsg::RemoveFilter | ControlMsg::Announce => 1,
+            ControlMsg::Credit { .. } => 1 + 4,
         },
         Payload::Heartbeat(_) => 4 + 4 + 4,
     };
-    header + payload
+    header + payload + trailer
 }
 
 #[cfg(test)]
@@ -381,6 +461,7 @@ mod tests {
                 origin: NodeId(3),
                 epoch: 1,
                 stream_seq: 40,
+                credit_grant: 0,
                 records: vec![
                     MonRecord {
                         metric_id: 0,
@@ -407,6 +488,23 @@ mod tests {
         let bytes = encode_event(&ev);
         let back = decode_event(bytes).unwrap();
         assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn piggybacked_grant_roundtrips_and_costs_one_byte() {
+        let plain = mon_event(0);
+        let mut granted = mon_event(0);
+        match &mut granted.payload {
+            Payload::Monitoring(m) => m.credit_grant = 5,
+            _ => unreachable!(),
+        }
+        let pb = encode_event(&plain);
+        let gb = encode_event(&granted);
+        assert_eq!(gb.len(), pb.len() + 1, "grant byte only when present");
+        assert_eq!(gb.len(), encoded_size(&granted));
+        let back = decode_event(gb).unwrap();
+        assert_eq!(back, granted);
+        assert_eq!(back.as_monitoring().unwrap().credit_grant, 5);
     }
 
     #[test]
@@ -450,6 +548,7 @@ mod tests {
             ControlMsg::FilterRejected {
                 reason: "filter cost is unbounded".into(),
             },
+            ControlMsg::Credit { credits: 7 },
         ];
         for msg in msgs {
             let ev = Event::control(2, 1, NodeId(0), NodeId(5), msg.clone());
@@ -542,6 +641,33 @@ mod tests {
     }
 
     #[test]
+    fn flipped_value_byte_is_corrupt_not_misattributed() {
+        // Mutating a byte that still parses (a record value, the
+        // stream_seq) must surface as Corrupt — the frame can never be
+        // folded into a stream's continuity state.
+        let full = encode_event(&mon_event(16));
+        // Offsets 22/26/30 are origin/epoch/stream_seq; len-20 is inside
+        // the pad region. All parse fine with a flipped bit.
+        for off in [22, 26, 30, full.len() - 20] {
+            let mut raw = full.to_vec();
+            raw[off] ^= 0x40;
+            assert_eq!(
+                decode_event(Bytes::from(raw)).unwrap_err(),
+                WireError::Corrupt,
+                "mutated byte {off}"
+            );
+        }
+        // A mutated trailer byte is equally fatal.
+        let mut raw = full.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        assert_eq!(
+            decode_event(Bytes::from(raw)).unwrap_err(),
+            WireError::Corrupt
+        );
+    }
+
+    #[test]
     fn small_monitoring_event_is_paper_sized() {
         // The paper's microbenchmarks use events of 50–100 bytes for the
         // full module set (5 metrics). Check our natural encoding lands in
@@ -554,6 +680,7 @@ mod tests {
                 origin: NodeId(0),
                 epoch: 0,
                 stream_seq: 0,
+                credit_grant: 0,
                 records: (0..2)
                     .map(|i| MonRecord {
                         metric_id: i,

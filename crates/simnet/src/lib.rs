@@ -37,5 +37,5 @@ pub mod traffic;
 pub use conn::{ConnId, ConnStats, ConnTrack};
 pub use fault::{DropReason, FaultAction, FaultPlan, FaultState, FaultStats};
 pub use link::{DirLink, LinkSpec};
-pub use network::{Delivery, Network, NodeId, SplitNet};
+pub use network::{Delivery, DropDir, Network, NodeId, SplitNet, TrafficClass};
 pub use traffic::FlowId;

@@ -16,17 +16,37 @@ pub struct LinkSpec {
     pub mtu_payload: usize,
     /// Per-packet overhead on the wire (headers, preamble, inter-frame gap).
     pub per_packet_overhead: usize,
+    /// Maximum bulk messages queued per direction; a bulk message arriving
+    /// while this many are already in flight is tail-dropped. A message
+    /// arriving at an empty queue is always admitted regardless of caps.
+    pub queue_msgs: usize,
+    /// Maximum queued wire bytes per direction (tail-drop beyond, same
+    /// empty-queue exemption as `queue_msgs`).
+    pub queue_bytes: u64,
 }
 
 impl LinkSpec {
-    /// 100 Mbps switched Fast Ethernet, as in the paper's testbed.
+    /// 100 Mbps switched Fast Ethernet, as in the paper's testbed. The
+    /// default queue caps are sized so ordinary monitoring traffic never
+    /// sheds; overload scenarios tighten them via [`LinkSpec::with_queue`].
     pub fn fast_ethernet() -> Self {
         LinkSpec {
             bandwidth_bps: 100e6,
             latency: SimDur::from_micros(30),
             mtu_payload: 1448,
             per_packet_overhead: 78,
+            queue_msgs: 4096,
+            queue_bytes: 256 * 1024 * 1024,
         }
+    }
+
+    /// Same link with bounded per-direction queues of `msgs` messages /
+    /// `bytes` wire bytes.
+    #[must_use]
+    pub fn with_queue(mut self, msgs: usize, bytes: u64) -> Self {
+        self.queue_msgs = msgs;
+        self.queue_bytes = bytes;
+        self
     }
 
     /// Number of bytes actually occupying the wire for a `bytes` payload.
@@ -127,6 +147,17 @@ pub struct DirLink {
     /// Lifetime counters.
     messages: u64,
     bytes: u64,
+    /// Bulk transfers still occupying the queue: `(drain time, wire bytes)`,
+    /// in FIFO order. Bounded by `spec.queue_msgs`.
+    pending: VecDeque<(SimTime, u64)>,
+    /// Sum of the wire bytes in `pending`.
+    queued_bytes: u64,
+    /// Tail-dropped messages / wire bytes (lifetime).
+    drops: u64,
+    drop_bytes: u64,
+    /// High-water marks of the queue depth.
+    hwm_msgs: usize,
+    hwm_bytes: u64,
 }
 
 impl DirLink {
@@ -139,6 +170,12 @@ impl DirLink {
             msg_window: BytesWindow::new(SimDur::from_secs(1)),
             messages: 0,
             bytes: 0,
+            pending: VecDeque::new(),
+            queued_bytes: 0,
+            drops: 0,
+            drop_bytes: 0,
+            hwm_msgs: 0,
+            hwm_bytes: 0,
         }
     }
 
@@ -196,6 +233,74 @@ impl DirLink {
     /// link frees), without enqueuing.
     pub fn backlog(&self, now: SimTime) -> SimDur {
         self.busy_until.since(now)
+    }
+
+    /// Drop queue entries whose transmissions have drained by `now`.
+    fn drain_queue(&mut self, now: SimTime) {
+        while let Some(&(t, b)) = self.pending.front() {
+            if t <= now {
+                self.pending.pop_front();
+                self.queued_bytes -= b;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Deterministic tail-drop admission for a bulk transfer of
+    /// `wire_bytes` arriving at `now`: drains finished entries, then
+    /// rejects the newcomer if either queue cap would be exceeded. An
+    /// empty queue always admits, so a single transfer larger than
+    /// `queue_bytes` still passes (the NIC streams it; only *queueing*
+    /// behind it is bounded). A rejection bumps the drop counters.
+    pub fn admit(&mut self, now: SimTime, wire_bytes: u64) -> bool {
+        self.drain_queue(now);
+        if self.pending.is_empty() {
+            return true;
+        }
+        if self.pending.len() >= self.spec.queue_msgs
+            || self.queued_bytes + wire_bytes > self.spec.queue_bytes
+        {
+            self.drops += 1;
+            self.drop_bytes += wire_bytes;
+            return false;
+        }
+        true
+    }
+
+    /// Record an admitted bulk transfer occupying the queue until `until`
+    /// (its serialization finish), updating the high-water marks.
+    pub fn occupy(&mut self, until: SimTime, wire_bytes: u64) {
+        self.pending.push_back((until, wire_bytes));
+        self.queued_bytes += wire_bytes;
+        self.hwm_msgs = self.hwm_msgs.max(self.pending.len());
+        self.hwm_bytes = self.hwm_bytes.max(self.queued_bytes);
+    }
+
+    /// Current queue depth at `now` as `(messages, wire bytes)`.
+    pub fn queue_depth(&mut self, now: SimTime) -> (usize, u64) {
+        self.drain_queue(now);
+        (self.pending.len(), self.queued_bytes)
+    }
+
+    /// Lifetime tail-dropped message count.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Lifetime tail-dropped wire bytes.
+    pub fn drop_bytes(&self) -> u64 {
+        self.drop_bytes
+    }
+
+    /// High-water mark of queued messages.
+    pub fn hwm_msgs(&self) -> usize {
+        self.hwm_msgs
+    }
+
+    /// High-water mark of queued wire bytes.
+    pub fn hwm_bytes(&self) -> u64 {
+        self.hwm_bytes
     }
 
     /// Add fluid background load (bits/sec).
@@ -314,6 +419,44 @@ mod tests {
         assert_eq!(w.bytes(SimTime::from_millis(1200)), 1000);
         assert!((w.bps(SimTime::from_millis(1200)) - 8000.0).abs() < 1e-9);
         assert_eq!(w.window(), SimDur::from_secs(1));
+    }
+
+    #[test]
+    fn tail_drop_bounds_the_queue() {
+        let mut l = DirLink::new(spec().with_queue(2, u64::MAX));
+        let w = spec().wire_bytes(125_000) as u64;
+        // First transfer: empty queue, always admitted.
+        assert!(l.admit(SimTime::ZERO, w));
+        let (_, f1) = l.enqueue(SimTime::ZERO, 125_000);
+        l.occupy(f1, w);
+        // Second fits under the cap.
+        assert!(l.admit(SimTime::ZERO, w));
+        let (_, f2) = l.enqueue(SimTime::ZERO, 125_000);
+        l.occupy(f2, w);
+        // Third exceeds queue_msgs = 2: tail-dropped.
+        assert!(!l.admit(SimTime::ZERO, w));
+        assert_eq!(l.drops(), 1);
+        assert_eq!(l.drop_bytes(), w);
+        assert_eq!(l.hwm_msgs(), 2);
+        assert_eq!(l.queue_depth(SimTime::ZERO), (2, 2 * w));
+        // After both drain, the queue is empty and admits again.
+        assert!(l.admit(f2 + SimDur::from_millis(1), w));
+        assert_eq!(l.queue_depth(f2 + SimDur::from_millis(1)), (0, 0));
+    }
+
+    #[test]
+    fn byte_cap_drops_but_oversize_single_passes() {
+        let mut l = DirLink::new(spec().with_queue(usize::MAX, 1000));
+        // A 1 MB transfer into an empty queue passes despite the 1000-byte
+        // cap: only queueing behind it is bounded.
+        let big = spec().wire_bytes(1_000_000) as u64;
+        assert!(l.admit(SimTime::ZERO, big));
+        let (_, f) = l.enqueue(SimTime::ZERO, 1_000_000);
+        l.occupy(f, big);
+        // Anything arriving behind it busts the byte cap.
+        assert!(!l.admit(SimTime::ZERO, 100));
+        assert_eq!(l.drops(), 1);
+        assert!(l.hwm_bytes() >= big);
     }
 
     #[test]

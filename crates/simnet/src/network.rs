@@ -14,6 +14,29 @@ impl std::fmt::Display for NodeId {
     }
 }
 
+/// Scheduling class of a message on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Ordinary data: FIFO behind earlier traffic, subject to the
+    /// per-direction queue caps (tail-drop).
+    Bulk,
+    /// Liveness/control frames: a strict-priority lane that serializes
+    /// immediately at the current effective rate, bypassing both the FIFO
+    /// backlog and the queue caps. Priority frames are tiny and
+    /// rate-limited, so they neither queue nor shed — failure detection
+    /// stays accurate no matter how congested the bulk lane is.
+    Priority,
+}
+
+/// Which direction's queue tail-dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropDir {
+    /// The sender's NIC queue was full.
+    Uplink,
+    /// The receiver's switch-egress queue was full.
+    Downlink,
+}
+
 /// Outcome of enqueueing a message on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Delivery {
@@ -23,6 +46,9 @@ pub struct Delivery {
     pub queued: SimDur,
     /// Pure wire time (serialization twice + propagation twice).
     pub wire: SimDur,
+    /// `Some` if a bounded queue tail-dropped the message; the message
+    /// never arrives and `deliver_at` is meaningless.
+    pub dropped: Option<DropDir>,
 }
 
 impl Delivery {
@@ -151,10 +177,25 @@ impl Network {
         assert!(id.0 < self.nodes.len(), "unknown node {id}");
     }
 
-    /// Enqueue a `bytes`-byte message from `from` to `to` at time `now`;
-    /// returns the computed delivery. Loopback (`from == to`) bypasses the
-    /// wire and costs a fixed small kernel-copy latency.
+    /// Enqueue a `bytes`-byte bulk message from `from` to `to` at time
+    /// `now`; returns the computed delivery. Loopback (`from == to`)
+    /// bypasses the wire and costs a fixed small kernel-copy latency.
     pub fn send(&mut self, now: SimTime, from: NodeId, to: NodeId, bytes: usize) -> Delivery {
+        self.send_class(now, from, to, bytes, TrafficClass::Bulk)
+    }
+
+    /// [`Network::send`] with an explicit [`TrafficClass`]. Bulk messages
+    /// FIFO behind earlier traffic and may be tail-dropped by the bounded
+    /// per-direction queues; priority messages use a strict-priority lane
+    /// (immediate serialization, never dropped by queue caps).
+    pub fn send_class(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        class: TrafficClass,
+    ) -> Delivery {
         self.check(from);
         self.check(to);
         self.deliveries += 1;
@@ -166,6 +207,7 @@ impl Network {
                 deliver_at: now + copy,
                 queued: SimDur::ZERO,
                 wire: copy,
+                dropped: None,
             };
         }
         // Packet-pipelined store-and-forward: the switch forwards packets
@@ -173,22 +215,59 @@ impl Network {
         // serializations overlap. The downlink can start once the first
         // packet is through and cannot finish before the last packet has
         // both arrived and been re-serialized.
+        let wire_len = self.spec.wire_bytes(bytes) as u64;
         let first_pkt = bytes.min(self.spec.mtu_payload);
         let up = &mut self.nodes[from.0].up;
+        if class == TrafficClass::Bulk && !up.admit(now, wire_len) {
+            return Delivery {
+                deliver_at: now,
+                queued: SimDur::ZERO,
+                wire: SimDur::ZERO,
+                dropped: Some(DropDir::Uplink),
+            };
+        }
         let t_up = up.tx_time_now(bytes);
         let t_up_first = up.tx_time_now(first_pkt);
-        let (up_start, up_finish) = up.reserve(now, t_up);
+        let (up_start, up_finish) = match class {
+            TrafficClass::Bulk => up.reserve(now, t_up),
+            // Priority lane: serialize immediately, leave the bulk
+            // horizon untouched.
+            TrafficClass::Priority => (now, now + t_up),
+        };
         up.account(now, bytes);
+        if class == TrafficClass::Bulk {
+            up.occupy(up_finish, wire_len);
+        }
         let head_at_switch = up_start + t_up_first + self.spec.latency;
 
         let down = &mut self.nodes[to.0].down;
+        if class == TrafficClass::Bulk && !down.admit(now, wire_len) {
+            return Delivery {
+                deliver_at: now,
+                queued: SimDur::ZERO,
+                wire: SimDur::ZERO,
+                dropped: Some(DropDir::Downlink),
+            };
+        }
         let t_down = down.tx_time_now(bytes);
         let t_down_first = down.tx_time_now(first_pkt);
-        let (down_start, down_finish0) = down.reserve(head_at_switch, t_down);
         let tail_constraint = up_finish + self.spec.latency + t_down_first;
-        let down_finish = down_finish0.max(tail_constraint);
-        down.extend_busy(down_finish);
+        let (down_start, down_finish) = match class {
+            TrafficClass::Bulk => {
+                let (start, finish0) = down.reserve(head_at_switch, t_down);
+                let finish = finish0.max(tail_constraint);
+                down.extend_busy(finish);
+                (start, finish)
+            }
+            TrafficClass::Priority => {
+                let finish = (head_at_switch + t_down).max(tail_constraint);
+                (head_at_switch, finish)
+            }
+        };
         down.account(now, bytes);
+        if class == TrafficClass::Bulk {
+            down.occupy(down_finish, wire_len);
+        }
 
         let deliver_at = down_finish + self.spec.latency;
         let queued = (up_start - now) + (down_start - head_at_switch);
@@ -197,6 +276,7 @@ impl Network {
             deliver_at,
             queued,
             wire,
+            dropped: None,
         }
     }
 
@@ -263,6 +343,34 @@ impl Network {
     /// Lifetime payload bytes accepted by [`Network::send`].
     pub fn payload_bytes(&self) -> u64 {
         self.payload_bytes
+    }
+
+    /// Total messages tail-dropped by bounded link queues, both directions
+    /// of every node.
+    pub fn link_drops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.up.drops() + n.down.drops())
+            .sum()
+    }
+
+    /// Largest queue-depth high-water mark across every link direction, as
+    /// `(messages, wire bytes)` (the two maxima may come from different
+    /// links).
+    pub fn queue_hwm(&self) -> (usize, u64) {
+        let msgs = self
+            .nodes
+            .iter()
+            .map(|n| n.up.hwm_msgs().max(n.down.hwm_msgs()))
+            .max()
+            .unwrap_or(0);
+        let bytes = self
+            .nodes
+            .iter()
+            .map(|n| n.up.hwm_bytes().max(n.down.hwm_bytes()))
+            .max()
+            .unwrap_or(0);
+        (msgs, bytes)
     }
 }
 
@@ -365,5 +473,65 @@ mod tests {
     fn unknown_node_panics() {
         let mut n = net(2);
         n.send(SimTime::ZERO, NodeId(0), NodeId(7), 10);
+    }
+
+    #[test]
+    fn bounded_queue_tail_drops_bulk() {
+        let mut n = Network::new(3, LinkSpec::fast_ethernet().with_queue(2, u64::MAX));
+        // Three large sends from node 0: the first streams, the second
+        // queues, the third is tail-dropped at the uplink.
+        let d1 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000);
+        let d3 = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
+        assert_eq!(d1.dropped, None);
+        assert_eq!(d2.dropped, None);
+        assert_eq!(d3.dropped, Some(DropDir::Uplink));
+        assert_eq!(n.link_drops(), 1);
+        let (hwm_msgs, hwm_bytes) = n.queue_hwm();
+        assert_eq!(hwm_msgs, 2, "cap held");
+        assert!(hwm_bytes > 2_000_000);
+    }
+
+    #[test]
+    fn receiver_downlink_queue_drops_too() {
+        let mut n = Network::new(3, LinkSpec::fast_ethernet().with_queue(1, u64::MAX));
+        // Different senders, same receiver: uplinks are empty, so the
+        // second message passes its uplink and sheds at node 0's downlink.
+        let d1 = n.send(SimTime::ZERO, NodeId(1), NodeId(0), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(2), NodeId(0), 1_000_000);
+        assert_eq!(d1.dropped, None);
+        assert_eq!(d2.dropped, Some(DropDir::Downlink));
+        assert_eq!(n.link_drops(), 1);
+    }
+
+    #[test]
+    fn priority_lane_bypasses_saturated_queue() {
+        let mut n = Network::new(2, LinkSpec::fast_ethernet().with_queue(1, u64::MAX));
+        let idle = n.send_class(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            100,
+            TrafficClass::Priority,
+        );
+        // Saturate the bulk lane.
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10_000_000);
+        n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10_000_000);
+        assert_eq!(n.link_drops(), 1, "bulk sheds");
+        // A priority frame neither sheds nor waits behind the backlog.
+        let hb = n.send_class(
+            SimTime::ZERO,
+            NodeId(0),
+            NodeId(1),
+            100,
+            TrafficClass::Priority,
+        );
+        assert_eq!(hb.dropped, None);
+        assert_eq!(hb.queued, SimDur::ZERO);
+        assert_eq!(
+            hb.latency(SimTime::ZERO),
+            idle.latency(SimTime::ZERO),
+            "priority latency unchanged under saturation"
+        );
     }
 }

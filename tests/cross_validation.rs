@@ -134,6 +134,7 @@ proptest! {
                 origin: NodeId(3),
                 epoch: 0,
                 stream_seq: 0,
+                credit_grant: 0,
                 records: (0..5)
                     .map(|i| MonRecord {
                         metric_id: i,

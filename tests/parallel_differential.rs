@@ -10,7 +10,7 @@ use dproc::cluster::{ClusterConfig, ClusterSim};
 use kecho::Topology;
 use proptest::prelude::*;
 use simcore::{SimDur, SimTime};
-use simnet::{FaultPlan, NodeId};
+use simnet::{FaultPlan, LinkSpec, NodeId};
 use simos::host::HostConfig;
 
 /// Everything observable about a finished run, in comparable form.
@@ -25,6 +25,8 @@ struct Fingerprint {
     latency_p95_bits: u64,
     net_deliveries: u64,
     net_payload: u64,
+    net_drops: u64,
+    net_queue_hwm: (usize, u64),
     fault_stats: String,
 }
 
@@ -40,6 +42,8 @@ fn fingerprint(sim: &ClusterSim) -> Fingerprint {
         latency_p95_bits: w.mon_latency_us.percentile(95.0).to_bits(),
         net_deliveries: w.net.deliveries(),
         net_payload: w.net.payload_bytes(),
+        net_drops: w.net.link_drops(),
+        net_queue_hwm: w.net.queue_hwm(),
         fault_stats: format!("{:?}", w.fault.stats),
     }
 }
@@ -159,6 +163,53 @@ fn fault_plan_is_bit_identical() {
             sim.apply_fault_plan(&plan);
         },
     );
+}
+
+#[test]
+fn overload_backpressure_is_bit_identical() {
+    // Saturated links run the whole robustness stack at once — bounded
+    // queue admission with deterministic tail-drop, credit stalls, outbox
+    // shedding, choke backoff, ladder transitions, gap healing — and all
+    // of it must replay identically under sharded execution (the wire
+    // drops happen inside `transmit` on the serial path but inside the
+    // shard exchange on the parallel one).
+    let cfg = || {
+        let mut cfg = ClusterConfig::new(3)
+            .poll_period(SimDur::from_secs(1))
+            .failure_bounds(SimDur::from_secs(3), SimDur::from_secs(8))
+            .event_pad(1_500_000);
+        cfg.link = LinkSpec::fast_ethernet().with_queue(3, 64 * 1024 * 1024);
+        cfg
+    };
+    let plan = FaultPlan::new(0x0BAD_10AD)
+        .degrade_at(SimTime::from_secs(5), NodeId(2), 0.9)
+        .heal_link_at(SimTime::from_secs(45), NodeId(2));
+
+    // Vacuity guard on the serial run: the scenario must actually drop
+    // frames and walk the ladder, or the differential proves nothing.
+    let mut probe = ClusterSim::new(cfg());
+    probe.set_threads(1);
+    probe.start();
+    probe.apply_fault_plan(&plan);
+    probe.run_until(SimTime::from_secs(60));
+    assert!(
+        probe.world().net.link_drops() > 0,
+        "overload scenario dropped nothing — vacuous"
+    );
+    assert!(
+        probe
+            .world()
+            .dmons
+            .iter()
+            .any(|d| d.stats.ladder_transitions > 0),
+        "overload scenario never moved the ladder — vacuous"
+    );
+    let serial = fingerprint(&probe);
+
+    for threads in [2, 3, 8] {
+        let par = run_one(cfg, |sim| sim.apply_fault_plan(&plan), 60, threads);
+        assert_eq!(serial, par, "overload: threads={threads} diverged");
+    }
 }
 
 #[test]

@@ -27,7 +27,11 @@ fn per_node_entries_match_figure_1_layout() {
     for node in ["alan", "maui", "etna"] {
         let entries = host.proc.list(&format!("cluster/{node}")).unwrap();
         let mut want = vec!["control", "cpu", "disk", "mem", "net", "pmc"];
-        if node != "alan" {
+        if node == "alan" {
+            // A node's own entry carries the overload/degradation gauge
+            // (ladder level, shed counts); it has no use for remote peers.
+            want.insert(5, "overload");
+        } else {
             // Remote peers additionally expose the failure detector's
             // verdict; a node does not suspect itself.
             want.push("status");

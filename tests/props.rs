@@ -51,6 +51,7 @@ fn event_strategy() -> impl Strategy<Value = Event> {
                         origin: NodeId(sender),
                         epoch,
                         stream_seq,
+                        credit_grant: 0,
                         records,
                         pad_bytes: pad,
                         ext_names,
@@ -378,7 +379,12 @@ proptest! {
             let obs = tracker.observe(epoch, seq);
             prop_assert!(!obs.restarted, "no epoch change in this stream");
             prop_assert!(!obs.stale, "in-order arrivals are never stale");
-            reported.extend(obs.missing);
+            if let Some((first, last)) = obs.missing {
+                reported.extend(first..=last);
+                prop_assert_eq!(obs.lost, u64::from(last - first + 1));
+            } else {
+                prop_assert_eq!(obs.lost, 0);
+            }
         }
         prop_assert_eq!(&reported, &dropped);
         prop_assert_eq!(tracker.gaps(), dropped.len() as u64);
