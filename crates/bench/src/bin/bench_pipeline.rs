@@ -185,6 +185,74 @@ impl Overload {
     }
 }
 
+/// Certified filter sources for the compilation section: one whose
+/// effect certificate proves it subscriber-independent (`Shared` memo
+/// class) and one pure passthrough (`SnapshotKeyed`). Both must be
+/// accepted by the register compiler — an interpreter fallback here is
+/// a compile-coverage regression, not noise.
+const SHARED_FILTER: &str = "{ if (input[LOADAVG].value > 0.25) { output[0] = input[LOADAVG]; } }";
+const SNAPSHOT_FILTER: &str = "{ output[0] = input[FREEMEM]; }";
+
+/// Counters from a scripted filter-deployment scenario: an 8-node mesh
+/// where every stream gets one of two certified E-code filters, so all
+/// 56 admissions must hit the register compiler. The counters are pure
+/// discrete-event-sim outputs — `--check` compares the compile/fallback
+/// split exactly: a nonzero fallback count means the compiler stopped
+/// covering a certified shape and the hot path silently fell back to
+/// the interpreter.
+struct FilterWorkload {
+    filters_compiled: u64,
+    interp_fallbacks: u64,
+    filter_events: u64,
+}
+
+fn measure_filter_workload() -> FilterWorkload {
+    let mut sim = ClusterSim::new(ClusterConfig::new(8).poll_period(SimDur::from_secs(1)));
+    sim.set_threads(1);
+    sim.start();
+    sim.run_until(SimTime::from_secs(2));
+    let calib = sim.world().calib.clone();
+    {
+        let w = sim.world_mut();
+        let n = w.len();
+        for p in 0..n {
+            for s in 0..n {
+                if p != s {
+                    let source = if (p + s) % 2 == 0 {
+                        SHARED_FILTER
+                    } else {
+                        SNAPSHOT_FILTER
+                    };
+                    w.dmons[p].on_control(
+                        NodeId(s),
+                        &kecho::ControlMsg::DeployFilter {
+                            source: source.into(),
+                        },
+                        &calib,
+                    );
+                }
+            }
+        }
+    }
+    let before = sim.world().mon_delivered;
+    sim.run_until(SimTime::from_secs(32));
+    let w = sim.world();
+    FilterWorkload {
+        filters_compiled: w.dmons.iter().map(|d| d.stats.filters_compiled).sum(),
+        interp_fallbacks: w.dmons.iter().map(|d| d.stats.interp_fallbacks).sum(),
+        filter_events: w.mon_delivered - before,
+    }
+}
+
+impl FilterWorkload {
+    fn json_fields(&self) -> String {
+        format!(
+            "  \"filters_compiled\": {},\n  \"interp_fallbacks\": {},\n  \"filter_events\": {}",
+            self.filters_compiled, self.interp_fallbacks, self.filter_events,
+        )
+    }
+}
+
 /// Serial-vs-sharded wall clock on one scenario size.
 struct Speedup {
     nodes: usize,
@@ -289,6 +357,15 @@ fn main() {
         overload.link_drops, overload.events_shed, overload.ladder_transitions
     );
 
+    // The filter-compilation section: every admission in the scripted
+    // filter mesh must land on the register compiler; the compiled vs
+    // interpreter-fallback split travels with the perf numbers.
+    let fw = measure_filter_workload();
+    eprintln!(
+        "bench_pipeline: filters: {} compiled, {} interpreter fallbacks, {} events",
+        fw.filters_compiled, fw.interp_fallbacks, fw.filter_events
+    );
+
     // Record the replay-safety lint state alongside the perf numbers:
     // how many findings the workspace scan produced (fresh + baselined).
     // The committed tree keeps this at 0; the count travels with every
@@ -307,6 +384,7 @@ fn main() {
         }
     }
     sections.push(overload.json_fields());
+    sections.push(fw.json_fields());
     sections.extend(speedups.iter().map(Speedup::json_fields));
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     print!("{json}");
@@ -388,6 +466,23 @@ fn main() {
                 #[allow(clippy::float_cmp)] // integer-valued counters, exact by design
                 if got as f64 != base_v {
                     eprintln!("bench_pipeline: OVERLOAD POLICY DRIFT ({key} changed)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // The compile/fallback split is exact: every certified filter in
+        // the scripted mesh must compile, and the fallback count must
+        // match the baseline (0) — a drift means the register compiler
+        // lost coverage of a certified shape.
+        for (key, got) in [
+            ("filters_compiled", fw.filters_compiled),
+            ("interp_fallbacks", fw.interp_fallbacks),
+        ] {
+            if let Some(base_v) = json_field(&base, key) {
+                eprintln!("bench_pipeline: {key} {got} vs baseline {base_v:.0}");
+                #[allow(clippy::float_cmp)] // integer-valued counters, exact by design
+                if got as f64 != base_v {
+                    eprintln!("bench_pipeline: FILTER COMPILE DRIFT ({key} changed)");
                     std::process::exit(1);
                 }
             }

@@ -8,7 +8,7 @@
 //! delivers events into the receiving d-mons. Applications (the figure
 //! harness, SmartPointer) drive everything through [`ClusterSim`].
 
-use simcore::{Repeat, Sim, SimDur, SimTime};
+use simcore::{HandleMsg, Sim, SimDur, SimTime};
 use simnet::link::{BytesWindow, LinkSpec};
 use simnet::traffic::FlowTable;
 use simnet::{ConnId, Delivery, Network, NodeId, TrafficClass};
@@ -129,6 +129,63 @@ impl ClusterConfig {
     }
 }
 
+/// Typed cluster events. The serial driver routes the three hot event
+/// kinds (polls, service completions, deliveries) through the scheduler's
+/// typed message lane — no per-event closure boxing — and the parallel
+/// engine logs and merges the same values across shards. Fault actions
+/// are cold and stay boxed on the serial driver; only the parallel
+/// engine schedules `Fault` events.
+#[derive(Debug, Clone)]
+pub enum ClusterEvent {
+    /// One d-mon polling iteration, with its generation token.
+    Poll { i: usize, token: u64 },
+    /// The node's kernel service thread finished draining one CPU charge.
+    SvcDone { i: usize },
+    /// A network message arrives at `hop.to`.
+    Deliver {
+        hop: Hop,
+        ev: Event,
+        bytes: usize,
+        sent_at: SimTime,
+        queued: SimDur,
+    },
+    /// The `k`-th scheduled fault action fires (parallel engine only).
+    Fault { k: usize },
+}
+
+/// The serial scheduler type: world + typed cluster events.
+pub type ClusterSched = Sim<ClusterWorld, ClusterEvent>;
+
+impl HandleMsg<ClusterEvent> for ClusterWorld {
+    /// Serial dispatch of the typed events. Program order inside each arm
+    /// mirrors the old closure bodies exactly (and therefore the parallel
+    /// engine's handlers in [`crate::pcluster`]): the poll re-arm happens
+    /// *after* the poll body, like `schedule_periodic`'s tick wrapper did.
+    fn handle(&mut self, sim: &mut ClusterSched, msg: ClusterEvent) {
+        match msg {
+            ClusterEvent::Poll { i, token } => {
+                if self.poll_token[i] != token {
+                    return; // stale series: crash or re-revive moved on
+                }
+                self.poll_node(sim, i);
+                let period = self.poll_period;
+                sim.schedule_msg_in(period, ClusterEvent::Poll { i, token });
+            }
+            ClusterEvent::SvcDone { i } => self.svc_drain(sim, i),
+            ClusterEvent::Deliver {
+                hop,
+                ev,
+                bytes,
+                sent_at,
+                queued,
+            } => self.deliver(sim, hop, ev, bytes, sent_at, queued),
+            ClusterEvent::Fault { .. } => {
+                unreachable!("serial driver schedules fault actions as closures")
+            }
+        }
+    }
+}
+
 /// The mutable world state the event loop drives.
 pub struct ClusterWorld {
     /// The switched network.
@@ -223,7 +280,7 @@ impl ClusterWorld {
     /// Charge CPU time to a node's d-mon kernel thread. Charges drain
     /// serially: the service task is runnable while work is pending, so
     /// compute workloads (linpack) lose exactly the charged CPU time.
-    pub fn charge_cpu(&mut self, sim: &mut Sim<ClusterWorld>, node: NodeId, cost: SimDur) {
+    pub fn charge_cpu(&mut self, sim: &mut ClusterSched, node: NodeId, cost: SimDur) {
         if cost.is_zero() {
             return;
         }
@@ -234,7 +291,7 @@ impl ClusterWorld {
         }
     }
 
-    fn svc_drain(&mut self, sim: &mut Sim<ClusterWorld>, i: usize) {
+    fn svc_drain(&mut self, sim: &mut ClusterSched, i: usize) {
         let now = sim.now();
         let task = self.svc_tasks[i];
         let Some(cost) = self.svc_pending[i].pop_front() else {
@@ -251,18 +308,13 @@ impl ClusterWorld {
             host.cpu.set_state(now, task, TaskState::Runnable);
         }
         let wall = SimDur::from_secs_f64(cost.as_secs_f64() / self.hosts[i].cpu.share());
-        sim.schedule_in(
-            wall,
-            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-                w.svc_drain(sim, i);
-            },
-        );
+        sim.schedule_msg_in(wall, ClusterEvent::SvcDone { i });
     }
 
     /// Send an event over the network and schedule its delivery. In the
     /// central-concentrator topology, leaf-to-leaf hops detour via the
     /// hub, which relays them onward at delivery time.
-    pub fn transmit(&mut self, sim: &mut Sim<ClusterWorld>, mut hop: Hop, ev: Event, bytes: usize) {
+    pub fn transmit(&mut self, sim: &mut ClusterSched, mut hop: Hop, ev: Event, bytes: usize) {
         if let Topology::Central(hub) = self.dir.topology() {
             if hop.from != hub && hop.to != hub {
                 hop = Hop {
@@ -295,10 +347,14 @@ impl ClusterWorld {
         }
         let sent_at = now;
         let queued = delivery.queued;
-        sim.schedule_at(
+        sim.schedule_msg_at(
             delivery.deliver_at,
-            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-                w.deliver(sim, hop, ev, bytes, sent_at, queued);
+            ClusterEvent::Deliver {
+                hop,
+                ev,
+                bytes,
+                sent_at,
+                queued,
             },
         );
     }
@@ -306,7 +362,7 @@ impl ClusterWorld {
     #[allow(clippy::too_many_arguments)]
     fn deliver(
         &mut self,
-        sim: &mut Sim<ClusterWorld>,
+        sim: &mut ClusterSched,
         hop: Hop,
         ev: Event,
         bytes: usize,
@@ -350,10 +406,14 @@ impl ClusterWorld {
                             return; // relay leg tail-dropped
                         }
                         let relay_queued = delivery.queued;
-                        sim.schedule_at(
+                        sim.schedule_msg_at(
                             delivery.deliver_at,
-                            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-                                w.deliver(sim, relay_hop, ev, bytes, sent_at, relay_queued);
+                            ClusterEvent::Deliver {
+                                hop: relay_hop,
+                                ev,
+                                bytes,
+                                sent_at,
+                                queued: relay_queued,
                             },
                         );
                         return;
@@ -468,7 +528,7 @@ impl ClusterWorld {
     /// Bring a crashed node back: it rejoins the channel registry, bumps
     /// its d-mon epoch (so peers see a restart, not a gap), and restarts
     /// its poll series one period from now. No-op on live nodes.
-    pub fn revive_node(&mut self, sim: &mut Sim<ClusterWorld>, node: NodeId) {
+    pub fn revive_node(&mut self, sim: &mut ClusterSched, node: NodeId) {
         let i = node.0;
         if self.alive[i] {
             return;
@@ -485,28 +545,20 @@ impl ClusterWorld {
         self.notify_rejoin(node, sim.now());
         self.poll_token[i] += 1;
         let first = sim.now() + self.poll_period;
-        Self::arm_poll(sim, i, self.poll_token[i], first, self.poll_period);
+        Self::arm_poll(sim, i, self.poll_token[i], first);
     }
 
-    /// Schedule a node's periodic poll series. The series self-cancels
-    /// when the node's generation token moves on (crash or re-revive).
-    fn arm_poll(sim: &mut Sim<ClusterWorld>, i: usize, token: u64, first: SimTime, period: SimDur) {
-        sim.schedule_periodic(
-            first,
-            period,
-            move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
-                if w.poll_token[i] != token {
-                    return Repeat::Stop;
-                }
-                w.poll_node(sim, i);
-                Repeat::Continue
-            },
-        );
+    /// Schedule a node's poll series: one typed `Poll` message; each
+    /// firing re-arms the next (see [`HandleMsg::handle`]). The series
+    /// self-cancels when the node's generation token moves on (crash or
+    /// re-revive).
+    fn arm_poll(sim: &mut ClusterSched, i: usize, token: u64, first: SimTime) {
+        sim.schedule_msg_at(first, ClusterEvent::Poll { i, token });
     }
 
     /// Apply one fault action right now. Crash/revive route through the
     /// node lifecycle; network faults mutate [`ClusterWorld::fault`].
-    pub fn apply_fault(&mut self, sim: &mut Sim<ClusterWorld>, action: &simnet::FaultAction) {
+    pub fn apply_fault(&mut self, sim: &mut ClusterSched, action: &simnet::FaultAction) {
         match *action {
             simnet::FaultAction::Crash(node) => self.kill_node(node),
             simnet::FaultAction::Revive(node) => self.revive_node(sim, node),
@@ -520,14 +572,14 @@ impl ClusterWorld {
     }
 
     /// Run one d-mon polling iteration for node `i`. No-op on dead nodes.
-    pub fn poll_node(&mut self, sim: &mut Sim<ClusterWorld>, i: usize) {
+    pub fn poll_node(&mut self, sim: &mut ClusterSched, i: usize) {
         if !self.alive[i] {
             return;
         }
         let now = sim.now();
         let mon = self.mon_chan;
         let ctl = self.ctl_chan;
-        let outcome = {
+        let mut outcome = {
             let dir = &self.dir;
             let calib = &self.calib;
             // Split borrows: dmons[i], hosts[i], dir and calib are
@@ -537,9 +589,10 @@ impl ClusterWorld {
             dmon.poll(host, dir, mon, ctl, now, calib)
         };
         self.charge_cpu(sim, NodeId(i), outcome.cpu_cost);
-        for (hop, ev, bytes) in outcome.sends {
+        for (hop, ev, bytes) in outcome.sends.drain(..) {
             self.transmit(sim, hop, ev, bytes);
         }
+        self.dmons[i].recycle_sends(outcome.sends);
         // Failure-detector verdicts become directory evictions: the dead
         // peer stops being a subscriber, so every publisher's read-set
         // logic stops sampling, filtering, and transmitting for it.
@@ -578,7 +631,7 @@ impl ClusterWorld {
 /// parallel engine ([`crate::pcluster`]), bit-identical to the serial
 /// run.
 pub struct ClusterSim {
-    sim: Sim<ClusterWorld>,
+    sim: ClusterSched,
     world: ClusterWorld,
     poll_period: SimDur,
     stagger: SimDur,
@@ -711,13 +764,7 @@ impl ClusterSim {
             if let Some(driver) = self.driver.as_mut() {
                 driver.schedule_poll(i, self.world.poll_token[i], first);
             } else {
-                ClusterWorld::arm_poll(
-                    &mut self.sim,
-                    i,
-                    self.world.poll_token[i],
-                    first,
-                    self.poll_period,
-                );
+                ClusterWorld::arm_poll(&mut self.sim, i, self.world.poll_token[i], first);
             }
         }
     }
@@ -733,12 +780,10 @@ impl ClusterSim {
             return;
         }
         for (t, action) in plan.actions() {
-            self.sim.schedule_at(
-                t,
-                move |w: &mut ClusterWorld, sim: &mut Sim<ClusterWorld>| {
+            self.sim
+                .schedule_at(t, move |w: &mut ClusterWorld, sim: &mut ClusterSched| {
                     w.apply_fault(sim, &action);
-                },
-            );
+                });
         }
     }
 
@@ -810,7 +855,7 @@ impl ClusterSim {
 
     /// Both world and scheduler, for app layers that transmit directly.
     /// Serial driver only.
-    pub fn parts(&mut self) -> (&mut ClusterWorld, &mut Sim<ClusterWorld>) {
+    pub fn parts(&mut self) -> (&mut ClusterWorld, &mut ClusterSched) {
         assert!(
             self.driver.is_none(),
             "ClusterSim::parts requires the serial driver (threads=1)"
@@ -824,7 +869,7 @@ impl ClusterSim {
     pub fn at(
         &mut self,
         t: SimTime,
-        f: impl FnOnce(&mut ClusterWorld, &mut Sim<ClusterWorld>) + 'static,
+        f: impl FnOnce(&mut ClusterWorld, &mut ClusterSched) + 'static,
     ) {
         assert!(
             self.driver.is_none(),

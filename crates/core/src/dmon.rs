@@ -15,7 +15,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
-use ecode::{EnvSpec, Filter, MemoClass, MetricRecord, MetricSet};
+use ecode::{
+    compile_filter, CompiledFilter, EnvSpec, Filter, FilterOutput, MemoClass, MetricRecord,
+    MetricSet, RuntimeError,
+};
 use kecho::{
     ChannelId, ControlMsg, CreditWindow, Directory, Event, HeartbeatPayload, Hop, MonRecord,
     MonitoringPayload, Observation, ParamSpec, StreamTracker, GRANT_THRESHOLD, OUTBOX_CAP,
@@ -52,6 +55,13 @@ pub struct DmonStats {
     /// Filter deployments that compiled but were refused by the static
     /// verifier (unbounded or over-budget worst-case cost).
     pub filters_rejected: u64,
+    /// Admitted deployments the register compiler specialized into a
+    /// closure (the stack-VM interpreter stays available as the
+    /// differential oracle).
+    pub filters_compiled: u64,
+    /// Admitted deployments that stayed on the stack-VM interpreter
+    /// because the register lowering declined the chunk.
+    pub interp_fallbacks: u64,
     /// Module samplings skipped because no subscriber's stream could
     /// consume the metric (read-set-driven sampling).
     pub modules_skipped: u64,
@@ -170,33 +180,74 @@ struct PeerRecord {
     epoch: u32,
 }
 
-/// One memoized filter evaluation within the current poll. How a hit is
-/// keyed depends on what the filter's effect certificate proved:
+/// One memoized filter evaluation within the current poll, keyed by the
+/// dense filter id assigned at admission (identical sources share an
+/// id, distinct sources never do — so a hit is a u32 compare, with no
+/// hashing on the poll path). How a hit is keyed further depends on
+/// what the filter's effect certificate proved:
 ///
 /// * `MemoClass::Shared` (`snapshot == false`): the output is provably
-///   independent of per-subscriber state, so the source fingerprint
-///   alone keys the entry — no input clone, no snapshot compare.
+///   independent of per-subscriber state, so the filter id alone keys
+///   the entry — no input clone, no snapshot compare.
 /// * `MemoClass::SnapshotKeyed` (`snapshot == true`): emitted records
 ///   copy per-subscriber `last_value_sent`, so a hit additionally
 ///   requires full input-snapshot equality.
 ///
 /// `MemoClass::Bypass` filters never reach this table.
 struct FilterMemo {
-    fingerprint: u64,
+    id: u32,
     /// True when a hit must also compare the input snapshot.
     snapshot: bool,
     /// The input snapshot for snapshot-keyed entries; empty for
-    /// fingerprint-only entries.
+    /// id-only entries.
     inputs: Vec<MetricRecord>,
-    /// Accepted records + executed instructions, or `None` for a VM fault.
-    result: Option<(Vec<MetricRecord>, u64)>,
+    /// Accepted records (a span in the per-poll [`kecho::RecordArena`])
+    /// + executed instructions, or `None` for a VM fault. Storing a span
+    /// instead of an owned vector is what makes fan-out batched: the
+    /// run's records are materialized once into the arena, and every
+    /// subscriber sharing the hit gathers the span into its own pooled
+    /// payload buffer — one encode, N enqueues, zero clones.
+    result: Option<(kecho::RecordSpan, u64)>,
+}
+
+/// A filter admitted at deploy time, with everything the per-poll path
+/// needs pre-resolved at admission: the dense memo id, the specialized
+/// closure (when the register compiler accepted the chunk), and the
+/// memo class already folded with the fingerprint-collision
+/// quarantine. The poll path never re-hashes source text or re-reads
+/// the certificate.
+struct DeployedFilter {
+    filter: Filter,
+    /// Dense per-node filter id — the memo key. Assigned per distinct
+    /// source at admission.
+    id: u32,
+    /// Specialized register closure; `None` ⇒ interpreter fallback.
+    compiled: Option<CompiledFilter>,
+    /// Effect-certificate memo class, demoted to `Bypass` at deploy
+    /// time when the source's fingerprint is collision-tainted.
+    memo_class: MemoClass,
+}
+
+impl DeployedFilter {
+    /// One evaluation: the compiled closure when available, the stack
+    /// VM otherwise. The two are bit-identical — outputs, budget
+    /// exhaustion, and runtime faults — pinned by the
+    /// `compiled_differential` proptests in the `ecode` crate.
+    fn run(&self, inputs: &[MetricRecord]) -> Result<FilterOutput, RuntimeError> {
+        match &self.compiled {
+            Some(c) => c.run(inputs),
+            None => self.filter.run(inputs),
+        }
+    }
 }
 
 /// FNV-1a over a filter's source — a cheap, deterministic fingerprint
-/// for the per-poll memo table. Distinct deployed sources with colliding
-/// fingerprints are detected at deploy time and quarantined in
-/// [`DMon::fp_tainted`]; tainted fingerprints bypass the memo entirely,
-/// so a clash costs VM runs, never wrong data.
+/// used only at deploy time. Distinct deployed sources with colliding
+/// fingerprints are quarantined in [`DMon::fp_tainted`], which demotes
+/// the deployment's memo class to `Bypass` at admission; the per-poll
+/// memo itself keys on dense filter ids (one per distinct source), so
+/// a clash costs VM runs, never wrong data — and costs nothing on the
+/// poll path.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
@@ -256,7 +307,14 @@ pub struct DMon {
     /// uses ~5 KB).
     event_pad: u32,
     policies: HashMap<NodeId, PolicySet>,
-    filters: HashMap<NodeId, Filter>,
+    filters: HashMap<NodeId, DeployedFilter>,
+    /// Dense filter id per distinct deployed source (deploy-time only).
+    /// Identical sources share an id so the per-poll memo can share
+    /// their runs; ids survive removals and restarts — they only need
+    /// to be dense enough to stay cheap, not compact.
+    filter_ids: HashMap<String, u32>,
+    /// Next dense filter id to hand out.
+    next_filter_id: u32,
     /// Last value actually sent, per subscriber (outer index = node id,
     /// inner index = metric id). Bounded by construction; a Dead
     /// subscriber's row is reaped.
@@ -326,8 +384,26 @@ pub struct DMon {
     ext_schema: Vec<(u32, String, String)>,
     /// Scratch filter-input vector, reused across subscribers and polls.
     filter_inputs: Vec<MetricRecord>,
+    /// Scratch per-module sample vector, reused across polls.
+    sample_buf: Vec<Option<f64>>,
+    /// Scratch detail string rotated through the own-metric `/proc`
+    /// slots via `swap_handle`, so module collection reuses the slots'
+    /// own capacity instead of allocating.
+    detail_buf: String,
+    /// Scratch needed-modules mask, reused across polls.
+    needed_buf: Vec<bool>,
+    /// Scratch credit-grant list, reused across polls.
+    grant_buf: Vec<(NodeId, u32)>,
+    /// Spare `PollOutcome::sends` vector, returned by the glue via
+    /// [`DMon::recycle_sends`] after transmitting so the steady-state
+    /// poll allocates no fresh send list.
+    send_buf: Vec<(Hop, Event, usize)>,
     /// Per-poll filter memo table (cleared at the top of every poll).
     memo: Vec<FilterMemo>,
+    /// SoA arena backing the memo entries' record spans, cleared with
+    /// the memo. Filter outputs are materialized here once per distinct
+    /// run; per-subscriber payloads gather spans out of it.
+    record_arena: kecho::RecordArena,
     /// Source text per deployed-filter fingerprint, kept to detect FNV
     /// collisions between *distinct* sources at deploy time. Bounded by
     /// the number of distinct filter sources ever deployed here.
@@ -421,6 +497,8 @@ impl DMon {
             event_pad: 0,
             policies: HashMap::new(),
             filters: HashMap::new(),
+            filter_ids: HashMap::new(),
+            next_filter_id: 0,
             last_sent: vec![Vec::new(); n],
             remote_values: vec![Vec::new(); n],
             remote_ext: BTreeMap::new(),
@@ -445,7 +523,13 @@ impl DMon {
             remote_ctl_ready: vec![false; n],
             ext_schema: Vec::new(),
             filter_inputs: Vec::new(),
+            sample_buf: Vec::new(),
+            detail_buf: String::new(),
+            needed_buf: Vec::new(),
+            grant_buf: Vec::new(),
+            send_buf: Vec::new(),
             memo: Vec::new(),
+            record_arena: kecho::RecordArena::new(),
             fp_sources: BTreeMap::new(),
             fp_tainted: BTreeSet::new(),
             credit: vec![CreditWindow::new(); n],
@@ -509,12 +593,12 @@ impl DMon {
         let mut sources: Vec<(NodeId, String)> = self
             .filters
             .iter()
-            .map(|(&sub, f)| (sub, f.source().to_string()))
+            .map(|(&sub, f)| (sub, f.filter.source().to_string()))
             .collect();
         sources.sort_by_key(|&(sub, _)| sub);
         for (sub, source) in sources {
             if let Ok(f) = Filter::compile(&source, &self.env) {
-                self.filters.insert(sub, f);
+                self.install_filter(sub, f);
             }
         }
         self.own_file_handles.resize(self.modules.len(), None);
@@ -583,7 +667,15 @@ impl DMon {
 
     /// The deployed filter of a subscriber, certificate included.
     pub fn filter_for(&self, subscriber: NodeId) -> Option<&Filter> {
-        self.filters.get(&subscriber)
+        self.filters.get(&subscriber).map(|df| &df.filter)
+    }
+
+    /// Whether a subscriber's deployed filter runs as a specialized
+    /// register closure (vs the stack-VM interpreter fallback).
+    pub fn filter_is_compiled(&self, subscriber: NodeId) -> bool {
+        self.filters
+            .get(&subscriber)
+            .is_some_and(|df| df.compiled.is_some())
     }
 
     /// Why `publisher` last refused this node's filter deployment, if it
@@ -910,6 +1002,14 @@ impl DMon {
         Event::control(ctl_chan.0, self.seq, self.node, target, msg)
     }
 
+    /// Hand back a drained [`PollOutcome::sends`] vector for reuse. The
+    /// glue calls this after transmitting so the steady-state poll path
+    /// never allocates a fresh send list.
+    pub fn recycle_sends(&mut self, mut sends: Vec<(Hop, Event, usize)>) {
+        sends.clear();
+        self.send_buf = sends;
+    }
+
     /// One polling iteration at `now`: collect, decide, build events.
     /// Also drains pending `/proc` control-file writes on this host into
     /// outgoing control events (that is how applications reach remote
@@ -924,22 +1024,29 @@ impl DMon {
         calib: &Calib,
     ) -> PollOutcome {
         let mut cpu = SimDur::ZERO;
-        let mut sends: Vec<(Hop, Event, usize)> = Vec::with_capacity(self.cluster_names.len());
+        // Recycled by the glue via `recycle_sends` once transmitted, so
+        // the steady state reuses one send list per d-mon.
+        let mut sends: Vec<(Hop, Event, usize)> = std::mem::take(&mut self.send_buf);
+        sends.clear();
         self.memo.clear();
+        self.record_arena.clear();
 
         // 1. Collect one sample per module some subscriber can actually
         // consume (certified filter read sets prove the rest unread) and
         // refresh local /proc views. The detail text is moved — not
         // copied — into the interned /proc slot.
         let needed = self.needed_modules(dir, mon_chan);
-        let mut samples: Vec<Option<f64>> = Vec::with_capacity(self.modules.len());
+        let mut samples: Vec<Option<f64>> = std::mem::take(&mut self.sample_buf);
+        samples.clear();
         for (i, (module, &need)) in self.modules.iter_mut().zip(&needed).enumerate() {
             if !need {
                 self.stats.modules_skipped += 1;
                 samples.push(None);
                 continue;
             }
-            let sample = module.collect(host, now);
+            let mut detail = std::mem::take(&mut self.detail_buf);
+            detail.clear();
+            let value = module.collect(host, now, &mut detail);
             cpu += calib.collect_per_module;
             let h = match self.own_file_handles[i] {
                 Some(h) => h,
@@ -953,9 +1060,12 @@ impl DMon {
                     h
                 }
             };
-            host.proc.set_handle(h, sample.detail);
-            samples.push(Some(sample.value));
+            // Swap the assembled text into the /proc slot and keep the
+            // displaced buffer for the next module — no copy, no alloc.
+            self.detail_buf = host.proc.swap_handle(h, detail);
+            samples.push(Some(value));
         }
+        self.needed_buf = needed;
         let ctl_h = match self.own_ctl_handle {
             Some(h) => h,
             None => {
@@ -968,7 +1078,7 @@ impl DMon {
                 h
             }
         };
-        host.proc.set_handle(ctl_h, String::new());
+        host.proc.handle_buf(ctl_h).clear();
 
         // 2. Age the failure detector: transitions, status files, and the
         // peers to evict from the registry this iteration. An evicted
@@ -1208,7 +1318,8 @@ impl DMon {
         // data this node has absorbed since its last grant. Decided at
         // poll time (not per arrival), so grants are replay-safe and
         // batch to about one control frame per window half.
-        let mut grants: Vec<(NodeId, u32)> = Vec::new();
+        let mut grants: Vec<(NodeId, u32)> = std::mem::take(&mut self.grant_buf);
+        grants.clear();
         for idx in 0..self.ungranted.len() {
             // Batch absorbed-data grants behind the threshold — but flush
             // any remainder when the publisher's data stream has gone
@@ -1235,7 +1346,7 @@ impl DMon {
             }
         }
         self.data_since_poll.fill(false);
-        for (publisher, credits) in grants {
+        for (publisher, credits) in grants.drain(..) {
             self.seq += 1;
             let ev = Event::control(
                 ctl_chan.0,
@@ -1342,6 +1453,8 @@ impl DMon {
         fastfmt::push_u64(buf, self.stats.ladder_transitions);
 
         // 6. Close the iteration's books.
+        self.grant_buf = grants;
+        self.sample_buf = samples;
         cpu += calib.receive_poll_cost;
         self.stats.iterations += 1;
         self.stats.close_iteration(calib.receive_poll_cost);
@@ -1366,16 +1479,20 @@ impl DMon {
     /// read set; any other subscriber (parameter rules or defaults)
     /// receives every metric. With no remote subscribers everything is
     /// collected so local `/proc` views stay fresh.
-    fn needed_modules(&self, dir: &Directory, mon_chan: ChannelId) -> Vec<bool> {
+    /// The caller returns the vector to `needed_buf` after use, so the
+    /// steady-state poll builds the mask without allocating.
+    fn needed_modules(&mut self, dir: &Directory, mon_chan: ChannelId) -> Vec<bool> {
         let n = self.modules.len();
+        let mut needed = std::mem::take(&mut self.needed_buf);
+        needed.clear();
+        needed.resize(n, false);
         let mut any_remote = false;
-        let mut needed = vec![false; n];
         for sub in dir.subscribers(mon_chan) {
             if sub == self.node {
                 continue;
             }
             any_remote = true;
-            match self.filters.get(&sub).map(|f| &f.cert().reads) {
+            match self.filters.get(&sub).map(|f| &f.filter.cert().reads) {
                 Some(MetricSet::Fixed(set)) => {
                     for &i in set {
                         if i < n {
@@ -1383,21 +1500,27 @@ impl DMon {
                         }
                     }
                 }
-                Some(MetricSet::All) | None => return vec![true; n],
+                Some(MetricSet::All) | None => {
+                    needed.fill(true);
+                    return needed;
+                }
             }
         }
         if !any_remote {
-            return vec![true; n];
+            needed.fill(true);
         }
         needed
     }
 
-    /// Record a deployed filter source's fingerprint. When two distinct
-    /// sources ever hash to the same FNV-1a value on this node, the
-    /// fingerprint is permanently tainted and the shared memo refuses to
-    /// serve it — sharing must rest on the effect certificate, never on
-    /// a 64-bit hash being collision-free.
-    fn note_filter_fingerprint(&mut self, source: &str) {
+    /// Record a deployed filter source's fingerprint and report whether
+    /// it is (now) collision-tainted. When two distinct sources ever
+    /// hash to the same FNV-1a value on this node, the fingerprint is
+    /// permanently tainted and deployments under it are demoted to
+    /// `MemoClass::Bypass` at admission — sharing must rest on the
+    /// effect certificate, never on a 64-bit hash being collision-free.
+    /// This runs at deploy time only; the poll path keys the memo on
+    /// dense filter ids and never hashes source text.
+    fn note_filter_fingerprint(&mut self, source: &str) -> bool {
         let fp = fnv1a(source.as_bytes());
         match self.fp_sources.get(&fp) {
             None => {
@@ -1408,6 +1531,50 @@ impl DMon {
                 self.fp_tainted.insert(fp);
             }
         }
+        self.fp_tainted.contains(&fp)
+    }
+
+    /// Dense per-node id for a filter source, assigned at admission.
+    /// Identical sources share an id — that is what lets the per-poll
+    /// memo share their runs on a u32 compare — while distinct sources
+    /// never do, even under a fingerprint collision.
+    fn filter_id_for(&mut self, source: &str) -> u32 {
+        if let Some(&id) = self.filter_ids.get(source) {
+            return id;
+        }
+        let id = self.next_filter_id;
+        self.next_filter_id += 1;
+        self.filter_ids.insert(source.to_string(), id);
+        id
+    }
+
+    /// Install an admitted filter for `sub`: assign its dense id, fold
+    /// the collision quarantine into its memo class, and specialize it
+    /// into a register closure (interpreter fallback when the lowering
+    /// declines the chunk). Everything the poll path needs is decided
+    /// here, once.
+    fn install_filter(&mut self, sub: NodeId, f: Filter) {
+        let tainted = self.note_filter_fingerprint(f.source());
+        let id = self.filter_id_for(f.source());
+        let memo_class = if tainted {
+            MemoClass::Bypass
+        } else {
+            f.cert().effects.memo
+        };
+        let compiled = compile_filter(&f);
+        match compiled {
+            Some(_) => self.stats.filters_compiled += 1,
+            None => self.stats.interp_fallbacks += 1,
+        }
+        self.filters.insert(
+            sub,
+            DeployedFilter {
+                filter: f,
+                id,
+                compiled,
+                memo_class,
+            },
+        );
     }
 
     /// Decide which metric records to send to one subscriber.
@@ -1419,7 +1586,7 @@ impl DMon {
         calib: &Calib,
         cpu: &mut SimDur,
     ) -> Vec<MonRecord> {
-        if let Some(filter) = self.filters.get(&sub) {
+        if let Some(df) = self.filters.get(&sub) {
             // A deployed filter takes over the decision entirely. Skipped
             // slots get a zero placeholder: a module is only skipped when
             // every deployed filter's certificate proves it unread, so the
@@ -1436,48 +1603,52 @@ impl DMon {
                     timestamp: now.as_secs_f64(),
                 });
             }
-            // The effect certificate decides how (and whether) this run
-            // may be shared with other subscribers within the poll. The
-            // modeled cost is still charged per logical run — the
-            // figures measure what a kernel would spend, not what the
-            // memo saves the simulator.
-            let fp = fnv1a(filter.source().as_bytes());
-            let class = if self.fp_tainted.contains(&fp) {
-                // Distinct sources hash to this fingerprint; sharing
-                // could pick the wrong entry, so never share it.
-                MemoClass::Bypass
-            } else {
-                filter.cert().effects.memo
-            };
-            let result = match class {
+            // The memo class (collision quarantine included) and the
+            // dense memo id were folded at deploy time, so deciding how
+            // this run may be shared with other subscribers within the
+            // poll costs a field read. The modeled cost is still charged
+            // per logical run — the figures measure what a kernel would
+            // spend, not what the memo saves the simulator.
+            // One encode: a run's accepted records are pushed into the
+            // per-poll SoA arena exactly once; the span (Copy) is what
+            // the memo stores and what every sharing subscriber gathers
+            // from — the old per-hit record-vector clone is gone.
+            let run_one =
+                |arena: &mut kecho::RecordArena, out: Result<FilterOutput, RuntimeError>| match out
+                {
+                    Ok(out) => {
+                        let mark = arena.mark();
+                        for r in out.iter_accepted() {
+                            arena.push(r.id, r.value, r.last_value_sent, r.timestamp);
+                        }
+                        let r = Some((arena.span_since(mark), out.instructions()));
+                        out.recycle();
+                        r
+                    }
+                    Err(_) => None,
+                };
+            let result = match df.memo_class {
                 MemoClass::Bypass => {
-                    // Per-subscriber state feeds the output: one VM run
+                    // Per-subscriber state feeds the output: one run
                     // per subscriber, observable via `memo_bypassed`.
                     self.stats.memo_bypassed += 1;
-                    match filter.run(&inputs) {
-                        Ok(out) => Some((out.records_if_accepted(), out.instructions())),
-                        Err(_) => None,
-                    }
+                    run_one(&mut self.record_arena, df.run(&inputs))
                 }
                 MemoClass::Shared | MemoClass::SnapshotKeyed => {
-                    let snapshot = class == MemoClass::SnapshotKeyed;
+                    let snapshot = df.memo_class == MemoClass::SnapshotKeyed;
+                    let id = df.id;
                     let hit = self.memo.iter().position(|m| {
-                        m.fingerprint == fp
-                            && m.snapshot == snapshot
-                            && (!snapshot || m.inputs == inputs)
+                        m.id == id && m.snapshot == snapshot && (!snapshot || m.inputs == inputs)
                     });
                     match hit {
-                        Some(i) => self.memo[i].result.clone(),
+                        Some(i) => self.memo[i].result,
                         None => {
-                            let result = match filter.run(&inputs) {
-                                Ok(out) => Some((out.records_if_accepted(), out.instructions())),
-                                Err(_) => None,
-                            };
+                            let result = run_one(&mut self.record_arena, df.run(&inputs));
                             self.memo.push(FilterMemo {
-                                fingerprint: fp,
+                                id,
                                 snapshot,
                                 inputs: if snapshot { inputs.clone() } else { Vec::new() },
-                                result: result.clone(),
+                                result,
                             });
                             result
                         }
@@ -1486,17 +1657,14 @@ impl DMon {
             };
             self.filter_inputs = inputs;
             match result {
-                Some((accepted, instructions)) => {
+                Some((span, instructions)) => {
                     *cpu += calib.ecode_instr * instructions;
-                    accepted
-                        .into_iter()
-                        .map(|r| MonRecord {
-                            metric_id: r.id,
-                            value: r.value,
-                            last_value_sent: r.last_value_sent,
-                            timestamp: r.timestamp,
-                        })
-                        .collect()
+                    // N enqueues: gather the span into a pooled payload
+                    // buffer — a columnar copy, no allocation in steady
+                    // state.
+                    let mut records = kecho::take_record_buf();
+                    self.record_arena.gather_into(span, &mut records);
+                    records
                 }
                 None => {
                     // A faulting filter sends nothing (a kernel would also
@@ -1848,8 +2016,7 @@ impl DMon {
                                 reply: Some(ControlMsg::FilterRejected { reason }),
                             };
                         }
-                        self.note_filter_fingerprint(source);
-                        self.filters.insert(from, f);
+                        self.install_filter(from, f);
                     }
                     Err(_) => {
                         self.stats.filter_errors += 1;
@@ -2636,6 +2803,13 @@ mod tests {
     #[test]
     fn tainted_fingerprint_disables_sharing() {
         let (mut dmon, mut host, dir, mon, ctl, calib) = setup();
+        // Simulate an FNV collision between distinct sources: a real one
+        // is infeasible to construct, so file a different source under
+        // PURE_SRC's fingerprint before it deploys. Admission detects
+        // the collision and demotes the deployment to Bypass — the
+        // quarantine is a deploy-time decision, never a per-poll check.
+        dmon.fp_sources
+            .insert(fnv1a(PURE_SRC.as_bytes()), "{ something else }".into());
         for sub in [NodeId(1), NodeId(2)] {
             dmon.on_control(
                 sub,
@@ -2645,9 +2819,6 @@ mod tests {
                 &calib,
             );
         }
-        // Simulate an FNV collision between distinct sources: a real one
-        // is infeasible to construct, so inject the taint directly.
-        dmon.fp_tainted.insert(fnv1a(PURE_SRC.as_bytes()));
         dmon.poll(&mut host, &dir, mon, ctl, SimTime::from_secs(1), &calib);
         assert!(dmon.memo.is_empty());
         assert_eq!(dmon.stats.memo_bypassed, 2);
@@ -2656,19 +2827,50 @@ mod tests {
     #[test]
     fn fingerprint_collision_detection_is_exact() {
         let (mut dmon, _host, _dir, _mon, _ctl, _calib) = setup();
-        dmon.note_filter_fingerprint("{ int a = 1; }");
+        assert!(!dmon.note_filter_fingerprint("{ int a = 1; }"));
         // Same source again: no taint.
-        dmon.note_filter_fingerprint("{ int a = 1; }");
+        assert!(!dmon.note_filter_fingerprint("{ int a = 1; }"));
         assert!(dmon.fp_tainted.is_empty());
         // A different source with a different fingerprint: no taint.
-        dmon.note_filter_fingerprint("{ int b = 2; }");
+        assert!(!dmon.note_filter_fingerprint("{ int b = 2; }"));
         assert!(dmon.fp_tainted.is_empty());
         // Force the pathological case: a second source filed under the
         // first one's fingerprint.
         let fp = fnv1a(b"{ int a = 1; }");
         dmon.fp_sources.insert(fp, "{ something else }".into());
-        dmon.note_filter_fingerprint("{ int a = 1; }");
+        assert!(dmon.note_filter_fingerprint("{ int a = 1; }"));
         assert!(dmon.fp_tainted.contains(&fp));
+    }
+
+    #[test]
+    fn identical_sources_share_a_dense_id_and_compile_once_each() {
+        let (mut dmon, _host, _dir, _mon, _ctl, calib) = setup();
+        for sub in [NodeId(1), NodeId(2)] {
+            dmon.on_control(
+                sub,
+                &ControlMsg::DeployFilter {
+                    source: PURE_SRC.into(),
+                },
+                &calib,
+            );
+        }
+        // Same source → same memo id, so the per-poll memo shares runs
+        // on a u32 compare.
+        assert_eq!(dmon.filters[&NodeId(1)].id, dmon.filters[&NodeId(2)].id);
+        dmon.on_control(
+            NodeId(2),
+            &ControlMsg::DeployFilter {
+                source: IMPURE_SRC.into(),
+            },
+            &calib,
+        );
+        // Distinct sources never share an id, even if their
+        // fingerprints were to collide.
+        assert_ne!(dmon.filters[&NodeId(1)].id, dmon.filters[&NodeId(2)].id);
+        // Every admission was specialized into a register closure.
+        assert_eq!(dmon.stats.filters_compiled, 3);
+        assert_eq!(dmon.stats.interp_fallbacks, 0);
+        assert!(dmon.filter_is_compiled(NodeId(1)));
     }
 
     #[test]

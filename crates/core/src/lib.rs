@@ -50,6 +50,6 @@ pub mod params;
 pub(crate) mod pcluster;
 
 pub use calib::Calib;
-pub use cluster::{ClusterConfig, ClusterSim, ClusterWorld};
+pub use cluster::{ClusterConfig, ClusterEvent, ClusterSched, ClusterSim, ClusterWorld};
 pub use dmon::{DMon, DmonStats, PeerHealth};
 pub use params::{PolicySet, Rule};

@@ -24,15 +24,6 @@ use simcore::{SimDur, SimTime};
 use simos::pmc::PmcEvent;
 use simos::Host;
 
-/// One collected sample.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Sample {
-    /// Headline value (travels on the channel; filters compare it).
-    pub value: f64,
-    /// Detail text for the `/proc` entry.
-    pub detail: String,
-}
-
 /// A monitoring module registered with d-mon. `Send` so a node's d-mon
 /// (modules included) can live on a worker shard of the parallel scheduler.
 pub trait MonitorModule: Send {
@@ -40,8 +31,11 @@ pub trait MonitorModule: Send {
     fn file_name(&self) -> &'static str;
     /// Name of the metric constant in E-code filter environments.
     fn metric_name(&self) -> &'static str;
-    /// The d-mon poll callback.
-    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample;
+    /// The d-mon poll callback: append the `/proc` detail text to
+    /// `detail` (handed in cleared, reused across polls so steady-state
+    /// collection allocates nothing) and return the headline value that
+    /// travels on the channel and that filters compare.
+    fn collect(&mut self, host: &mut Host, now: SimTime, detail: &mut String) -> f64;
     /// Change the module's averaging window, when it has one (the paper's
     /// CPU MON takes an application-specified period). Default: ignored.
     fn set_window(&mut self, _window: SimDur) {}
@@ -81,22 +75,21 @@ impl MonitorModule for CpuMon {
     fn metric_name(&self) -> &'static str {
         "LOADAVG"
     }
-    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, now: SimTime, detail: &mut String) -> f64 {
         host.cpu.advance(now);
         let la = host.cpu.loadavg(now, self.window);
         // Piecewise assembly with the exact-output fast formatters;
         // equivalent to
         // `"loadavg {:.2} window_s {} runnable {} cpus {}"` via `format!`.
-        let mut detail = String::with_capacity(48);
         detail.push_str("loadavg ");
-        fastfmt::push_f64_fixed(&mut detail, la, 2);
+        fastfmt::push_f64_fixed(detail, la, 2);
         detail.push_str(" window_s ");
-        fastfmt::push_u64(&mut detail, self.window.as_secs());
+        fastfmt::push_u64(detail, self.window.as_secs());
         detail.push_str(" runnable ");
-        fastfmt::push_u64(&mut detail, host.cpu.runnable() as u64);
+        fastfmt::push_u64(detail, host.cpu.runnable() as u64);
         detail.push_str(" cpus ");
-        fastfmt::push_u64(&mut detail, host.cpu.n_cpus() as u64);
-        Sample { value: la, detail }
+        fastfmt::push_u64(detail, host.cpu.n_cpus() as u64);
+        la
     }
     fn set_window(&mut self, window: SimDur) {
         if !window.is_zero() {
@@ -116,21 +109,17 @@ impl MonitorModule for MemMon {
     fn metric_name(&self) -> &'static str {
         "FREEMEM"
     }
-    fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, _now: SimTime, detail: &mut String) -> f64 {
         let free = host.mem.free_bytes();
         // Equivalent to
         // `"free_bytes {} free_pages {} total_pages {}"` via `format!`.
-        let mut detail = String::with_capacity(56);
         detail.push_str("free_bytes ");
-        fastfmt::push_u64(&mut detail, free);
+        fastfmt::push_u64(detail, free);
         detail.push_str(" free_pages ");
-        fastfmt::push_u64(&mut detail, host.mem.nr_free_pages());
+        fastfmt::push_u64(detail, host.mem.nr_free_pages());
         detail.push_str(" total_pages ");
-        fastfmt::push_u64(&mut detail, host.mem.total_pages());
-        Sample {
-            value: free as f64,
-            detail,
-        }
+        fastfmt::push_u64(detail, host.mem.total_pages());
+        free as f64
     }
 }
 
@@ -145,26 +134,22 @@ impl MonitorModule for DiskMon {
     fn metric_name(&self) -> &'static str {
         "DISKUSAGE"
     }
-    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, now: SimTime, detail: &mut String) -> f64 {
         let sr = host.disk.sectors_read_rate(now);
         let sw = host.disk.sectors_written_rate(now);
         // Equivalent to `"sectors_window {} reads {} writes {} sectors_read
         // {} sectors_written {}"` via `format!`.
-        let mut detail = String::with_capacity(72);
         detail.push_str("sectors_window ");
-        fastfmt::push_u64(&mut detail, sr + sw);
+        fastfmt::push_u64(detail, sr + sw);
         detail.push_str(" reads ");
-        fastfmt::push_u64(&mut detail, host.disk.reads());
+        fastfmt::push_u64(detail, host.disk.reads());
         detail.push_str(" writes ");
-        fastfmt::push_u64(&mut detail, host.disk.writes());
+        fastfmt::push_u64(detail, host.disk.writes());
         detail.push_str(" sectors_read ");
-        fastfmt::push_u64(&mut detail, host.disk.sectors_read());
+        fastfmt::push_u64(detail, host.disk.sectors_read());
         detail.push_str(" sectors_written ");
-        fastfmt::push_u64(&mut detail, host.disk.sectors_written());
-        Sample {
-            value: (sr + sw) as f64,
-            detail,
-        }
+        fastfmt::push_u64(detail, host.disk.sectors_written());
+        (sr + sw) as f64
     }
 }
 
@@ -189,7 +174,7 @@ impl MonitorModule for NetMon {
     fn metric_name(&self) -> &'static str {
         "NET_AVAIL"
     }
-    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, now: SimTime, detail: &mut String) -> f64 {
         let avail = host.available_bps(now);
         let total = host.conns.total_used_bps(now);
         // Each line is byte-identical to the old
@@ -221,11 +206,11 @@ impl MonitorModule for NetMon {
         // connection table iterates in hash order); buffer ownership just
         // moves within the pool.
         self.line_pool[..used].sort_unstable();
-        let mut detail = String::with_capacity(28 + used * 48);
+        detail.reserve(28 + used * 48);
         detail.push_str("avail_bps ");
-        fastfmt::push_f64_fixed(&mut detail, avail, 0);
+        fastfmt::push_f64_fixed(detail, avail, 0);
         detail.push_str(" used_bps ");
-        fastfmt::push_f64_fixed(&mut detail, total, 0);
+        fastfmt::push_f64_fixed(detail, total, 0);
         detail.push('\n');
         for (i, line) in self.line_pool[..used].iter().enumerate() {
             if i > 0 {
@@ -233,10 +218,7 @@ impl MonitorModule for NetMon {
             }
             detail.push_str(line);
         }
-        Sample {
-            value: avail,
-            detail,
-        }
+        avail
     }
 }
 
@@ -251,21 +233,17 @@ impl MonitorModule for PmcMon {
     fn metric_name(&self) -> &'static str {
         "CACHE_MISS"
     }
-    fn collect(&mut self, host: &mut Host, _now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, _now: SimTime, detail: &mut String) -> f64 {
         let misses = host.pmc.read(PmcEvent::CacheMisses);
         // Equivalent to
         // `"cache_misses {} instructions {} cycles {}"` via `format!`.
-        let mut detail = String::with_capacity(56);
         detail.push_str("cache_misses ");
-        fastfmt::push_u64(&mut detail, misses);
+        fastfmt::push_u64(detail, misses);
         detail.push_str(" instructions ");
-        fastfmt::push_u64(&mut detail, host.pmc.read(PmcEvent::Instructions));
+        fastfmt::push_u64(detail, host.pmc.read(PmcEvent::Instructions));
         detail.push_str(" cycles ");
-        fastfmt::push_u64(&mut detail, host.pmc.read(PmcEvent::Cycles));
-        Sample {
-            value: misses as f64,
-            detail,
-        }
+        fastfmt::push_u64(detail, host.pmc.read(PmcEvent::Cycles));
+        misses as f64
     }
 }
 
@@ -283,22 +261,24 @@ impl MonitorModule for PowerMon {
     fn metric_name(&self) -> &'static str {
         "BATTERY"
     }
-    fn collect(&mut self, host: &mut Host, now: SimTime) -> Sample {
+    fn collect(&mut self, host: &mut Host, now: SimTime, detail: &mut String) -> f64 {
+        use std::fmt::Write;
         host.advance(now);
         match &host.battery {
-            Some(b) => Sample {
-                value: b.fraction(),
-                detail: format!(
+            Some(b) => {
+                let _ = write!(
+                    detail,
                     "battery_fraction {:.4} level_j {:.1} empty {}",
                     b.fraction(),
                     b.level_j(),
                     b.is_empty()
-                ),
-            },
-            None => Sample {
-                value: 1.0,
-                detail: "mains_powered".to_string(),
-            },
+                );
+                b.fraction()
+            }
+            None => {
+                detail.push_str("mains_powered");
+                1.0
+            }
         }
     }
 }
@@ -307,7 +287,9 @@ impl NetMon {
     /// Test helper: collect and return just the detail text.
     #[doc(hidden)]
     pub fn collect_for_test(&mut self, host: &mut Host, now: SimTime) -> String {
-        self.collect(host, now).detail
+        let mut detail = String::new();
+        self.collect(host, now, &mut detail);
+        detail
     }
 }
 
@@ -332,6 +314,13 @@ mod tests {
         Host::new("t", NodeId(0), &HostConfig::testbed())
     }
 
+    /// Collect into a throwaway buffer, returning `(value, detail)`.
+    fn collect(m: &mut dyn MonitorModule, h: &mut Host, now: SimTime) -> (f64, String) {
+        let mut detail = String::new();
+        let value = m.collect(h, now, &mut detail);
+        (value, detail)
+    }
+
     #[test]
     fn standard_set_has_five_modules() {
         let mods = standard_modules();
@@ -351,30 +340,27 @@ mod tests {
         let mut m = CpuMon::new();
         let hog = h.cpu.spawn_compute(SimTime::ZERO, "hog");
         // after 60s of 1 runnable task, the 60s window reads 1.0
-        let s = m.collect(&mut h, SimTime::from_secs(60));
-        assert!((s.value - 1.0).abs() < 1e-9, "{}", s.value);
+        let (value, _) = collect(&mut m, &mut h, SimTime::from_secs(60));
+        assert!((value - 1.0).abs() < 1e-9, "{value}");
         // a 10s window at t=65 with the task killed at 60 reads 0.5
         h.cpu.kill(SimTime::from_secs(60), hog);
         m.set_window(SimDur::from_secs(10));
-        let s = m.collect(&mut h, SimTime::from_secs(65));
-        assert!((s.value - 0.5).abs() < 1e-9, "{}", s.value);
+        let (value, _) = collect(&mut m, &mut h, SimTime::from_secs(65));
+        assert!((value - 0.5).abs() < 1e-9, "{value}");
         // zero window ignored
         m.set_window(SimDur::ZERO);
-        let _ = m.collect(&mut h, SimTime::from_secs(65));
+        let _ = collect(&mut m, &mut h, SimTime::from_secs(65));
     }
 
     #[test]
     fn mem_mon_tracks_allocations() {
         let mut h = host();
         let mut m = MemMon;
-        let before = m.collect(&mut h, SimTime::ZERO).value;
+        let (before, _) = collect(&mut m, &mut h, SimTime::ZERO);
         h.mem.alloc("x", 64 * 1024 * 1024);
-        let after = m.collect(&mut h, SimTime::ZERO).value;
+        let (after, detail) = collect(&mut m, &mut h, SimTime::ZERO);
         assert_eq!(before - after, (64 * 1024 * 1024) as f64);
-        assert!(m
-            .collect(&mut h, SimTime::ZERO)
-            .detail
-            .contains("free_pages"));
+        assert!(detail.contains("free_pages"));
     }
 
     #[test]
@@ -385,11 +371,11 @@ mod tests {
             .submit(SimTime::ZERO, simos::disk::IoDir::Write, 512 * 20);
         h.disk
             .submit(SimTime::ZERO, simos::disk::IoDir::Read, 512 * 5);
-        let s = m.collect(&mut h, SimTime::from_millis(100));
-        assert_eq!(s.value, 25.0);
+        let (value, _) = collect(&mut m, &mut h, SimTime::from_millis(100));
+        assert_eq!(value, 25.0);
         // window slides off
-        let s = m.collect(&mut h, SimTime::from_secs(5));
-        assert_eq!(s.value, 0.0);
+        let (value, _) = collect(&mut m, &mut h, SimTime::from_secs(5));
+        assert_eq!(value, 0.0);
     }
 
     #[test]
@@ -405,15 +391,15 @@ mod tests {
         h.conns.open(id, SimTime::ZERO);
         h.conns
             .record_delivery(id, SimTime::ZERO, 125_000, SimDur::from_millis(2));
-        let s = m.collect(&mut h, SimTime::from_millis(500));
+        let (value, detail) = collect(&mut m, &mut h, SimTime::from_millis(500));
         // 100 Mbps line rate - 1 Mbps connection throughput.
-        assert!((s.value - 99e6).abs() < 1.0, "{}", s.value);
-        assert!(s.detail.contains("tag 7"));
-        assert!(s.detail.contains("rtt_us 4000"));
+        assert!((value - 99e6).abs() < 1.0, "{value}");
+        assert!(detail.contains("tag 7"));
+        assert!(detail.contains("rtt_us 4000"));
         // An Iperf flood visible at the NIC shrinks the estimate.
         h.observed_background_bps = 80e6;
-        let s = m.collect(&mut h, SimTime::from_millis(500));
-        assert!((s.value - 19e6).abs() < 1.0, "{}", s.value);
+        let (value, _) = collect(&mut m, &mut h, SimTime::from_millis(500));
+        assert!((value - 19e6).abs() < 1.0, "{value}");
     }
 
     #[test]
@@ -421,10 +407,10 @@ mod tests {
         let mut h = host();
         let mut m = PmcMon;
         h.pmc.on_data_moved(3200);
-        let first = m.collect(&mut h, SimTime::ZERO).value;
+        let (first, _) = collect(&mut m, &mut h, SimTime::ZERO);
         assert_eq!(first, 100.0);
         h.pmc.on_data_moved(3200);
-        let second = m.collect(&mut h, SimTime::ZERO).value;
+        let (second, _) = collect(&mut m, &mut h, SimTime::ZERO);
         assert_eq!(second, 200.0);
     }
 }

@@ -59,28 +59,8 @@ use simos::TaskId;
 use kecho::{wire, ChannelId, Directory, Event, EventKind, Hop, Topology};
 
 use crate::calib::Calib;
-use crate::cluster::{class_of, ClusterWorld};
+use crate::cluster::{class_of, ClusterEvent, ClusterWorld};
 use crate::dmon::DMon;
-
-/// Typed cluster events (the serial driver uses boxed closures; the
-/// parallel engine needs `Send` values it can log and merge).
-#[derive(Debug, Clone)]
-pub(crate) enum ClusterEvent {
-    /// One d-mon polling iteration, with its generation token.
-    Poll { i: usize, token: u64 },
-    /// The node's kernel service thread finished draining one CPU charge.
-    SvcDone { i: usize },
-    /// A network message arrives at `hop.to`.
-    Deliver {
-        hop: Hop,
-        ev: Event,
-        bytes: usize,
-        sent_at: SimTime,
-        queued: SimDur,
-    },
-    /// The `k`-th scheduled fault action fires.
-    Fault { k: usize },
-}
 
 /// Global effects, applied by the coordinator in exact serial order.
 pub(crate) enum PFx {
@@ -459,7 +439,7 @@ impl PShard {
         }
         let sh = shared.get();
         if sh.alive[i] {
-            let outcome = {
+            let mut outcome = {
                 let n = &mut self.nodes[l];
                 n.dmon.poll(
                     &mut n.host,
@@ -471,9 +451,10 @@ impl PShard {
                 )
             };
             self.charge_cpu(l, now, outcome.cpu_cost, out);
-            for (hop, ev, bytes) in outcome.sends {
+            for (hop, ev, bytes) in outcome.sends.drain(..) {
                 self.transmit(now, hop, ev, bytes, out, sh);
             }
+            self.nodes[l].dmon.recycle_sends(outcome.sends);
             for peer in outcome.dead_peers {
                 out.fx(PFx::Evict { peer });
             }

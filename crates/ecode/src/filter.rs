@@ -130,10 +130,52 @@ impl FilterOutput {
         }
     }
 
+    /// Iterate the records to actually submit without materializing a
+    /// vector: emitted slots in order when accepted, nothing when
+    /// suppressed. The hot path drains this straight into an arena or a
+    /// pooled buffer, so no intermediate `Vec` is built.
+    pub fn iter_accepted(&self) -> impl Iterator<Item = MetricRecord> + '_ {
+        let accept = self.accept;
+        self.slots
+            .iter()
+            .filter_map(move |s| if accept { *s } else { None })
+    }
+
     /// Instructions the VM executed producing this output.
     pub fn instructions(&self) -> u64 {
         self.instructions
     }
+
+    /// Consume the output, returning its slot buffer to the thread-local
+    /// pool so the next execution on this thread allocates nothing. Call
+    /// this after extracting records on a hot path.
+    pub fn recycle(self) {
+        put_slot_buf(self.slots);
+    }
+}
+
+thread_local! {
+    /// Recycled output-slot buffers shared by the interpreter and the
+    /// compiled executor — filters run per sample, so per-execution
+    /// `Vec` allocations would dominate the event path.
+    static SLOT_POOL: std::cell::RefCell<Vec<Vec<Option<MetricRecord>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Take an empty output-slot buffer from the thread-local pool.
+pub(crate) fn take_slot_buf() -> Vec<Option<MetricRecord>> {
+    SLOT_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Return an output-slot buffer to the thread-local pool.
+pub(crate) fn put_slot_buf(mut v: Vec<Option<MetricRecord>>) {
+    v.clear();
+    SLOT_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < 16 {
+            pool.push(v);
+        }
+    });
 }
 
 /// A compiled, deployable filter.

@@ -57,11 +57,13 @@
 pub mod analysis;
 pub mod ast;
 pub mod bytecode;
+pub mod compile;
 pub mod error;
 pub mod filter;
 pub mod lexer;
 pub mod opt;
 pub mod parser;
+mod regalloc;
 pub mod sema;
 pub mod token;
 pub mod vm;
@@ -69,5 +71,6 @@ pub mod vm;
 pub use analysis::{
     CostBound, Diagnostic, EffectSummary, FilterCert, LintKind, MemoClass, MetricSet, Severity,
 };
+pub use compile::{compile_filter, CompiledFilter};
 pub use error::{CompileError, RuntimeError};
 pub use filter::{fig3_env, EnvSpec, Filter, FilterOutput, MetricRecord, FIG3_SOURCE};

@@ -46,15 +46,55 @@ impl Value {
     }
 }
 
+/// Reusable per-thread execution buffers — the interpreter runs once
+/// per monitoring sample, so per-execution allocations would dominate
+/// the event path (and it stays the fallback engine and differential
+/// oracle for the compiling backend in [`crate::compile`]).
+struct VmScratch {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+}
+
+thread_local! {
+    static VM_SCRATCH: std::cell::RefCell<VmScratch> = const {
+        std::cell::RefCell::new(VmScratch {
+            stack: Vec::new(),
+            locals: Vec::new(),
+        })
+    };
+}
+
 /// Execute `chunk` against `inputs` with the given instruction budget.
 pub fn run(
     chunk: &Chunk,
     inputs: &[MetricRecord],
     budget: u64,
 ) -> Result<FilterOutput, RuntimeError> {
-    let mut stack: Vec<Value> = Vec::with_capacity(16);
-    let mut locals = vec![Value::I(0); chunk.n_locals as usize];
-    let mut outputs: Vec<Option<MetricRecord>> = Vec::new();
+    VM_SCRATCH.with(|s| {
+        let mut scratch = s.borrow_mut();
+        let VmScratch { stack, locals } = &mut *scratch;
+        stack.clear();
+        locals.clear();
+        locals.resize(chunk.n_locals as usize, Value::I(0));
+        let mut outputs = crate::filter::take_slot_buf();
+        match run_inner(chunk, inputs, budget, stack, locals, &mut outputs) {
+            Ok((accept, executed)) => Ok(FilterOutput::new(outputs, accept, executed)),
+            Err(e) => {
+                crate::filter::put_slot_buf(outputs);
+                Err(e)
+            }
+        }
+    })
+}
+
+fn run_inner(
+    chunk: &Chunk,
+    inputs: &[MetricRecord],
+    budget: u64,
+    stack: &mut Vec<Value>,
+    locals: &mut [Value],
+    outputs: &mut Vec<Option<MetricRecord>>,
+) -> Result<(bool, u64), RuntimeError> {
     let mut pc: usize = 0;
     let mut remaining = budget;
     let mut executed: u64 = 0;
@@ -238,15 +278,15 @@ pub fn run(
             }
             Op::ReturnValue => {
                 let v = pop!();
-                return Ok(FilterOutput::new(outputs, v.truthy(), executed));
+                return Ok((v.truthy(), executed));
             }
             Op::ReturnVoid => {
-                return Ok(FilterOutput::new(outputs, true, executed));
+                return Ok((true, executed));
             }
         }
     }
     // Fell off the end without an explicit return: accept.
-    Ok(FilterOutput::new(outputs, true, executed))
+    Ok((true, executed))
 }
 
 #[cfg(test)]

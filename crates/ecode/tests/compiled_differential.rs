@@ -1,0 +1,198 @@
+//! Differential testing of the compiling backend against the stack VM.
+//!
+//! The compiled closure must be *bit-identical* to the interpreter: the
+//! same output slots (values, ids, timestamps), the same accept flag,
+//! the same executed-instruction count (d-mon charges CPU per logical
+//! instruction, so a drifting count would silently skew the simulation),
+//! and the same error on failing runs — including `BudgetExhausted`
+//! raised in the middle of a fused superinstruction, which the budget
+//! sweep below exercises at every instruction boundary.
+
+use ecode::{compile_filter, EnvSpec, Filter, MetricRecord};
+use proptest::prelude::*;
+
+fn env() -> EnvSpec {
+    EnvSpec::new(["A", "B", "C"])
+}
+
+/// Statement fragments biased toward the shapes the backend fuses:
+/// constant-index field loads, comparisons feeding branches, emits.
+fn stmt(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0..3u8, expr()).prop_map(|(v, e)| format!("x{v} = {e};")),
+        (0..3u8, expr()).prop_map(|(v, e)| format!("d{v} = {e};")),
+        (0..3u8).prop_map(|s| format!("output[{s}] = input[{}];", ["A", "B", "C"][s as usize])),
+        (0..2u8, expr())
+            .prop_map(|(s, e)| format!("output[{s}] = input[A]; output[{s}].value = {e};")),
+        expr().prop_map(|e| format!("output[0] = input[C]; output[0].last_value_sent = {e};")),
+        Just("return x0;".to_string()),
+        Just("return 1;".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let nested = stmt(depth - 1);
+    prop_oneof![
+        leaf,
+        (expr(), nested.clone()).prop_map(|(c, s)| format!("if ({c}) {{ {s} }}")),
+        (expr(), nested.clone(), nested.clone())
+            .prop_map(|(c, a, b)| format!("if ({c}) {{ {a} }} else {{ {b} }}")),
+        (0..12i64, nested.clone())
+            .prop_map(|(n, s)| format!("for (int i = 0; i < {n}; i = i + 1) {{ {s} }}")),
+        (1..10i64, 1..3i64, nested).prop_map(|(n, step, s)| {
+            format!("{{ int j = {n}; while (j > 0) {{ {s} j = j - {step}; }} }}")
+        }),
+    ]
+    .boxed()
+}
+
+fn atom() -> BoxedStrategy<String> {
+    prop_oneof![
+        (-50i64..50).prop_map(|v| format!("{v}")),
+        (-4.0f64..4.0).prop_map(|v| format!("{v:.3}")),
+        (0..3u8).prop_map(|v| format!("x{v}")),
+        (0..3u8).prop_map(|v| format!("d{v}")),
+        Just("input[A].value".to_string()),
+        Just("input[B].value".to_string()),
+        Just("input[B].last_value_sent".to_string()),
+        Just("input[C].timestamp".to_string()),
+        Just("input[A].id".to_string()),
+    ]
+    .boxed()
+}
+
+fn expr() -> BoxedStrategy<String> {
+    let op = prop_oneof![
+        Just("+"),
+        Just("-"),
+        Just("*"),
+        Just("/"),
+        Just("%"),
+        Just("<"),
+        Just("<="),
+        Just(">"),
+        Just(">="),
+        Just("=="),
+        Just("!="),
+        Just("&&"),
+        Just("||"),
+    ];
+    prop_oneof![
+        (atom(), op, atom()).prop_map(|(a, op, b)| format!("({a} {op} {b})")),
+        atom().prop_map(|a| format!("(-{a})")),
+        atom().prop_map(|a| format!("(!{a})")),
+    ]
+    .boxed()
+}
+
+/// Whole programs: int locals x0..x2 and float-ish locals d0..d2. The
+/// `d` locals are *declared* double but seeded with int constants, so
+/// the generator also produces polymorphic programs that must fall back
+/// to the interpreter — those are still run through `Filter::run` to
+/// confirm the fallback path agrees with itself.
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(2), 1..6).prop_map(|body| {
+        format!(
+            "{{ int x0 = 0; int x1 = 1; int x2 = 2; \
+               double d0 = 0.5; double d1 = 2; double d2 = -1.25; {} }}",
+            body.join(" ")
+        )
+    })
+}
+
+fn inputs(a: f64, b: f64, c: f64) -> [MetricRecord; 3] {
+    [
+        MetricRecord::new(0, a).with_timestamp(1.5),
+        MetricRecord::new(1, b).with_last_sent(a),
+        MetricRecord::new(2, c).with_timestamp(-3.0),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Compiled output is bit-identical to the interpreter: slots,
+    /// accept flag, instruction count, and runtime errors all match.
+    #[test]
+    fn compiled_matches_interpreter(
+        src in program(),
+        a in -100.0f64..100.0,
+        b in -100.0f64..100.0,
+        c in -100.0f64..100.0,
+    ) {
+        let f = Filter::compile(&src, &env()).expect("generated programs are well-formed");
+        let Some(compiled) = compile_filter(&f) else {
+            // Polymorphic or uncertified: interpreter-only is fine.
+            return Ok(());
+        };
+        let recs = inputs(a, b, c);
+        let want = f.run(&recs);
+        let got = compiled.run(&recs);
+        prop_assert_eq!(want, got, "engines diverge on:\n{}", src);
+    }
+
+    /// Budget-exhaustion parity: sweeping the budget across every value
+    /// up to the program's own cost exercises exhaustion at every
+    /// boundary, including inside fused superinstructions. The error
+    /// (or success) must match the interpreter exactly at each step.
+    #[test]
+    fn budget_exhaustion_parity(
+        src in program(),
+        a in -10.0f64..10.0,
+    ) {
+        let probe = Filter::compile(&src, &env()).unwrap();
+        let recs = inputs(a, -a, 2.0 * a);
+        // Find the natural cost, capped to keep the sweep bounded.
+        let natural = match probe.run(&recs) {
+            Ok(out) => out.instructions().min(120),
+            Err(_) => 120,
+        };
+        for budget in 0..=natural {
+            let f = Filter::compile_with_budget(&src, &env(), budget).unwrap();
+            let Some(compiled) = compile_filter(&f) else { continue };
+            prop_assert_eq!(
+                f.run(&recs),
+                compiled.run(&recs),
+                "budget {} diverges on:\n{}",
+                budget,
+                src
+            );
+        }
+    }
+
+    /// Runtime-error parity on hostile indices: out-of-range input
+    /// reads and output writes must produce the identical error value.
+    #[test]
+    fn error_parity_on_wild_indices(
+        idx in -5i64..10,
+        out_idx in -2i64..300,
+    ) {
+        let src = format!(
+            "{{ output[{out_idx}] = input[{idx}]; double v = input[{idx}].value; }}"
+        );
+        let f = Filter::compile(&src, &env()).unwrap();
+        let Some(compiled) = compile_filter(&f) else { return Ok(()); };
+        let recs = inputs(1.0, 2.0, 3.0);
+        prop_assert_eq!(f.run(&recs), compiled.run(&recs));
+    }
+}
+
+/// The deployment pair: certified ⇒ compiled, and the compiled artifact
+/// reports fusion having actually happened for the paper's own filter.
+#[test]
+fn fig3_deployment_compiles_and_agrees() {
+    let f = Filter::compile(ecode::FIG3_SOURCE, &ecode::fig3_env()).unwrap();
+    let compiled = compile_filter(&f).expect("fig3 certifies and is monomorphic");
+    assert!(compiled.superinstruction_count() > 0);
+    for load in [0.5, 2.5] {
+        for disk in [500.0, 20_000.0] {
+            let recs = [
+                MetricRecord::new(0, load),
+                MetricRecord::new(1, disk),
+                MetricRecord::new(2, 10e6),
+                MetricRecord::new(3, 100.0).with_last_sent(50.0),
+            ];
+            assert_eq!(f.run(&recs), compiled.run(&recs));
+        }
+    }
+}

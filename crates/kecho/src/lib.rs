@@ -17,18 +17,24 @@
 //!   both the paper's peer-to-peer topology and a Supermon-style central
 //!   concentrator as the ablation baseline (`Topology::Central`),
 //! * [`stream`] — per-stream sequence/epoch continuity tracking: gap
-//!   detection and publisher-restart recognition.
+//!   detection and publisher-restart recognition,
+//! * [`arena`] — a structure-of-arrays record arena for batched event
+//!   assembly: one filter evaluation materializes its accepted records
+//!   once, and each subscriber sharing the result gathers a span into a
+//!   pooled payload buffer (one encode, N enqueues).
 //!
 //! The crate is pure: submission *plans* hops (`(from, to)` pairs); the
 //! cluster glue in `dproc` turns hops into `simnet` sends and schedules
 //! deliveries.
 
+pub mod arena;
 pub mod credit;
 pub mod directory;
 pub mod event;
 pub mod stream;
 pub mod wire;
 
+pub use arena::{RecordArena, RecordSpan};
 pub use credit::{CreditWindow, GRANT_OVERDUE, GRANT_THRESHOLD, INITIAL_CREDITS, OUTBOX_CAP};
 pub use directory::{ChannelId, Directory, Hop, Topology};
 pub use event::{

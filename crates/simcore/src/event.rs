@@ -25,6 +25,19 @@
 //! entries share the same timestamp and the minimum sequence number fires
 //! first, and any entry at a lower level strictly precedes every entry at a
 //! higher level or in the overflow map.
+//!
+//! # The typed message lane
+//!
+//! Boxed closures are flexible but cost one heap allocation per scheduled
+//! event — ruinous on the hot path, where three event kinds (poll tick,
+//! service completion, delivery) account for nearly every firing. The
+//! second type parameter `Sim<W, M>` opens an allocation-free lane: plain
+//! `M` values live in their own wheel, share the single sequence counter
+//! with the closure wheel (so the two lanes interleave in exactly the
+//! `(time, seq)` order they were scheduled in), and dispatch through
+//! [`HandleMsg::handle`] instead of a boxed call. `M` defaults to `()`,
+//! for which a blanket [`HandleMsg`] impl exists, so `Sim<W>` users are
+//! untouched.
 
 use std::collections::BTreeMap;
 
@@ -47,8 +60,21 @@ pub enum Repeat {
     Stop,
 }
 
-type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Sim<W>)>;
-type PeriodicFn<W> = Box<dyn FnMut(&mut W, &mut Sim<W>) -> Repeat>;
+type EventFn<W, M> = Box<dyn FnOnce(&mut W, &mut Sim<W, M>)>;
+type PeriodicFn<W, M> = Box<dyn FnMut(&mut W, &mut Sim<W, M>) -> Repeat>;
+
+/// Dispatch for the typed message lane: the world receives each popped
+/// `M` with exclusive access to the scheduler, mirroring the closure
+/// calling convention. The blanket impl for `M = ()` makes the lane
+/// invisible to worlds that never use it.
+pub trait HandleMsg<M>: Sized {
+    /// Handle one message fired at the current simulation time.
+    fn handle(&mut self, sim: &mut Sim<Self, M>, msg: M);
+}
+
+impl<W> HandleMsg<()> for W {
+    fn handle(&mut self, _sim: &mut Sim<Self, ()>, (): ()) {}
+}
 
 /// log2 of the slot count per level.
 const LEVEL_BITS: u32 = 6;
@@ -99,6 +125,12 @@ pub(crate) struct Wheel<T> {
     overflow: BTreeMap<(u64, u64), T>,
     /// Exact number of pending events (wheel + overflow).
     len: usize,
+    /// Scratch buffer recycled through cascades: a cascade swaps the
+    /// emptying slot with this buffer instead of `mem::take`-ing it, so
+    /// neither the slot nor the drain loses its capacity. Without it a
+    /// periodic workload re-allocates every cascaded slot on the next
+    /// insert — several heap allocations per fired event.
+    spare: Vec<Entry<T>>,
 }
 
 impl<T> Wheel<T> {
@@ -109,6 +141,7 @@ impl<T> Wheel<T> {
             occ: [0; LEVELS],
             overflow: BTreeMap::new(),
             len: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -262,11 +295,15 @@ impl<T> Wheel<T> {
                 }
                 debug_assert!(slot_start >= self.cur, "cascade would rewind cursor");
                 self.cur = slot_start;
-                let v = std::mem::take(&mut self.slots[l * SLOTS + i]);
+                // Swap the slot with the (empty) spare so both buffers
+                // keep their capacity across the cascade.
+                let mut v = std::mem::take(&mut self.spare);
+                std::mem::swap(&mut v, &mut self.slots[l * SLOTS + i]);
                 self.occ[l] &= !(1u64 << i);
-                for e in v {
+                for e in v.drain(..) {
                     self.place(e);
                 }
+                self.spare = v;
                 cascaded = true;
                 break;
             }
@@ -294,27 +331,36 @@ impl<T> Wheel<T> {
     }
 }
 
-/// A discrete-event simulation over world state `W`.
-pub struct Sim<W> {
+/// What the merged pop pulled out: a boxed closure or a typed message.
+enum Fired<W, M> {
+    Closure(EventFn<W, M>),
+    Msg(M),
+}
+
+/// A discrete-event simulation over world state `W`, with an optional
+/// allocation-free typed message lane `M` (see the module docs).
+pub struct Sim<W, M = ()> {
     now: SimTime,
     seq: u64,
-    wheel: Wheel<EventFn<W>>,
+    wheel: Wheel<EventFn<W, M>>,
+    msgs: Wheel<M>,
     executed: u64,
 }
 
-impl<W> Default for Sim<W> {
+impl<W, M> Default for Sim<W, M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Sim<W> {
+impl<W, M> Sim<W, M> {
     /// A fresh simulation at time zero with an empty queue.
     pub fn new() -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
             wheel: Wheel::new(),
+            msgs: Wheel::new(),
             executed: 0,
         }
     }
@@ -324,10 +370,32 @@ impl<W> Sim<W> {
         self.now
     }
 
-    /// Number of events waiting in the queue. Exact: cancelled events are
-    /// removed from their slot in place, not tombstoned.
+    /// Number of events waiting in the queue (both lanes). Exact:
+    /// cancelled events are removed from their slot in place, not
+    /// tombstoned.
     pub fn pending(&self) -> usize {
-        self.wheel.len
+        self.wheel.len + self.msgs.len
+    }
+
+    /// Pop whichever lane holds the earlier `(time, seq)` entry, if it is
+    /// at or before `bound`. The shared sequence counter makes keys
+    /// unique across lanes, so "earlier" is never ambiguous. The common
+    /// case — one lane empty — skips the double peek entirely.
+    fn pop_next(&mut self, bound: u64) -> Option<(u64, Fired<W, M>)> {
+        let use_msg = if self.msgs.len == 0 {
+            false
+        } else if self.wheel.len == 0 {
+            true
+        } else {
+            self.msgs.next_key() < self.wheel.next_key()
+        };
+        if use_msg {
+            let (at, _seq, m) = self.msgs.pop_min_if(bound)?;
+            Some((at, Fired::Msg(m)))
+        } else {
+            let (at, _seq, f) = self.wheel.pop_min_if(bound)?;
+            Some((at, Fired::Closure(f)))
+        }
     }
 
     /// Total number of events executed so far.
@@ -340,7 +408,7 @@ impl<W> Sim<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Sim<W, M>) + 'static,
     ) -> EventId {
         assert!(
             at >= self.now,
@@ -360,19 +428,46 @@ impl<W> Sim<W> {
     pub fn schedule_in(
         &mut self,
         after: SimDur,
-        f: impl FnOnce(&mut W, &mut Sim<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Sim<W, M>) + 'static,
     ) -> EventId {
         let at = self.now + after;
         self.schedule_at(at, f)
     }
 
-    /// Cancel a previously scheduled event. Returns `true` if the event had
-    /// not yet fired; the entry is removed from its wheel slot immediately.
+    /// Schedule a typed message for delivery at absolute time `at` — the
+    /// allocation-free twin of [`Sim::schedule_at`]. The message draws
+    /// its sequence number from the same counter as closures, so the two
+    /// lanes fire in exactly their combined scheduling order.
+    pub fn schedule_msg_at(&mut self, at: SimTime, msg: M) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.msgs.insert(at.as_nanos(), seq, msg);
+        EventId {
+            at: at.as_nanos(),
+            seq,
+        }
+    }
+
+    /// Schedule a typed message for delivery `after` from now.
+    pub fn schedule_msg_in(&mut self, after: SimDur, msg: M) -> EventId {
+        let at = self.now + after;
+        self.schedule_msg_at(at, msg)
+    }
+
+    /// Cancel a previously scheduled event (either lane). Returns `true`
+    /// if the event had not yet fired; the entry is removed from its
+    /// wheel slot immediately. Sequence numbers are unique across lanes,
+    /// so at most one wheel holds the entry.
     pub fn cancel(&mut self, id: EventId) -> bool {
         if id.seq >= self.seq {
             return false;
         }
-        self.wheel.cancel(id.at, id.seq)
+        self.wheel.cancel(id.at, id.seq) || self.msgs.cancel(id.at, id.seq)
     }
 
     /// Schedule a periodic handler. The first firing happens at `start`;
@@ -385,10 +480,11 @@ impl<W> Sim<W> {
         &mut self,
         start: SimTime,
         period: SimDur,
-        f: impl FnMut(&mut W, &mut Sim<W>) -> Repeat + 'static,
+        f: impl FnMut(&mut W, &mut Sim<W, M>) -> Repeat + 'static,
     ) -> EventId
     where
         W: 'static,
+        M: 'static,
     {
         assert!(!period.is_zero(), "periodic event with zero period");
         self.schedule_at(start, tick(period, Box::new(f)))
@@ -398,15 +494,21 @@ impl<W> Sim<W> {
     /// The clock is left at the time of the last executed event (or `until`
     /// if no event at/before `until` existed — the clock then advances to
     /// `until`). Returns the number of events executed.
-    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64 {
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) -> u64
+    where
+        W: HandleMsg<M>,
+    {
         let mut n = 0;
         let bound = until.as_nanos();
-        while let Some((at, _seq, f)) = self.wheel.pop_min_if(bound) {
+        while let Some((at, fired)) = self.pop_next(bound) {
             debug_assert!(at >= self.now.as_nanos(), "event time regressed");
             self.now = SimTime::from_nanos(at);
             self.executed += 1;
             n += 1;
-            f(world, self);
+            match fired {
+                Fired::Closure(f) => f(world, self),
+                Fired::Msg(m) => world.handle(self, m),
+            }
         }
         if self.now < until {
             self.now = until;
@@ -415,30 +517,42 @@ impl<W> Sim<W> {
     }
 
     /// Run events for `dur` from the current time. See [`Sim::run_until`].
-    pub fn run_for(&mut self, world: &mut W, dur: SimDur) -> u64 {
+    pub fn run_for(&mut self, world: &mut W, dur: SimDur) -> u64
+    where
+        W: HandleMsg<M>,
+    {
         let until = self.now + dur;
         self.run_until(world, until)
     }
 
     /// Run until the queue is empty or `max_events` have executed.
     /// Returns the number of events executed.
-    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64 {
+    pub fn run_to_completion(&mut self, world: &mut W, max_events: u64) -> u64
+    where
+        W: HandleMsg<M>,
+    {
         let mut n = 0;
         while n < max_events {
-            let Some((at, _seq, f)) = self.wheel.pop_min_if(u64::MAX) else {
+            let Some((at, fired)) = self.pop_next(u64::MAX) else {
                 break;
             };
             self.now = SimTime::from_nanos(at);
             self.executed += 1;
             n += 1;
-            f(world, self);
+            match fired {
+                Fired::Closure(f) => f(world, self),
+                Fired::Msg(m) => world.handle(self, m),
+            }
         }
         n
     }
 }
 
 /// Build the self-re-arming closure for a periodic event.
-fn tick<W: 'static>(period: SimDur, mut f: PeriodicFn<W>) -> impl FnOnce(&mut W, &mut Sim<W>) {
+fn tick<W: 'static, M: 'static>(
+    period: SimDur,
+    mut f: PeriodicFn<W, M>,
+) -> impl FnOnce(&mut W, &mut Sim<W, M>) {
     move |w, sim| {
         if f(w, sim) == Repeat::Continue {
             sim.schedule_in(period, tick(period, f));
@@ -636,6 +750,91 @@ mod tests {
             1
         );
         assert!(!w.rekey(100, 9, 5), "fired entry reports false");
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    enum Msg {
+        Ping(u32),
+    }
+
+    struct MW {
+        log: Vec<(u64, String)>,
+    }
+
+    impl HandleMsg<Msg> for MW {
+        fn handle(&mut self, sim: &mut Sim<Self, Msg>, msg: Msg) {
+            let Msg::Ping(k) = msg;
+            self.log.push((sim.now().as_millis(), format!("msg{k}")));
+            // Handlers may schedule follow-ups in either lane.
+            if k == 7 {
+                sim.schedule_msg_in(SimDur::from_millis(1), Msg::Ping(8));
+            }
+        }
+    }
+
+    #[test]
+    fn typed_messages_interleave_with_closures_by_seq() {
+        let mut sim: Sim<MW, Msg> = Sim::new();
+        let mut w = MW { log: Vec::new() };
+        let t = SimTime::from_millis(10);
+        sim.schedule_at(t, |w: &mut MW, s: &mut Sim<MW, Msg>| {
+            w.log.push((s.now().as_millis(), "fn0".into()));
+        });
+        sim.schedule_msg_at(SimTime::from_millis(5), Msg::Ping(1));
+        sim.schedule_msg_at(t, Msg::Ping(2));
+        sim.schedule_at(t, |w: &mut MW, s: &mut Sim<MW, Msg>| {
+            w.log.push((s.now().as_millis(), "fn3".into()));
+        });
+        assert_eq!(sim.pending(), 4);
+        let n = sim.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(n, 4);
+        // Same-time entries fire in scheduling order across both lanes.
+        let want: Vec<(u64, String)> = vec![
+            (5, "msg1".into()),
+            (10, "fn0".into()),
+            (10, "msg2".into()),
+            (10, "fn3".into()),
+        ];
+        assert_eq!(w.log, want);
+    }
+
+    #[test]
+    fn typed_messages_cancel_and_chain() {
+        let mut sim: Sim<MW, Msg> = Sim::new();
+        let mut w = MW { log: Vec::new() };
+        let id = sim.schedule_msg_at(SimTime::from_millis(1), Msg::Ping(99));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        assert_eq!(sim.pending(), 0, "cancelled message leaves no tombstone");
+        // A handler-scheduled follow-up message fires too.
+        sim.schedule_msg_at(SimTime::from_millis(2), Msg::Ping(7));
+        sim.run_until(&mut w, SimTime::from_secs(1));
+        let want: Vec<(u64, String)> = vec![(2, "msg7".into()), (3, "msg8".into())];
+        assert_eq!(w.log, want);
+    }
+
+    #[test]
+    fn cascaded_slots_keep_capacity() {
+        // Drive the cursor through enough cascades that the spare buffer
+        // ping-pongs, and check ordering survives (the capacity claim is
+        // observable only through the allocator; correctness is what the
+        // invariants guarantee).
+        let mut w: Wheel<u64> = Wheel::new();
+        let mut seq = 0u64;
+        let mut expect = Vec::new();
+        for i in 0..200u64 {
+            let at = i * 1_000_003; // straddles several level boundaries
+            w.insert(at, seq, at);
+            expect.push(at);
+            seq += 1;
+        }
+        let mut got = Vec::new();
+        while let Some((at, _s, v)) = w.pop_min_if(u64::MAX) {
+            assert_eq!(at, v);
+            got.push(v);
+        }
+        assert_eq!(got, expect);
+        assert_eq!(w.len(), 0);
     }
 
     #[test]

@@ -55,14 +55,14 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventId, Repeat, Sim};
+pub use event::{EventId, HandleMsg, Repeat, Sim};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use rng::SimRng;
 pub use time::{SimDur, SimTime};
 
 /// Commonly used items, for glob import in downstream crates.
 pub mod prelude {
-    pub use crate::event::{EventId, Repeat, Sim};
+    pub use crate::event::{EventId, HandleMsg, Repeat, Sim};
     pub use crate::rng::SimRng;
     pub use crate::stats::{Ewma, OnlineStats, Sampler, TimeWeighted};
     pub use crate::time::{SimDur, SimTime};

@@ -10,7 +10,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use simcore::{EventId, Repeat, Sim, SimDur, SimTime};
+use simcore::{EventId, Sim, SimDur, SimTime};
 
 /// Deterministic xorshift PRNG — no external dependency, fixed seeds.
 struct Rng(u64);

@@ -18,10 +18,10 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use dproc::cluster::{ClusterSim, ClusterWorld};
+use dproc::cluster::{ClusterSched, ClusterSim, ClusterWorld};
 use dproc::PeerHealth;
 use simcore::stats::Sampler;
-use simcore::{Repeat, Sim, SimDur, SimTime};
+use simcore::{Repeat, SimDur, SimTime};
 use simnet::conn::Proto;
 use simnet::{ConnId, NodeId};
 use simos::cpu::TaskState;
@@ -152,7 +152,7 @@ impl SmartPointer {
         scheduler.schedule_periodic(
             now + period,
             period,
-            move |w: &mut ClusterWorld, s: &mut Sim<ClusterWorld>| {
+            move |w: &mut ClusterWorld, s: &mut ClusterSched| {
                 emit_frames(&emit_state, w, s);
                 Repeat::Continue
             },
@@ -189,7 +189,7 @@ impl SmartPointer {
 }
 
 /// Emit one frame per client, sized by its policy.
-fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<ClusterWorld>) {
+fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut ClusterSched) {
     let now = s.now();
     let n = state.borrow().clients.len();
     for idx in 0..n {
@@ -263,7 +263,7 @@ fn emit_frames(state: &Rc<RefCell<SpState>>, w: &mut ClusterWorld, s: &mut Sim<C
 fn on_frame_delivered(
     state: &Rc<RefCell<SpState>>,
     w: &mut ClusterWorld,
-    s: &mut Sim<ClusterWorld>,
+    s: &mut ClusterSched,
     idx: usize,
     emitted_at: SimTime,
     bytes: usize,
@@ -318,7 +318,7 @@ fn on_frame_delivered(
 fn maybe_start_processing(
     state: &Rc<RefCell<SpState>>,
     w: &mut ClusterWorld,
-    s: &mut Sim<ClusterWorld>,
+    s: &mut ClusterSched,
     idx: usize,
 ) {
     let now = s.now();
@@ -351,7 +351,7 @@ fn maybe_start_processing(
 fn on_frame_processed(
     state: &Rc<RefCell<SpState>>,
     w: &mut ClusterWorld,
-    s: &mut Sim<ClusterWorld>,
+    s: &mut ClusterSched,
     idx: usize,
     emitted_at: SimTime,
 ) {

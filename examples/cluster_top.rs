@@ -50,7 +50,7 @@ fn main() {
         s.schedule_periodic(
             SimTime::from_secs(70),
             simcore::SimDur::from_millis(500),
-            |w: &mut dproc::ClusterWorld, s: &mut simcore::Sim<dproc::ClusterWorld>| {
+            |w: &mut dproc::ClusterWorld, s: &mut dproc::ClusterSched| {
                 let now = s.now();
                 for _ in 0..4 {
                     w.hosts[7]

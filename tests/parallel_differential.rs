@@ -213,6 +213,72 @@ fn overload_backpressure_is_bit_identical() {
 }
 
 #[test]
+fn compiled_filters_are_bit_identical() {
+    // Certified E-code filters take over every stream: two shapes the
+    // register compiler specializes into closures (one `Shared`-memo,
+    // one `SnapshotKeyed`) plus one impure shape that bypasses the memo
+    // per subscriber. Compiled execution, memo sharing, and the batched
+    // span gather must all replay bit-identically under sharded
+    // execution — the dmon counters inside the fingerprint compare the
+    // compile/fallback/bypass split too.
+    const SHARED: &str = "{ if (input[LOADAVG].value > 0.25) { output[0] = input[LOADAVG]; } }";
+    const SNAP: &str = "{ output[0] = input[FREEMEM]; }";
+    const IMPURE: &str =
+        "{ if (input[LOADAVG].value > input[LOADAVG].last_value_sent) { output[0] = input[LOADAVG]; } }";
+    let cfg = || ClusterConfig::new(6).stagger(SimDur::from_micros(1));
+    let setup = |sim: &mut ClusterSim| {
+        let calib = sim.world().calib.clone();
+        let w = sim.world_mut();
+        let n = w.len();
+        for p in 0..n {
+            for s in 0..n {
+                if p == s {
+                    continue;
+                }
+                let source = match (p + s) % 3 {
+                    0 => SHARED,
+                    1 => SNAP,
+                    _ => IMPURE,
+                };
+                w.dmons[p].on_control(
+                    NodeId(s),
+                    &kecho::ControlMsg::DeployFilter {
+                        source: source.into(),
+                    },
+                    &calib,
+                );
+            }
+        }
+    };
+
+    // Vacuity guards on the serial run: every deploy must have landed on
+    // the register compiler, and the impure shape must actually exercise
+    // the per-subscriber bypass path.
+    let mut probe = ClusterSim::new(cfg());
+    probe.set_threads(1);
+    probe.start();
+    setup(&mut probe);
+    probe.run_until(SimTime::from_secs(12));
+    let w = probe.world();
+    let compiled: u64 = w.dmons.iter().map(|d| d.stats.filters_compiled).sum();
+    let fallbacks: u64 = w.dmons.iter().map(|d| d.stats.interp_fallbacks).sum();
+    let bypassed: u64 = w.dmons.iter().map(|d| d.stats.memo_bypassed).sum();
+    assert_eq!(compiled, 30, "every deployed filter must compile");
+    assert_eq!(fallbacks, 0, "no certified shape may fall back");
+    assert!(bypassed > 0, "impure filters must bypass the memo");
+    assert!(
+        w.mon_delivered > 0,
+        "filters suppressed everything — vacuous"
+    );
+    let serial = fingerprint(&probe);
+
+    for threads in [2, 3, 8] {
+        let par = run_one(cfg, setup, 12, threads);
+        assert_eq!(serial, par, "compiled filters: threads={threads} diverged");
+    }
+}
+
+#[test]
 fn parallel_windows_actually_run() {
     // Guard against the suite passing vacuously with every window falling
     // back to the serial path.
