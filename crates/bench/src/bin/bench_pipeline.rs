@@ -253,6 +253,159 @@ impl FilterWorkload {
     }
 }
 
+/// Counters from the scripted hierarchical-digest scenario: 12 nodes in
+/// three racks of four, so each rack's aggregator folds its members into
+/// a per-rack digest and publishes it to the other aggregators over the
+/// spine. Every field is a pure discrete-event-sim output — `--check`
+/// compares the digest counters exactly: a drift means the aggregation
+/// tier's cadence or payload shape changed, and any spine drop at steady
+/// state means the digest tier stopped fitting its links.
+struct HierDigest {
+    digests_sent: u64,
+    digests_received: u64,
+    digest_records: u64,
+    spine_drops: u64,
+    staleness_p50_s: f64,
+    staleness_p95_s: f64,
+}
+
+fn measure_hier_digest() -> HierDigest {
+    let cfg = ClusterConfig::new(12)
+        .racks(4)
+        .poll_period(SimDur::from_secs(1));
+    let mut sim = ClusterSim::new(cfg);
+    sim.set_threads(1);
+    sim.start();
+    sim.run_until(SimTime::from_secs(30));
+    let w = sim.world();
+    let mut staleness = simcore::stats::Sampler::new();
+    for d in &w.dmons {
+        for &s in d.stats.digest_staleness_s.values() {
+            staleness.add(s);
+        }
+    }
+    HierDigest {
+        digests_sent: w.dmons.iter().map(|d| d.stats.digests_sent).sum(),
+        digests_received: w.dmons.iter().map(|d| d.stats.digests_received).sum(),
+        digest_records: w.dmons.iter().map(|d| d.stats.digest_records).sum(),
+        spine_drops: w.net.spine_drops(),
+        staleness_p50_s: staleness.percentile(50.0),
+        staleness_p95_s: staleness.percentile(95.0),
+    }
+}
+
+impl HierDigest {
+    fn json_fields(&self) -> String {
+        format!(
+            "  \"hier_digests_sent\": {},\n  \"hier_digests_received\": {},\n  \"hier_digest_records\": {},\n  \"hier_spine_drops\": {},\n  \"hier_staleness_p50_s\": {:.6},\n  \"hier_staleness_p95_s\": {:.6}",
+            self.digests_sent,
+            self.digests_received,
+            self.digest_records,
+            self.spine_drops,
+            self.staleness_p50_s,
+            self.staleness_p95_s,
+        )
+    }
+}
+
+/// The large hierarchical scenario: the full run drives 4096 nodes in 64
+/// racks of 64 through the whole pipeline; `--quick` drops to 1024 nodes
+/// in 32 racks (the CI scale smoke). Rack-scoped channels keep per-node
+/// fan-out at rack size, so the event volume grows linearly with the
+/// cluster — the run both proves the topology completes at scale and
+/// checks the two structural invariants that make the hierarchy honest:
+/// zero spine drops at steady state, and every link's lifetime throughput
+/// below its configured rate.
+struct ScaleRun {
+    nodes: usize,
+    racks: usize,
+    sim_secs: u64,
+    wall_ms: f64,
+    events: u64,
+    digests_received: u64,
+    spine_drops: u64,
+    staleness_p50_s: f64,
+    staleness_p95_s: f64,
+    staleness_max_s: f64,
+    max_link_mbps: f64,
+    /// Peak per-link utilization (lifetime payload bits over elapsed sim
+    /// time, against the link's configured rate). Must stay ≤ 1.
+    max_link_util: f64,
+}
+
+fn measure_scale(nodes: usize, rack_size: usize, sim_secs: u64) -> ScaleRun {
+    let cfg = ClusterConfig::new(nodes).racks(rack_size);
+    let mut sim = ClusterSim::new(cfg);
+    sim.set_threads(1);
+    sim.start();
+    let start = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_secs));
+    let wall = start.elapsed();
+    let w = sim.world();
+    let elapsed_s = sim_secs as f64;
+    let mut max_bps = 0.0f64;
+    let mut max_util = 0.0f64;
+    let mut track = |bytes: u64, rate_bps: f64| {
+        let bps = bytes as f64 * 8.0 / elapsed_s;
+        max_bps = max_bps.max(bps);
+        max_util = max_util.max(bps / rate_bps);
+    };
+    for i in 0..nodes {
+        let id = NodeId(i);
+        track(w.net.uplink(id).bytes(), w.net.uplink(id).effective_bps());
+        track(
+            w.net.downlink(id).bytes(),
+            w.net.downlink(id).effective_bps(),
+        );
+    }
+    for r in 0..w.net.n_racks() {
+        let up = w.net.switch_uplink(r);
+        let down = w.net.switch_downlink(r);
+        track(up.bytes(), up.effective_bps());
+        track(down.bytes(), down.effective_bps());
+    }
+    let mut staleness = simcore::stats::Sampler::new();
+    for d in &w.dmons {
+        for &s in d.stats.digest_staleness_s.values() {
+            staleness.add(s);
+        }
+    }
+    ScaleRun {
+        nodes,
+        racks: w.net.n_racks(),
+        sim_secs,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events: w.mon_delivered,
+        digests_received: w.dmons.iter().map(|d| d.stats.digests_received).sum(),
+        spine_drops: w.net.spine_drops(),
+        staleness_p50_s: staleness.percentile(50.0),
+        staleness_p95_s: staleness.percentile(95.0),
+        staleness_max_s: staleness.max(),
+        max_link_mbps: max_bps / 1e6,
+        max_link_util: max_util,
+    }
+}
+
+impl ScaleRun {
+    fn json_fields(&self) -> String {
+        format!(
+            "  \"scale_nodes\": {},\n  \"scale_racks\": {},\n  \"scale_sim_secs\": {},\n  \"scale_wall_ms\": {:.3},\n  \"scale_events\": {},\n  \"scale_digests_received\": {},\n  \"scale_spine_drops\": {},\n  \"scale_staleness_p50_s\": {:.6},\n  \"scale_staleness_p95_s\": {:.6},\n  \"scale_staleness_max_s\": {:.6},\n  \"scale_max_link_mbps\": {:.3},\n  \"scale_max_link_util\": {:.6}",
+            self.nodes,
+            self.racks,
+            self.sim_secs,
+            self.wall_ms,
+            self.events,
+            self.digests_received,
+            self.spine_drops,
+            self.staleness_p50_s,
+            self.staleness_p95_s,
+            self.staleness_max_s,
+            self.max_link_mbps,
+            self.max_link_util,
+        )
+    }
+}
+
 /// Serial-vs-sharded wall clock on one scenario size.
 struct Speedup {
     nodes: usize,
@@ -366,6 +519,30 @@ fn main() {
         fw.filters_compiled, fw.interp_fallbacks, fw.filter_events
     );
 
+    // The hierarchical-digest section: deterministic aggregation-tier
+    // counters from a scripted 3-rack scenario.
+    let hier = measure_hier_digest();
+    eprintln!(
+        "bench_pipeline: hier: {} digests sent, {} received, {} records, {} spine drops",
+        hier.digests_sent, hier.digests_received, hier.digest_records, hier.spine_drops
+    );
+
+    // The scale section: the full hierarchical cluster end to end — 4096
+    // nodes (1024 in quick mode, the CI scale smoke).
+    let (scale_nodes, rack_size, scale_secs) = if quick { (1024, 32, 6) } else { (4096, 64, 8) };
+    let scale = measure_scale(scale_nodes, rack_size, scale_secs);
+    eprintln!(
+        "bench_pipeline: scale: {} nodes / {} racks, {} sim-s in {:.0} ms, {} events, {} digests, staleness p95 {:.3} s, max link util {:.3}",
+        scale.nodes,
+        scale.racks,
+        scale.sim_secs,
+        scale.wall_ms,
+        scale.events,
+        scale.digests_received,
+        scale.staleness_p95_s,
+        scale.max_link_util,
+    );
+
     // Record the replay-safety lint state alongside the perf numbers:
     // how many findings the workspace scan produced (fresh + baselined).
     // The committed tree keeps this at 0; the count travels with every
@@ -385,6 +562,8 @@ fn main() {
     }
     sections.push(overload.json_fields());
     sections.push(fw.json_fields());
+    sections.push(hier.json_fields());
+    sections.push(scale.json_fields());
     sections.extend(speedups.iter().map(Speedup::json_fields));
     let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
     print!("{json}");
@@ -486,6 +665,46 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        }
+        // The aggregation tier's cadence and payload shape are exact:
+        // digest counts and folded record counts are bit-deterministic
+        // sim outputs, so any drift against the baseline means the
+        // hierarchy changed behavior without the baseline moving with it.
+        for (key, got) in [
+            ("hier_digests_sent", hier.digests_sent),
+            ("hier_digests_received", hier.digests_received),
+            ("hier_digest_records", hier.digest_records),
+        ] {
+            if let Some(base_v) = json_field(&base, key) {
+                eprintln!("bench_pipeline: {key} {got} vs baseline {base_v:.0}");
+                #[allow(clippy::float_cmp)] // integer-valued counters, exact by design
+                if got as f64 != base_v {
+                    eprintln!("bench_pipeline: DIGEST DRIFT ({key} changed)");
+                    std::process::exit(1);
+                }
+            }
+        }
+        // Structural invariants of the hierarchy, independent of any
+        // baseline: the digest tier must fit its spine links (no drops at
+        // steady state, in either scripted scenario or the scale run),
+        // and no link may carry more than its configured rate.
+        if hier.spine_drops != 0 || scale.spine_drops != 0 {
+            eprintln!(
+                "bench_pipeline: SPINE DROPS at steady state (hier {}, scale {})",
+                hier.spine_drops, scale.spine_drops
+            );
+            std::process::exit(1);
+        }
+        if scale.max_link_util > 1.0 {
+            eprintln!(
+                "bench_pipeline: LINK OVERCOMMIT (peak utilization {:.3} > 1)",
+                scale.max_link_util
+            );
+            std::process::exit(1);
+        }
+        if scale.digests_received == 0 {
+            eprintln!("bench_pipeline: SCALE RUN VACUOUS (no digests delivered)");
+            std::process::exit(1);
         }
         // Same for the lint state: new unbaselined errors fail the run.
         if let Some((fresh_errors, _)) = detlint {

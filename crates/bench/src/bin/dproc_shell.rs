@@ -78,6 +78,10 @@ enum Cmd {
     Threads {
         n: usize,
     },
+    Racks {
+        size: usize,
+    },
+    Topo,
     Lint {
         source: String,
     },
@@ -222,6 +226,20 @@ fn parse(line: &str) -> Result<Cmd, String> {
             }
             _ => Err("usage: threads <n>".into()),
         },
+        "racks" => match rest[..] {
+            [size] => {
+                if size == "off" {
+                    return Ok(Cmd::Racks { size: 0 });
+                }
+                Ok(Cmd::Racks {
+                    size: size
+                        .parse()
+                        .map_err(|_| "racks takes a rack size (or `off`)".to_string())?,
+                })
+            }
+            _ => Err("usage: racks <size|off>".into()),
+        },
+        "topo" => Ok(Cmd::Topo),
         "lint" => {
             if rest.is_empty() {
                 return Err(
@@ -264,6 +282,8 @@ heal <a> <b>                remove a partition
 loss <probability>          drop each delivery with this probability
 faults                      active faults and drop/detection counters
 threads <n>                 worker shards for the next cluster (1 = serial)
+racks <size|off>            rack size for the next cluster (off = flat star)
+topo                        fabric shape, rack membership, digest flow
 lint <filter source>        run the static verifier on an E-code filter
 detlint                     replay-safety scan of the workspace sources
 credits <node>              a publisher's credit windows, outboxes, chokes
@@ -275,6 +295,8 @@ quit                        leave";
 struct Shell {
     sim: Option<ClusterSim>,
     threads: usize,
+    /// Rack size for the next `cluster` command; 0 means flat star.
+    rack_size: usize,
 }
 
 impl Shell {
@@ -282,6 +304,7 @@ impl Shell {
         Shell {
             sim: None,
             threads: 1,
+            rack_size: 0,
         }
     }
 
@@ -325,23 +348,30 @@ impl Shell {
             Cmd::Help => Ok(Some(HELP.to_string())),
             Cmd::Quit => Ok(None),
             Cmd::Cluster { n, names } => {
-                let cfg = if names.is_empty() {
+                let mut cfg = if names.is_empty() {
                     ClusterConfig::new(n)
                 } else {
                     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
                     ClusterConfig::named(&refs)
                 };
+                if self.rack_size > 0 {
+                    cfg = cfg.racks(self.rack_size);
+                }
                 let mut sim = ClusterSim::new(cfg);
                 sim.set_threads(self.threads);
                 sim.start();
                 let names: Vec<String> = sim.world().hosts.iter().map(|h| h.name.clone()).collect();
                 let shards = sim.shards();
+                let n_racks = sim.world().placement.n_racks();
                 self.sim = Some(sim);
-                Ok(Some(if shards > 1 {
-                    format!("cluster up on {shards} shards: {}", names.join(", "))
-                } else {
-                    format!("cluster up: {}", names.join(", "))
-                }))
+                let mut up = String::from("cluster up");
+                if n_racks > 1 {
+                    up.push_str(&format!(" in {n_racks} racks"));
+                }
+                if shards > 1 {
+                    up.push_str(&format!(" on {shards} shards"));
+                }
+                Ok(Some(format!("{up}: {}", names.join(", "))))
             }
             Cmd::Run { seconds } => match &mut self.sim {
                 Some(sim) => {
@@ -499,6 +529,60 @@ impl Shell {
                 };
                 Ok(Some(format!("threads = {n}{note}")))
             }
+            Cmd::Racks { size } => {
+                self.rack_size = size;
+                let note = if self.sim.is_some() {
+                    " (applies when the next `cluster` is built)"
+                } else {
+                    ""
+                };
+                Ok(Some(if size == 0 {
+                    format!("topology = flat star{note}")
+                } else {
+                    format!("topology = racks of {size}{note}")
+                }))
+            }
+            Cmd::Topo => match &self.sim {
+                Some(sim) => {
+                    let w = sim.world();
+                    let p = &w.placement;
+                    if p.is_star() {
+                        return Ok(Some(format!(
+                            "flat star: {} node(s) on one switch, no aggregation tier",
+                            w.len()
+                        )));
+                    }
+                    let mut out = format!(
+                        "hierarchical: {} nodes in {} racks behind a spine\n",
+                        p.len(),
+                        p.n_racks()
+                    );
+                    for (k, rack) in p.racks().enumerate() {
+                        let agg = p.aggregator(k);
+                        let members: Vec<&str> =
+                            rack.range().map(|i| w.hosts[i].name.as_str()).collect();
+                        let up = w.net.switch_uplink(k);
+                        let down = w.net.switch_downlink(k);
+                        out.push_str(&format!(
+                            "rack {k}: aggregator {}; members: {}\n        spine up {} msgs ({} drops), down {} msgs ({} drops)\n",
+                            w.hosts[agg.0].name,
+                            members.join(", "),
+                            up.messages(),
+                            up.drops(),
+                            down.messages(),
+                            down.drops(),
+                        ));
+                    }
+                    let sent: u64 = w.dmons.iter().map(|d| d.stats.digests_sent).sum();
+                    let recv: u64 = w.dmons.iter().map(|d| d.stats.digests_received).sum();
+                    let records: u64 = w.dmons.iter().map(|d| d.stats.digest_records).sum();
+                    out.push_str(&format!(
+                        "digests: {sent} sent, {recv} received, {records} records"
+                    ));
+                    Ok(Some(out))
+                }
+                None => Err("no cluster yet".into()),
+            },
             Cmd::Lint { source } => Ok(Some(lint_report(&source)?)),
             Cmd::Detlint => Ok(Some(detlint_report()?)),
             Cmd::Credits { node } => {
@@ -782,6 +866,9 @@ mod tests {
             }
         );
         assert_eq!(parse("threads 4").unwrap(), Cmd::Threads { n: 4 });
+        assert_eq!(parse("racks 8").unwrap(), Cmd::Racks { size: 8 });
+        assert_eq!(parse("racks off").unwrap(), Cmd::Racks { size: 0 });
+        assert_eq!(parse("topo").unwrap(), Cmd::Topo);
         assert_eq!(
             parse("credits alan").unwrap(),
             Cmd::Credits {
@@ -814,6 +901,8 @@ mod tests {
             "threads",
             "threads zero",
             "threads 0",
+            "racks",
+            "racks tall",
             "credits",
             "credits two nodes",
             "frobnicate",
@@ -1003,6 +1092,42 @@ mod tests {
         shell.exec(parse("cluster 2").unwrap()).unwrap();
         shell.exec(parse("run 2").unwrap()).unwrap();
         assert!(shell.exec(parse("loss 0.1").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn racks_and_topo_commands_surface_the_hierarchy() {
+        let mut shell = Shell::new();
+        // topo needs a cluster.
+        assert!(shell.exec(parse("topo").unwrap()).is_err());
+        shell.exec(parse("racks 2").unwrap()).unwrap();
+        let up = shell
+            .exec(parse("cluster 6 a b c d e f").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(up.contains("in 3 racks"), "{up}");
+        shell.exec(parse("run 12").unwrap()).unwrap();
+        let out = shell.exec(parse("topo").unwrap()).unwrap().unwrap();
+        assert!(out.contains("6 nodes in 3 racks"), "{out}");
+        assert!(out.contains("aggregator a"), "{out}");
+        assert!(out.contains("aggregator c"), "{out}");
+        assert!(out.contains("members: e, f"), "{out}");
+        assert!(out.contains("digests:"), "{out}");
+        assert!(!out.contains("digests: 0 sent"), "{out}");
+        // Aggregators publish rack summaries readable through /proc.
+        let digest = shell
+            .exec(parse("cat a cluster/rack1/cpu").unwrap())
+            .unwrap()
+            .unwrap();
+        assert!(digest.contains("mean"), "{digest}");
+        // Rack scoping: a (rack 0) reads its rack peer b, but d's stream
+        // (rack 1) never reaches it — only rack 1's digest does.
+        assert!(shell.exec(parse("cat a cluster/b/cpu").unwrap()).is_ok());
+        assert!(shell.exec(parse("cat a cluster/d/cpu").unwrap()).is_err());
+        // `racks off` restores the flat star for the next cluster.
+        shell.exec(parse("racks off").unwrap()).unwrap();
+        shell.exec(parse("cluster 2").unwrap()).unwrap();
+        let out = shell.exec(parse("topo").unwrap()).unwrap().unwrap();
+        assert!(out.contains("flat star"), "{out}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use simcore::{HandleMsg, Sim, SimDur, SimTime};
 use simnet::link::{BytesWindow, LinkSpec};
+use simnet::topology::{Placement, TopologySpec};
 use simnet::traffic::FlowTable;
 use simnet::{ConnId, Delivery, Network, NodeId, TrafficClass};
 use simos::cpu::TaskState;
@@ -36,6 +37,14 @@ pub struct ClusterConfig {
     pub link: LinkSpec,
     /// Channel routing topology.
     pub topology: Topology,
+    /// Physical fabric shape: one switch (the paper's testbed) or racks
+    /// behind top-of-rack switches uplinked to a spine. The star is the
+    /// 1-rack degenerate case and runs bit-identically to the
+    /// pre-hierarchy cluster.
+    pub topo: TopologySpec,
+    /// Inter-switch (rack ↔ spine) link parameters; only used when
+    /// `topo` resolves to more than one rack.
+    pub switch_link: LinkSpec,
     /// Cost model.
     pub calib: Calib,
     /// Extra payload bytes per monitoring event (Fig. 7 uses ~5 KB).
@@ -73,6 +82,8 @@ impl ClusterConfig {
             poll_period: SimDur::from_secs(1),
             link: LinkSpec::fast_ethernet(),
             topology: Topology::PeerToPeer,
+            topo: TopologySpec::Star,
+            switch_link: LinkSpec::fast_ethernet(),
             calib: Calib::default(),
             event_pad: 0,
             stagger: SimDur::from_millis(1),
@@ -97,6 +108,23 @@ impl ClusterConfig {
     /// Set the topology.
     pub fn topology(mut self, t: Topology) -> Self {
         self.topology = t;
+        self
+    }
+
+    /// Set the physical fabric shape.
+    pub fn topo(mut self, spec: TopologySpec) -> Self {
+        self.topo = spec;
+        self
+    }
+
+    /// Shorthand: racks of `rack_size` nodes behind top-of-rack switches.
+    pub fn racks(self, rack_size: usize) -> Self {
+        self.topo(TopologySpec::Racks { rack_size })
+    }
+
+    /// Set the inter-switch (rack ↔ spine) link parameters.
+    pub fn switch_link(mut self, spec: LinkSpec) -> Self {
+        self.switch_link = spec;
         self
     }
 
@@ -200,10 +228,21 @@ pub struct ClusterWorld {
     pub linpacks: Vec<Linpack>,
     /// The channel directory.
     pub dir: Directory,
-    /// The monitoring channel.
+    /// The monitoring channel (rack 0's on a hierarchy — kept under the
+    /// legacy name so single-rack consumers are untouched).
     pub mon_chan: ChannelId,
-    /// The control channel.
+    /// The control channel (rack 0's on a hierarchy).
     pub ctl_chan: ChannelId,
+    /// Resolved node → rack map (one rack on the star).
+    pub placement: Placement,
+    /// Per-rack `(monitoring, control)` channels. On the star this is
+    /// exactly `[(mon_chan, ctl_chan)]`; on a hierarchy the rack scoping
+    /// is what shrinks every publisher's subscriber set from cluster-size
+    /// to rack-size.
+    pub rack_chans: Vec<(ChannelId, ChannelId)>,
+    /// The spine digest channel rack aggregators publish their bounded
+    /// roll-ups on; `None` on the star (no aggregation tier).
+    pub digest_chan: Option<ChannelId>,
     /// The cost model.
     pub calib: Calib,
     /// End-to-end monitoring-event latencies (µs).
@@ -251,7 +290,9 @@ pub struct ClusterWorld {
 /// and reconfiguration stay live under overload.
 pub(crate) fn class_of(ev: &Event) -> TrafficClass {
     match ev.kind {
-        EventKind::Monitoring => TrafficClass::Bulk,
+        // Digests are data, not liveness: they queue and shed with the
+        // bulk lane — a lost digest is superseded by the next one.
+        EventKind::Monitoring | EventKind::Digest => TrafficClass::Bulk,
         EventKind::Control | EventKind::Heartbeat => TrafficClass::Priority,
     }
 }
@@ -260,6 +301,41 @@ impl ClusterWorld {
     /// Cluster size.
     pub fn len(&self) -> usize {
         self.hosts.len()
+    }
+
+    /// The `(monitoring, control)` channels node `i` lives on — its
+    /// rack's pair.
+    pub fn chans_of(&self, i: usize) -> (ChannelId, ChannelId) {
+        self.rack_chans[self.placement.rack_of(NodeId(i))]
+    }
+
+    /// Subscribe `node` to exactly the channels its placement assigns:
+    /// its rack's monitoring + control pair, plus the spine digest
+    /// channel when it is its rack's aggregator. Rejoin and revival must
+    /// restore precisely this set — hard-coding the two flat channels
+    /// here is what broke rejoin on hierarchical topologies.
+    pub(crate) fn subscribe_node(&mut self, node: NodeId) {
+        let (mon, ctl) = self.chans_of(node.0);
+        self.dir.subscribe(mon, node);
+        self.dir.subscribe(ctl, node);
+        if let Some(dg) = self.digest_chan {
+            if self.placement.is_aggregator(node) {
+                self.dir.subscribe(dg, node);
+            }
+        }
+    }
+
+    /// Remove `node` from exactly the channels [`ClusterWorld::subscribe_node`]
+    /// put it on — the eviction mirror of the rejoin path.
+    pub(crate) fn unsubscribe_node(&mut self, node: NodeId) {
+        let (mon, ctl) = self.chans_of(node.0);
+        self.dir.unsubscribe(mon, node);
+        self.dir.unsubscribe(ctl, node);
+        if let Some(dg) = self.digest_chan {
+            if self.placement.is_aggregator(node) {
+                self.dir.unsubscribe(dg, node);
+            }
+        }
     }
 
     /// True if the cluster has no nodes.
@@ -475,6 +551,14 @@ impl ClusterWorld {
                 let handler = self.dmons[to.0].on_heartbeat(&ev, now, &self.calib);
                 self.charge_cpu(sim, to, handler + self.calib.heartbeat_path_recv);
             }
+            EventKind::Digest => {
+                let handler = {
+                    let calib = &self.calib;
+                    let (dmon, host) = Self::dmon_host(&mut self.dmons, &mut self.hosts, to.0);
+                    dmon.on_digest(host, &ev, bytes, now, calib)
+                };
+                self.charge_cpu(sim, to, handler + self.calib.kernel_path_recv);
+            }
             EventKind::Control => {
                 self.ctl_delivered += 1;
                 if let Some(msg) = ev.as_control() {
@@ -538,9 +622,9 @@ impl ClusterWorld {
         let _ = self.hosts[i].proc.drain_writes();
         self.dmons[i].on_revive();
         // Registry re-bootstrap: the revived node re-announces itself on
-        // both channels.
-        self.dir.subscribe(self.mon_chan, node);
-        self.dir.subscribe(self.ctl_chan, node);
+        // its rack's channels (plus the digest channel when it is the
+        // rack aggregator).
+        self.subscribe_node(node);
         self.evicted[i] = false;
         self.notify_rejoin(node, sim.now());
         self.poll_token[i] += 1;
@@ -577,8 +661,7 @@ impl ClusterWorld {
             return;
         }
         let now = sim.now();
-        let mon = self.mon_chan;
-        let ctl = self.ctl_chan;
+        let (mon, ctl) = self.chans_of(i);
         let mut outcome = {
             let dir = &self.dir;
             let calib = &self.calib;
@@ -595,20 +678,47 @@ impl ClusterWorld {
         self.dmons[i].recycle_sends(outcome.sends);
         // Failure-detector verdicts become directory evictions: the dead
         // peer stops being a subscriber, so every publisher's read-set
-        // logic stops sampling, filtering, and transmitting for it.
-        for peer in outcome.dead_peers {
-            self.dir.unsubscribe(self.mon_chan, peer);
-            self.dir.unsubscribe(self.ctl_chan, peer);
+        // logic stops sampling, filtering, and transmitting for it. The
+        // eviction removes exactly what the peer's placement subscribed.
+        for &peer in &outcome.dead_peers {
+            self.unsubscribe_node(peer);
             self.evicted[peer.0] = true;
         }
         // A node evicted during a partition notices it is no longer a
         // member once it can poll again and re-registers — recovery is
         // symmetric even when both sides declared each other dead.
         if outcome.rejoin && self.evicted[i] {
-            self.dir.subscribe(self.mon_chan, NodeId(i));
-            self.dir.subscribe(self.ctl_chan, NodeId(i));
+            self.subscribe_node(NodeId(i));
             self.evicted[i] = false;
             self.notify_rejoin(NodeId(i), now);
+        }
+        // The aggregation tier: after the regular poll, a rack aggregator
+        // folds its members' latest samples into one bounded digest and
+        // republishes it on the spine digest channel.
+        if let Some(dg) = self.digest_chan {
+            let node = NodeId(i);
+            if self.placement.is_aggregator(node) {
+                let rack = self.placement.rack_of(node);
+                let members = self.placement.rack(rack).range();
+                let planned = {
+                    let dir = &self.dir;
+                    let calib = &self.calib;
+                    self.dmons[i].poll_digest(
+                        dir,
+                        dg,
+                        rack as u32,
+                        members,
+                        &outcome.dead_peers,
+                        calib,
+                    )
+                };
+                if let Some((sends, cpu)) = planned {
+                    self.charge_cpu(sim, node, cpu);
+                    for (hop, ev, bytes) in sends {
+                        self.transmit(sim, hop, ev, bytes);
+                    }
+                }
+            }
         }
     }
 
@@ -648,10 +758,35 @@ impl ClusterSim {
         let n = cfg.names.len();
         assert!(n > 0, "cluster needs at least one node");
         assert_eq!(cfg.host_cfgs.len(), n, "one host config per node");
-        let net = Network::new(n, cfg.link);
+        let placement = cfg.topo.resolve(n);
+        let net = if placement.is_star() {
+            Network::new(n, cfg.link)
+        } else {
+            Network::hierarchical(&placement, cfg.link, cfg.switch_link)
+        };
         let mut dir = Directory::new(cfg.topology);
-        let mon_chan = dir.open("dproc-monitoring");
-        let ctl_chan = dir.open("dproc-control");
+        // The star opens exactly the two legacy channels — same names,
+        // same insertion order as before the hierarchy existed, so every
+        // single-rack fingerprint is unchanged. A hierarchy opens one
+        // monitoring + control pair per rack plus the spine digest
+        // channel.
+        let (rack_chans, digest_chan) = if placement.is_star() {
+            let mon = dir.open("dproc-monitoring");
+            let ctl = dir.open("dproc-control");
+            (vec![(mon, ctl)], None)
+        } else {
+            let chans: Vec<(ChannelId, ChannelId)> = (0..placement.n_racks())
+                .map(|k| {
+                    let mon = dir.open(&format!("dproc-monitoring-rack{k}"));
+                    let ctl = dir.open(&format!("dproc-control-rack{k}"));
+                    (mon, ctl)
+                })
+                .collect();
+            let dg = dir.open("dproc-digest");
+            (chans, Some(dg))
+        };
+        let (mon_chan, ctl_chan) = rack_chans[0];
+        let shared_names = std::sync::Arc::new(cfg.names.clone());
         let mut hosts = Vec::with_capacity(n);
         let mut dmons = Vec::with_capacity(n);
         let mut svc_tasks = Vec::with_capacity(n);
@@ -661,9 +796,9 @@ impl ClusterSim {
             let svc = host.cpu.spawn_service(SimTime::ZERO, "d-mon");
             svc_tasks.push(svc);
             hosts.push(host);
-            let mut dmon = DMon::new(
+            let mut dmon = DMon::new_shared(
                 NodeId(i),
-                cfg.names.clone(),
+                shared_names.clone(),
                 standard_modules(),
                 cfg.poll_period,
             );
@@ -673,8 +808,14 @@ impl ClusterSim {
             }
             dmons.push(dmon);
             if cfg.auto_subscribe {
-                dir.subscribe(mon_chan, NodeId(i));
-                dir.subscribe(ctl_chan, NodeId(i));
+                let (mon, ctl) = rack_chans[placement.rack_of(NodeId(i))];
+                dir.subscribe(mon, NodeId(i));
+                dir.subscribe(ctl, NodeId(i));
+                if let Some(dg) = digest_chan {
+                    if placement.is_aggregator(NodeId(i)) {
+                        dir.subscribe(dg, NodeId(i));
+                    }
+                }
             }
         }
         let world = ClusterWorld {
@@ -686,6 +827,9 @@ impl ClusterSim {
             dir,
             mon_chan,
             ctl_chan,
+            placement,
+            rack_chans,
+            digest_chan,
             calib: cfg.calib.clone(),
             mon_latency_us: simcore::stats::Sampler::new(),
             mon_delivered: 0,
@@ -724,7 +868,7 @@ impl ClusterSim {
         self.threads = threads;
         self.driver = if threads > 1 {
             Some(crate::pcluster::ParallelDriver::new(
-                self.world.len(),
+                &self.world.placement,
                 threads,
                 self.world.net.lookahead(),
             ))
@@ -826,6 +970,9 @@ impl ClusterSim {
             dir,
             mon_chan,
             ctl_chan,
+            placement: Placement::star(0),
+            rack_chans: vec![(mon_chan, ctl_chan)],
+            digest_chan: None,
             calib: Calib::default(),
             mon_latency_us: simcore::stats::Sampler::new(),
             mon_delivered: 0,
@@ -956,6 +1103,45 @@ mod tests {
             }
         }
         assert!(w.mon_delivered > 0);
+    }
+
+    #[test]
+    fn hierarchical_racks_scope_channels_and_flow_digests() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(6).racks(3));
+        sim.start();
+        sim.run_until(SimTime::from_secs(10));
+        let w = sim.world();
+        assert_eq!(w.placement.n_racks(), 2);
+        assert_eq!(w.rack_chans.len(), 2);
+        assert!(w.digest_chan.is_some());
+        // Rack-scoped monitoring: members see their rack-mates' full
+        // metric trees but nothing from other racks.
+        assert!(w.hosts[1].proc.exists("cluster/node2/cpu"));
+        assert!(!w.hosts[1].proc.exists("cluster/node4/cpu"));
+        // Aggregators exchange bounded digests across the spine and
+        // surface them as /proc rack summaries.
+        let d0 = w.dmons[0].rack_digest(1).expect("rack 1 digest at node 0");
+        assert_eq!(d0.members, 3);
+        assert_eq!(d0.origin, NodeId(3));
+        assert!(w.dmons[3].rack_digest(0).is_some());
+        assert!(w.hosts[0].proc.exists("cluster/rack1/cpu"));
+        assert!(w.hosts[3].proc.exists("cluster/rack0/cpu"));
+        assert!(w.dmons[0].stats.digests_sent > 0);
+        assert!(w.dmons[0].stats.digest_staleness_s.len() > 0);
+        // Non-aggregators stay off the spine entirely.
+        assert_eq!(w.dmons[1].stats.digests_received, 0);
+        assert!(!w.hosts[1].proc.exists("cluster/rack1/cpu"));
+    }
+
+    #[test]
+    fn star_has_no_aggregation_tier() {
+        let mut sim = ClusterSim::new(ClusterConfig::new(3));
+        sim.start();
+        sim.run_until(SimTime::from_secs(5));
+        let w = sim.world();
+        assert!(w.digest_chan.is_none());
+        assert_eq!(w.rack_chans.len(), 1);
+        assert!(w.dmons.iter().all(|d| d.stats.digests_sent == 0));
     }
 
     #[test]

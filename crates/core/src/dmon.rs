@@ -14,14 +14,16 @@
 //! deliveries.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use ecode::{
     compile_filter, CompiledFilter, EnvSpec, Filter, FilterOutput, MemoClass, MetricRecord,
     MetricSet, RuntimeError,
 };
 use kecho::{
-    ChannelId, ControlMsg, CreditWindow, Directory, Event, HeartbeatPayload, Hop, MonRecord,
-    MonitoringPayload, Observation, ParamSpec, StreamTracker, GRANT_THRESHOLD, OUTBOX_CAP,
+    ChannelId, ControlMsg, CreditWindow, DigestPayload, DigestRecord, Directory, Event,
+    HeartbeatPayload, Hop, MonRecord, MonitoringPayload, Observation, ParamSpec, StreamTracker,
+    GRANT_THRESHOLD, OUTBOX_CAP,
 };
 use simcore::fastfmt;
 use simcore::stats::Sampler;
@@ -101,6 +103,20 @@ pub struct DmonStats {
     pub credits_stalled: u64,
     /// Degradation-ladder level changes, in either direction.
     pub ladder_transitions: u64,
+    /// Rack digests submitted (aggregators only).
+    pub digests_sent: u64,
+    /// Rack digests received on the spine digest channel.
+    pub digests_received: u64,
+    /// Per-metric summary records carried by those digests (a digest
+    /// folds one record per metric that had at least one sample). Pure
+    /// sim output — the bench exact-gates it to pin the aggregation
+    /// tier's payload shape.
+    pub digest_records: u64,
+    /// Digest freshness at arrival: seconds between the newest sample a
+    /// digest folded and the moment it landed here. The hierarchy's
+    /// staleness cost — what the aggregation tier trades for rack-local
+    /// monitoring traffic.
+    pub digest_staleness_s: Sampler,
     /// Per-iteration event-submission CPU cost in microseconds (what the
     /// paper measures with rdtsc for Figs. 6–7).
     pub submit_cost_us: Sampler,
@@ -298,8 +314,9 @@ struct OutboxEntry {
 pub struct DMon {
     node: NodeId,
     /// Hostname per NodeId index — the `/proc/cluster/<name>` directory
-    /// names.
-    cluster_names: Vec<String>,
+    /// names. Shared across every d-mon in the cluster (at 4096 nodes a
+    /// per-node clone of the name table would dwarf the monitor state).
+    cluster_names: Arc<Vec<String>>,
     modules: Vec<Box<dyn MonitorModule>>,
     env: EnvSpec,
     poll_period: SimDur,
@@ -472,6 +489,13 @@ pub struct DMon {
     clear_run: u32,
     /// Interned handle for `cluster/<own>/overload`.
     overload_handle: Option<ProcHandle>,
+    /// This node's own latest sample per metric id, kept so an
+    /// aggregator's digest folds its own host alongside its rack peers'
+    /// remote views.
+    own_latest: Vec<Option<(f64, SimTime)>>,
+    /// Latest digest received per rack (spine subscribers only) — the
+    /// observability surface behind the shell's `racks` command.
+    rack_digests: BTreeMap<u32, DigestPayload>,
     /// Self-observability.
     pub stats: DmonStats,
 }
@@ -481,6 +505,18 @@ impl DMon {
     pub fn new(
         node: NodeId,
         cluster_names: Vec<String>,
+        modules: Vec<Box<dyn MonitorModule>>,
+        poll_period: SimDur,
+    ) -> Self {
+        Self::new_shared(node, Arc::new(cluster_names), modules, poll_period)
+    }
+
+    /// Create the d-mon for `node` with a shared name table. The cluster
+    /// glue hands every d-mon the same `Arc`, so a 4096-node run holds
+    /// one name table, not 4096 copies.
+    pub fn new_shared(
+        node: NodeId,
+        cluster_names: Arc<Vec<String>>,
         modules: Vec<Box<dyn MonitorModule>>,
         poll_period: SimDur,
     ) -> Self {
@@ -546,6 +582,8 @@ impl DMon {
             stall_run: 0,
             clear_run: 0,
             overload_handle: None,
+            own_latest: vec![None; base_modules],
+            rack_digests: BTreeMap::new(),
             stats: DmonStats::default(),
         }
     }
@@ -602,6 +640,7 @@ impl DMon {
             }
         }
         self.own_file_handles.resize(self.modules.len(), None);
+        self.own_latest.resize(self.modules.len(), None);
         // Wire schema blocks for every run-time-registered module, built
         // once here instead of per subscriber per poll.
         self.ext_schema = self.modules[self.base_modules..]
@@ -855,6 +894,8 @@ impl DMon {
         self.ladder = 0;
         self.stall_run = 0;
         self.clear_run = 0;
+        self.own_latest.fill(None);
+        self.rack_digests.clear();
         // Interned /proc handles survive: the host (and its proc tree)
         // persists across a crash-restart in this model, so the paths they
         // name are still the right files. Stale remote schema mappings do
@@ -1063,6 +1104,9 @@ impl DMon {
             // Swap the assembled text into the /proc slot and keep the
             // displaced buffer for the next module — no copy, no alloc.
             self.detail_buf = host.proc.swap_handle(h, detail);
+            if let Some(slot) = self.own_latest.get_mut(i) {
+                *slot = Some((value, now));
+            }
             samples.push(Some(value));
         }
         self.needed_buf = needed;
@@ -2045,6 +2089,181 @@ impl DMon {
                 ControlOutcome::cost(calib.policy_eval)
             }
         }
+    }
+
+    /// The aggregator tier's polling step: fold this rack's latest member
+    /// samples (own host included) into one bounded per-metric digest and
+    /// submit it to every digest-channel subscriber. Digests are
+    /// summaries, not streams — they carry no `stream_seq`, consume no
+    /// credits, and skip the outbox: a lost digest is simply superseded
+    /// by the next one, so the whole credit/loss machinery would only add
+    /// latency. Returns the planned sends plus the CPU cost to charge;
+    /// `None` while no member has produced a sample yet.
+    pub fn poll_digest(
+        &mut self,
+        dir: &Directory,
+        digest_chan: ChannelId,
+        rack: u32,
+        members: std::ops::Range<usize>,
+        skip: &[NodeId],
+        calib: &Calib,
+    ) -> Option<(Vec<(Hop, Event, usize)>, SimDur)> {
+        let n_metrics = self.modules.len();
+        // (min, max, sum, count, newest_ts) per metric id.
+        let mut acc = vec![
+            (
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                0.0f64,
+                0u32,
+                f64::NEG_INFINITY
+            );
+            n_metrics
+        ];
+        let mut cpu = SimDur::ZERO;
+        let mut member_count = 0u32;
+        for m in members {
+            let mut contributed = false;
+            for (id, slot) in acc.iter_mut().enumerate() {
+                let sample = if m == self.node.0 {
+                    self.own_latest.get(id).copied().flatten()
+                } else {
+                    self.remote_values
+                        .get(m)
+                        .and_then(|row| row.get(id))
+                        .copied()
+                        .flatten()
+                };
+                let Some((value, ts)) = sample else { continue };
+                contributed = true;
+                slot.0 = slot.0.min(value);
+                slot.1 = slot.1.max(value);
+                slot.2 += value;
+                slot.3 += 1;
+                slot.4 = slot.4.max(ts.as_secs_f64());
+            }
+            if contributed {
+                member_count += 1;
+            }
+            // The fold reads the same per-member state a policy check
+            // would; charge it at the policy-evaluation rate.
+            cpu += calib.policy_eval;
+        }
+        let records: Vec<DigestRecord> = acc
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.3 > 0)
+            .map(|(id, a)| DigestRecord {
+                metric_id: id as u32,
+                min: a.0,
+                max: a.1,
+                mean: a.2 / f64::from(a.3),
+                count: a.3,
+                newest_ts: a.4,
+            })
+            .collect();
+        if records.is_empty() {
+            return None;
+        }
+        let payload = DigestPayload {
+            rack,
+            origin: self.node,
+            members: member_count,
+            records,
+        };
+        let mut sends = Vec::new();
+        for sub in dir.subscribers(digest_chan) {
+            // `skip` carries peers this same polling step just evicted:
+            // the serial engine has already removed them from the
+            // directory (the skip is a no-op there), while the parallel
+            // mirror defers the directory write to effect replay — the
+            // skip makes both read the same effective subscriber set.
+            if sub == self.node || skip.contains(&sub) {
+                continue;
+            }
+            self.seq += 1;
+            let mut ev = Event::digest(digest_chan.0, self.seq, self.node, payload.clone());
+            // Digest consumers are enumerated per send (like monitoring
+            // streams), so the central-concentrator topology can relay.
+            ev.target = Some(sub);
+            let bytes = kecho::wire::encoded_size(&ev);
+            cpu += calib.submit_cost(bytes) + calib.kernel_path_send;
+            self.stats.digests_sent += 1;
+            sends.push((
+                Hop {
+                    from: self.node,
+                    to: sub,
+                },
+                ev,
+                bytes,
+            ));
+        }
+        if sends.is_empty() {
+            return None;
+        }
+        Some((sends, cpu))
+    }
+
+    /// Handle an incoming rack digest: record freshness, refresh the
+    /// `/proc/cluster/rack<k>/...` summary files, and keep the latest
+    /// payload per rack for observability surfaces. Returns the handler
+    /// CPU cost. Digests stay out of the Fig. 8 receive-cost sampler —
+    /// like heartbeats, they are infrastructure overhead, not the
+    /// monitoring workload the figure measures.
+    pub fn on_digest(
+        &mut self,
+        host: &mut Host,
+        ev: &Event,
+        bytes: usize,
+        now: SimTime,
+        calib: &Calib,
+    ) -> SimDur {
+        let Some(payload) = ev.as_digest() else {
+            return SimDur::ZERO;
+        };
+        self.stats.digests_received += 1;
+        self.stats.digest_records += payload.records.len() as u64;
+        let newest = payload
+            .records
+            .iter()
+            .map(|r| r.newest_ts)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if newest.is_finite() {
+            self.stats
+                .digest_staleness_s
+                .add((now.as_secs_f64() - newest).max(0.0));
+        }
+        for r in &payload.records {
+            let file = self
+                .modules
+                .get(r.metric_id as usize)
+                .map_or("extra", |m| m.file_name());
+            let path = format!("cluster/rack{}/{file}", payload.rack);
+            let mut text = String::new();
+            text.push_str("min ");
+            fastfmt::push_f64_display(&mut text, r.min);
+            text.push_str(" max ");
+            fastfmt::push_f64_display(&mut text, r.max);
+            text.push_str(" mean ");
+            fastfmt::push_f64_display(&mut text, r.mean);
+            text.push_str(" count ");
+            fastfmt::push_u64(&mut text, u64::from(r.count));
+            text.push_str(" ts ");
+            fastfmt::push_f64_fixed3(&mut text, r.newest_ts);
+            host.proc.set(&path, &text).expect("rack digest path");
+        }
+        self.rack_digests.insert(payload.rack, payload.clone());
+        calib.receive_cost(bytes)
+    }
+
+    /// The latest digest received for `rack`, if any.
+    pub fn rack_digest(&self, rack: u32) -> Option<&DigestPayload> {
+        self.rack_digests.get(&rack)
+    }
+
+    /// Iterate the latest digest per rack, in rack order.
+    pub fn rack_digests(&self) -> impl Iterator<Item = (u32, &DigestPayload)> {
+        self.rack_digests.iter().map(|(&k, v)| (k, v))
     }
 }
 

@@ -50,7 +50,7 @@ use simcore::stats::Sampler;
 use simcore::{SimDur, SimTime};
 use simnet::link::{BytesWindow, DirLink, LinkSpec};
 use simnet::traffic::FlowTable;
-use simnet::{ConnId, FaultAction, FaultState, Network, NodeId, SplitNet, TrafficClass};
+use simnet::{ConnId, FaultAction, FaultState, Network, NodeId, Placement, SplitNet, TrafficClass};
 use simos::cpu::TaskState;
 use simos::host::Host;
 use simos::workload::Linpack;
@@ -86,12 +86,24 @@ pub(crate) enum PFx {
     CtlDelivered,
     /// A delivery hit a crashed node's NIC.
     CrashDrop,
-    /// A failure detector evicted `peer` from both channels.
+    /// A failure detector evicted `peer` from its placement's channel set.
     Evict { peer: NodeId },
-    /// An evicted node re-registered on both channels.
+    /// An evicted node re-registered on its placement's channel set.
     Rejoin { node: NodeId },
     /// Apply the `k`-th action of the fault timeline.
     FaultAction { k: usize },
+}
+
+/// One coordinator-side link of a replayed wire path — the hops after the
+/// sender's uplink (which runs on the sender's shard).
+#[derive(Clone, Copy)]
+enum RestLink {
+    /// Rack switch → spine (cross-rack only).
+    RackUp(usize),
+    /// Spine → destination rack switch (cross-rack only).
+    SpineDown(usize),
+    /// Switch → receiver NIC.
+    NodeDown(usize),
 }
 
 /// One node's shard-resident state: everything the serial `ClusterWorld`
@@ -125,6 +137,13 @@ pub(crate) struct PShard {
 pub(crate) struct PShared {
     spec: LinkSpec,
     downs: Vec<DirLink>,
+    /// Node → rack map (all zeros for the star).
+    rack_of: Vec<usize>,
+    /// Rack-switch → spine links, coordinator-owned like the downlinks:
+    /// inter-switch reservations happen in serial replay order.
+    switch_ups: Vec<DirLink>,
+    switch_downs: Vec<DirLink>,
+    switch_spec: LinkSpec,
     net_deliveries: u64,
     net_payload: u64,
     flows: FlowTable,
@@ -132,6 +151,13 @@ pub(crate) struct PShared {
     dir: Directory,
     mon_chan: ChannelId,
     ctl_chan: ChannelId,
+    /// The resolved topology: which rack each node lives in and who
+    /// aggregates it.
+    placement: Placement,
+    /// Per-rack `(monitoring, control)` channel pairs.
+    rack_chans: Vec<(ChannelId, ChannelId)>,
+    /// The spine digest channel (hierarchical topologies only).
+    digest_chan: Option<ChannelId>,
     calib: Calib,
     mon_latency_us: Sampler,
     mon_delivered: u64,
@@ -144,6 +170,37 @@ pub(crate) struct PShared {
     fault_actions: Vec<(SimTime, FaultAction)>,
     /// Node → shard assignment.
     shard_of: Vec<u32>,
+}
+
+impl PShared {
+    /// Mirror of `ClusterWorld::chans_of`.
+    fn chans_of(&self, i: usize) -> (ChannelId, ChannelId) {
+        self.rack_chans[self.placement.rack_of(NodeId(i))]
+    }
+
+    /// Mirror of `ClusterWorld::subscribe_node`.
+    fn subscribe_node(&mut self, node: NodeId) {
+        let (mon, ctl) = self.chans_of(node.0);
+        self.dir.subscribe(mon, node);
+        self.dir.subscribe(ctl, node);
+        if let Some(dg) = self.digest_chan {
+            if self.placement.is_aggregator(node) {
+                self.dir.subscribe(dg, node);
+            }
+        }
+    }
+
+    /// Mirror of `ClusterWorld::unsubscribe_node`.
+    fn unsubscribe_node(&mut self, node: NodeId) {
+        let (mon, ctl) = self.chans_of(node.0);
+        self.dir.unsubscribe(mon, node);
+        self.dir.unsubscribe(ctl, node);
+        if let Some(dg) = self.digest_chan {
+            if self.placement.is_aggregator(node) {
+                self.dir.unsubscribe(dg, node);
+            }
+        }
+    }
 }
 
 impl PShard {
@@ -398,6 +455,13 @@ impl PShard {
                 let handler = self.nodes[l].dmon.on_heartbeat(&ev, now, &sh.calib);
                 self.charge_cpu(l, now, handler + sh.calib.heartbeat_path_recv, out);
             }
+            EventKind::Digest => {
+                let handler = {
+                    let n = &mut self.nodes[l];
+                    n.dmon.on_digest(&mut n.host, &ev, bytes, now, &sh.calib)
+                };
+                self.charge_cpu(l, now, handler + sh.calib.kernel_path_recv, out);
+            }
             EventKind::Control => {
                 out.fx(PFx::CtlDelivered);
                 if let Some(msg) = ev.as_control() {
@@ -439,27 +503,49 @@ impl PShard {
         }
         let sh = shared.get();
         if sh.alive[i] {
+            let (mon, ctl) = sh.chans_of(i);
             let mut outcome = {
                 let n = &mut self.nodes[l];
-                n.dmon.poll(
-                    &mut n.host,
-                    &sh.dir,
-                    sh.mon_chan,
-                    sh.ctl_chan,
-                    now,
-                    &sh.calib,
-                )
+                n.dmon.poll(&mut n.host, &sh.dir, mon, ctl, now, &sh.calib)
             };
             self.charge_cpu(l, now, outcome.cpu_cost, out);
             for (hop, ev, bytes) in outcome.sends.drain(..) {
                 self.transmit(now, hop, ev, bytes, out, sh);
             }
             self.nodes[l].dmon.recycle_sends(outcome.sends);
-            for peer in outcome.dead_peers {
+            for &peer in &outcome.dead_peers {
                 out.fx(PFx::Evict { peer });
             }
             if outcome.rejoin && sh.evicted[i] {
+                // The re-subscription is deferred to replay; the only
+                // later directory read in this handler excludes the
+                // polling node anyway (a digest never targets its sender).
                 out.fx(PFx::Rejoin { node: NodeId(i) });
+            }
+            // Aggregation tier, mirroring the serial digest block. The
+            // serial engine evicted `dead_peers` from the directory just
+            // above; here that write is still pending replay, so the
+            // skip list hides them from the subscriber iteration.
+            if let Some(dg) = sh.digest_chan {
+                let node = NodeId(i);
+                if sh.placement.is_aggregator(node) {
+                    let rack = sh.placement.rack_of(node);
+                    let members = sh.placement.rack(rack).range();
+                    let planned = self.nodes[l].dmon.poll_digest(
+                        &sh.dir,
+                        dg,
+                        rack as u32,
+                        members,
+                        &outcome.dead_peers,
+                        &sh.calib,
+                    );
+                    if let Some((sends, cpu)) = planned {
+                        self.charge_cpu(l, now, cpu, out);
+                        for (hop, ev, bytes) in sends {
+                            self.transmit(now, hop, ev, bytes, out, sh);
+                        }
+                    }
+                }
             }
         }
         out.schedule_at(now + sh.poll_period, ClusterEvent::Poll { i, token });
@@ -579,39 +665,66 @@ impl Coordinator<PShard> for PCoord {
                 up_finish,
                 head_at_switch,
             } => {
-                // Downlink half of `Network::send_class`, identical
-                // arithmetic. WireSend replays in exact serial order, so
-                // the downlink queue (admit/occupy) evolves identically.
+                // The remaining hops of `Network::send_class`, identical
+                // per-link arithmetic. The sender's uplink already ran on
+                // its shard; WireSend replays in exact serial order, so
+                // every coordinator-owned queue (admit/occupy) evolves
+                // identically. Intra-rack (and star) paths have one hop
+                // left — the receiver's downlink; cross-rack paths thread
+                // rack uplink → spine downlink → receiver downlink first.
                 let class = class_of(&ev);
                 let wire_len = shared.spec.wire_bytes(bytes) as u64;
                 let first_pkt = bytes.min(shared.spec.mtu_payload);
-                let down = &mut shared.downs[hop.to.0];
-                if class == TrafficClass::Bulk && !down.admit(send_now, wire_len) {
-                    // Downlink tail-drop: the uplink half already ran on
-                    // the sender's shard (as in serial); nothing arrives.
-                    return;
-                }
-                let t_down = down.tx_time_now(bytes);
-                let t_down_first = down.tx_time_now(first_pkt);
-                let tail_constraint = up_finish + shared.spec.latency + t_down_first;
-                let (down_start, down_finish) = match class {
-                    TrafficClass::Bulk => {
-                        let (start, finish0) = down.reserve(head_at_switch, t_down);
-                        let finish = finish0.max(tail_constraint);
-                        down.extend_busy(finish);
-                        (start, finish)
-                    }
-                    TrafficClass::Priority => {
-                        let finish = (head_at_switch + t_down).max(tail_constraint);
-                        (head_at_switch, finish)
-                    }
+                let (r_from, r_to) = (shared.rack_of[hop.from.0], shared.rack_of[hop.to.0]);
+                let node_lat = shared.spec.latency;
+                let sw_lat = shared.switch_spec.latency;
+                let mut rest = [(RestLink::NodeDown(hop.to.0), node_lat); 3];
+                let hops = if r_from == r_to {
+                    1
+                } else {
+                    rest[0] = (RestLink::RackUp(r_from), sw_lat);
+                    rest[1] = (RestLink::SpineDown(r_to), sw_lat);
+                    rest[2] = (RestLink::NodeDown(hop.to.0), node_lat);
+                    3
                 };
-                down.account(send_now, bytes);
-                if class == TrafficClass::Bulk {
-                    down.occupy(down_finish, wire_len);
+                // Seed the loop with the state after the uplink hop: the
+                // serial loop left `head = up_start + t_first + latency`
+                // (== `head_at_switch`) and `tail = up_finish + latency`.
+                let mut queued = up_start - send_now;
+                let mut head = head_at_switch;
+                let mut tail = up_finish + node_lat;
+                for &(sel, latency) in &rest[..hops] {
+                    let link = match sel {
+                        RestLink::RackUp(r) => &mut shared.switch_ups[r],
+                        RestLink::SpineDown(r) => &mut shared.switch_downs[r],
+                        RestLink::NodeDown(i) => &mut shared.downs[i],
+                    };
+                    if class == TrafficClass::Bulk && !link.admit(send_now, wire_len) {
+                        // Tail-drop past the uplink: earlier hops already
+                        // reserved (as in serial); nothing arrives.
+                        return;
+                    }
+                    let t_all = link.tx_time_now(bytes);
+                    let t_first = link.tx_time_now(first_pkt);
+                    let tail_constraint = tail + t_first;
+                    let (start, finish) = match class {
+                        TrafficClass::Bulk => {
+                            let (start, finish0) = link.reserve(head, t_all);
+                            let finish = finish0.max(tail_constraint);
+                            link.extend_busy(finish);
+                            (start, finish)
+                        }
+                        TrafficClass::Priority => (head, (head + t_all).max(tail_constraint)),
+                    };
+                    link.account(send_now, bytes);
+                    if class == TrafficClass::Bulk {
+                        link.occupy(finish, wire_len);
+                    }
+                    queued += start - head;
+                    head = start + t_first + latency;
+                    tail = finish + latency;
                 }
-                let deliver_at = down_finish + shared.spec.latency;
-                let queued = (up_start - send_now) + (down_start - head_at_switch);
+                let deliver_at = tail;
                 sched.schedule(
                     shared.shard_of[hop.to.0] as usize,
                     deliver_at,
@@ -631,13 +744,11 @@ impl Coordinator<PShard> for PCoord {
             PFx::CtlDelivered => shared.ctl_delivered += 1,
             PFx::CrashDrop => shared.fault.note_crash_drop(),
             PFx::Evict { peer } => {
-                shared.dir.unsubscribe(shared.mon_chan, peer);
-                shared.dir.unsubscribe(shared.ctl_chan, peer);
+                shared.unsubscribe_node(peer);
                 shared.evicted[peer.0] = true;
             }
             PFx::Rejoin { node } => {
-                shared.dir.subscribe(shared.mon_chan, node);
-                shared.dir.subscribe(shared.ctl_chan, node);
+                shared.subscribe_node(node);
                 shared.evicted[node.0] = false;
                 notify_rejoin(worlds, &shared.alive, node, now);
             }
@@ -666,8 +777,7 @@ impl Coordinator<PShard> for PCoord {
                             let _ = n.host.proc.drain_writes();
                             n.dmon.on_revive();
                         }
-                        shared.dir.subscribe(shared.mon_chan, node);
-                        shared.dir.subscribe(shared.ctl_chan, node);
+                        shared.subscribe_node(node);
                         shared.evicted[node.0] = false;
                         notify_rejoin(worlds, &shared.alive, node, now);
                         let token = {
@@ -733,6 +843,9 @@ fn decompose(
         dir,
         mon_chan,
         ctl_chan,
+        placement,
+        rack_chans,
+        digest_chan,
         calib,
         mon_latency_us,
         mon_delivered,
@@ -753,6 +866,10 @@ fn decompose(
         spec,
         ups,
         downs,
+        rack_of,
+        switch_ups,
+        switch_downs,
+        switch_spec,
         deliveries,
         payload_bytes,
     } = net.split_links();
@@ -794,6 +911,10 @@ fn decompose(
     let shared = PShared {
         spec,
         downs,
+        rack_of,
+        switch_ups,
+        switch_downs,
+        switch_spec,
         net_deliveries: deliveries,
         net_payload: payload_bytes,
         flows,
@@ -801,6 +922,9 @@ fn decompose(
         dir,
         mon_chan,
         ctl_chan,
+        placement,
+        rack_chans,
+        digest_chan,
         calib,
         mon_latency_us,
         mon_delivered,
@@ -851,6 +975,10 @@ fn reassemble(shards: Vec<PShard>, shared: PShared) -> ClusterWorld {
         spec: shared.spec,
         ups: ups.into_iter().map(|u| u.expect("uplink")).collect(),
         downs: shared.downs,
+        rack_of: shared.rack_of,
+        switch_ups: shared.switch_ups,
+        switch_downs: shared.switch_downs,
+        switch_spec: shared.switch_spec,
         deliveries: net_deliveries,
         payload_bytes: net_payload,
     });
@@ -863,6 +991,9 @@ fn reassemble(shards: Vec<PShard>, shared: PShared) -> ClusterWorld {
         dir: shared.dir,
         mon_chan: shared.mon_chan,
         ctl_chan: shared.ctl_chan,
+        placement: shared.placement,
+        rack_chans: shared.rack_chans,
+        digest_chan: shared.digest_chan,
         calib: shared.calib,
         mon_latency_us: shared.mon_latency_us,
         mon_delivered: shared.mon_delivered,
@@ -896,15 +1027,25 @@ pub(crate) struct ParallelDriver {
 }
 
 impl ParallelDriver {
-    /// Build a driver for `n_nodes` partitioned round-robin over
-    /// `threads` shards (clamped to the node count), with the network's
-    /// link lookahead.
-    pub(crate) fn new(n_nodes: usize, threads: usize, lookahead: SimDur) -> Self {
+    /// Build a driver for the placement's nodes over `threads` shards
+    /// (clamped to the node count), with the network's link lookahead.
+    /// Star placements partition round-robin; hierarchical placements
+    /// assign whole racks to shards, so rack-local pub-sub traffic stays
+    /// shard-local and only spine digests cross shard boundaries.
+    pub(crate) fn new(placement: &Placement, threads: usize, lookahead: SimDur) -> Self {
+        let n_nodes = placement.len();
         let shards = threads.min(n_nodes).max(1);
+        let shard_of = if placement.is_star() {
+            (0..n_nodes).map(|i| (i % shards) as u32).collect()
+        } else {
+            (0..n_nodes)
+                .map(|i| (placement.rack_of(NodeId(i)) % shards) as u32)
+                .collect()
+        };
         ParallelDriver {
             engine: Engine::new(shards, lookahead),
             coord: PCoord::new(),
-            shard_of: (0..n_nodes).map(|i| (i % shards) as u32).collect(),
+            shard_of,
             fault_actions: Vec::new(),
         }
     }

@@ -12,6 +12,45 @@ pub enum EventKind {
     /// Liveness beacon sent when parameters/filters suppress all data for
     /// a subscriber, so silence-by-filter is distinguishable from death.
     Heartbeat,
+    /// A rack aggregator's bounded summary of its members' metrics,
+    /// republished up the tree on the spine digest channel. Digests are
+    /// summaries, not streams: they carry no per-stream sequence numbers
+    /// and bypass the credit/loss machinery — a lost digest is simply
+    /// superseded by the next one.
+    Digest,
+}
+
+/// One aggregated metric in a rack digest: the fold of every member's
+/// latest sample for that metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigestRecord {
+    /// Metric id within the standard module environment.
+    pub metric_id: u32,
+    /// Minimum across contributing members.
+    pub min: f64,
+    /// Maximum across contributing members.
+    pub max: f64,
+    /// Mean across contributing members.
+    pub mean: f64,
+    /// How many members contributed a sample.
+    pub count: u32,
+    /// Newest contributing sample time, seconds — the digest's freshness.
+    pub newest_ts: f64,
+}
+
+/// Payload of a digest event: one rack's bounded roll-up. Size is
+/// O(metrics), never O(members), which is the whole point of the
+/// aggregation tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigestPayload {
+    /// The rack the digest summarizes.
+    pub rack: u32,
+    /// The aggregator node that produced it.
+    pub origin: NodeId,
+    /// Members folded in (live rack members with at least one sample).
+    pub members: u32,
+    /// Per-metric folds.
+    pub records: Vec<DigestRecord>,
 }
 
 /// One monitoring record on the wire: a metric sample from some node.
@@ -172,6 +211,8 @@ pub enum Payload {
     Control(ControlMsg),
     /// A liveness beacon.
     Heartbeat(HeartbeatPayload),
+    /// A rack digest.
+    Digest(DigestPayload),
 }
 
 impl Event {
@@ -223,6 +264,19 @@ impl Event {
         }
     }
 
+    /// Construct a digest event (fans out on the digest channel like
+    /// monitoring data, so no target).
+    pub fn digest(channel: u32, seq: u64, sender: NodeId, payload: DigestPayload) -> Self {
+        Event {
+            kind: EventKind::Digest,
+            channel,
+            seq,
+            sender,
+            target: None,
+            payload: Payload::Digest(payload),
+        }
+    }
+
     /// The monitoring payload, if this is a monitoring event.
     pub fn as_monitoring(&self) -> Option<&MonitoringPayload> {
         match &self.payload {
@@ -243,6 +297,14 @@ impl Event {
     pub fn as_heartbeat(&self) -> Option<&HeartbeatPayload> {
         match &self.payload {
             Payload::Heartbeat(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The digest payload, if this is a digest event.
+    pub fn as_digest(&self) -> Option<&DigestPayload> {
+        match &self.payload {
+            Payload::Digest(d) => Some(d),
             _ => None,
         }
     }

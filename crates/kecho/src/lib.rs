@@ -38,8 +38,8 @@ pub use arena::{RecordArena, RecordSpan};
 pub use credit::{CreditWindow, GRANT_OVERDUE, GRANT_THRESHOLD, INITIAL_CREDITS, OUTBOX_CAP};
 pub use directory::{ChannelId, Directory, Hop, Topology};
 pub use event::{
-    put_record_buf, take_record_buf, ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord,
-    MonitoringPayload, ParamSpec,
+    put_record_buf, take_record_buf, ControlMsg, DigestPayload, DigestRecord, Event, EventKind,
+    HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec,
 };
 pub use stream::{Observation, StreamTracker, MAX_GAP_RANGES};
 pub use wire::{decode_event, encode_event, WireError};

@@ -3,8 +3,8 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u8  version (3)
-//! u8  kind (0 = monitoring, 1 = control, 2 = heartbeat)
+//! u8  version (5)
+//! u8  kind (0 = monitoring, 1 = control, 2 = heartbeat, 3 = digest)
 //! u32 channel
 //! u64 seq
 //! u32 sender
@@ -19,25 +19,27 @@
 //! `(u32 id, f64 value, f64 last, f64 ts)`, `u32 pad_len`, `pad_len`
 //! zero bytes. Control payload: `u8 tag` then message-specific fields;
 //! strings are `u32 len` + UTF-8 bytes. Heartbeat payload: `u32 origin`,
-//! `u32 epoch`, `u32 stream_seq`.
+//! `u32 epoch`, `u32 stream_seq`. Digest payload: `u32 rack`,
+//! `u32 origin`, `u32 members`, `u8 n_records`, records of `(u32 id,
+//! f64 min, f64 max, f64 mean, u32 count, f64 newest_ts)`.
 //!
 //! Version history: v1 had no epoch/stream_seq and no heartbeat kind; v2
 //! had no integrity trailer, 16-bit record/extension counts, and no
 //! credit-grant control tag; v3 had no piggybacked credit-grant byte on
-//! monitoring payloads (and a full 8-bit record count). Old buffers are
-//! rejected, not translated — all nodes in a simulated cluster run the
-//! same codec.
+//! monitoring payloads (and a full 8-bit record count); v4 had no digest
+//! kind. Old buffers are rejected, not translated — all nodes in a
+//! simulated cluster run the same codec.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use simnet::NodeId;
 
 use crate::event::{
-    ControlMsg, Event, EventKind, HeartbeatPayload, MonRecord, MonitoringPayload, ParamSpec,
-    Payload,
+    ControlMsg, DigestPayload, DigestRecord, Event, EventKind, HeartbeatPayload, MonRecord,
+    MonitoringPayload, ParamSpec, Payload,
 };
 
 /// Current wire version.
-pub const WIRE_VERSION: u8 = 4;
+pub const WIRE_VERSION: u8 = 5;
 
 /// Decode failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -137,6 +139,7 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
         EventKind::Monitoring => 0,
         EventKind::Control => 1,
         EventKind::Heartbeat => 2,
+        EventKind::Digest => 3,
     });
     buf.put_u32_le(ev.channel);
     buf.put_u64_le(ev.seq);
@@ -220,6 +223,24 @@ fn write_event(buf: &mut BytesMut, ev: &Event) {
             buf.put_u32_le(h.epoch);
             buf.put_u32_le(h.stream_seq);
         }
+        Payload::Digest(d) => {
+            buf.put_u32_le(d.rack);
+            buf.put_u32_le(d.origin.0 as u32);
+            buf.put_u32_le(d.members);
+            debug_assert!(
+                d.records.len() <= u8::MAX as usize,
+                "too many digest records"
+            );
+            buf.put_u8(d.records.len() as u8);
+            for r in &d.records {
+                buf.put_u32_le(r.metric_id);
+                buf.put_f64_le(r.min);
+                buf.put_f64_le(r.max);
+                buf.put_f64_le(r.mean);
+                buf.put_u32_le(r.count);
+                buf.put_f64_le(r.newest_ts);
+            }
+        }
     }
 }
 
@@ -257,6 +278,7 @@ fn parse_body(mut buf: Bytes) -> Result<Event, WireError> {
         0 => EventKind::Monitoring,
         1 => EventKind::Control,
         2 => EventKind::Heartbeat,
+        3 => EventKind::Digest,
         t => return Err(WireError::BadTag(t)),
     };
     let channel = buf.get_u32_le();
@@ -397,6 +419,35 @@ fn parse_body(mut buf: Bytes) -> Result<Event, WireError> {
                 stream_seq: buf.get_u32_le(),
             })
         }
+        EventKind::Digest => {
+            if buf.remaining() < 4 + 4 + 4 + 1 {
+                return Err(WireError::Truncated);
+            }
+            let rack = buf.get_u32_le();
+            let origin = NodeId(buf.get_u32_le() as usize);
+            let members = buf.get_u32_le();
+            let n = buf.get_u8() as usize;
+            if buf.remaining() < n * 40 {
+                return Err(WireError::Truncated);
+            }
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(DigestRecord {
+                    metric_id: buf.get_u32_le(),
+                    min: buf.get_f64_le(),
+                    max: buf.get_f64_le(),
+                    mean: buf.get_f64_le(),
+                    count: buf.get_u32_le(),
+                    newest_ts: buf.get_f64_le(),
+                });
+            }
+            Payload::Digest(DigestPayload {
+                rack,
+                origin,
+                members,
+                records,
+            })
+        }
     };
     Ok(Event {
         kind,
@@ -444,6 +495,7 @@ pub fn encoded_size(ev: &Event) -> usize {
             ControlMsg::Credit { .. } => 1 + 4,
         },
         Payload::Heartbeat(_) => 4 + 4 + 4,
+        Payload::Digest(d) => 4 + 4 + 4 + 1 + d.records.len() * 40,
     };
     header + payload + trailer
 }
@@ -557,6 +609,51 @@ mod tests {
             let back = decode_event(bytes).unwrap();
             assert_eq!(back, ev);
         }
+    }
+
+    #[test]
+    fn digest_roundtrips_and_is_member_count_independent() {
+        let digest = |members: u32| {
+            Event::digest(
+                3,
+                11,
+                NodeId(4),
+                DigestPayload {
+                    rack: 1,
+                    origin: NodeId(4),
+                    members,
+                    records: (0..5)
+                        .map(|i| DigestRecord {
+                            metric_id: i,
+                            min: -1.5 * f64::from(i),
+                            max: 2.0 * f64::from(i),
+                            mean: 0.25,
+                            count: members,
+                            newest_ts: 12.5,
+                        })
+                        .collect(),
+                },
+            )
+        };
+        let small = digest(3);
+        let big = digest(1024);
+        let sb = encode_event(&small);
+        assert_eq!(sb.len(), encoded_size(&small));
+        assert_eq!(
+            sb.len(),
+            encoded_size(&big),
+            "digest size is O(metrics), not O(members)"
+        );
+        let back = decode_event(sb).unwrap();
+        assert_eq!(back, small);
+        let d = back.as_digest().unwrap();
+        assert_eq!(d.rack, 1);
+        assert_eq!(d.members, 3);
+        assert_eq!(d.records.len(), 5);
+        // Truncation inside a digest record errors cleanly.
+        let full = encode_event(&big);
+        let err = decode_event(full.slice(..full.len() - 30)).unwrap_err();
+        assert_eq!(err, WireError::Truncated);
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!
 //! * [`link`] — a single link direction: capacity, FIFO busy horizon,
 //!   background load, utilization accounting,
-//! * [`network`] — the star topology and the send/deliver path,
+//! * [`network`] — the switched fabric (star, or racks uplinked to a
+//!   spine) and the send/deliver path,
+//! * [`topology`] — the config-driven topology resolver: a
+//!   [`TopologySpec`] resolves to the node → rack [`Placement`] shared by
+//!   the network, the channel directory, and the cluster glue,
 //! * [`traffic`] — UDP flood generators and the Iperf-style available
 //!   bandwidth probe,
 //! * [`conn`] — per-connection tracking (RTT EWMA, bytes, retransmissions,
@@ -32,10 +36,12 @@ pub mod conn;
 pub mod fault;
 pub mod link;
 pub mod network;
+pub mod topology;
 pub mod traffic;
 
 pub use conn::{ConnId, ConnStats, ConnTrack};
 pub use fault::{DropReason, FaultAction, FaultPlan, FaultState, FaultStats};
 pub use link::{DirLink, LinkSpec};
 pub use network::{Delivery, DropDir, Network, NodeId, SplitNet, TrafficClass};
+pub use topology::{Placement, Rack, TopologySpec};
 pub use traffic::FlowId;

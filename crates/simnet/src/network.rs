@@ -1,8 +1,12 @@
-//! The star topology (every node ↔ one switch) and the send path.
+//! The switched network and the send path: a single star (every node ↔
+//! one switch) or a hierarchy of rack switches uplinked to a spine,
+//! resolved from a [`crate::topology::Placement`]. The star is the
+//! 1-rack degenerate case and takes exactly the same code path.
 
 use simcore::{SimDur, SimTime};
 
 use crate::link::{DirLink, LinkSpec};
+use crate::topology::Placement;
 
 /// Index of a node on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -35,6 +39,12 @@ pub enum DropDir {
     Uplink,
     /// The receiver's switch-egress queue was full.
     Downlink,
+    /// The sender's rack-switch → spine queue was full (hierarchical
+    /// topologies only).
+    RackUplink,
+    /// The spine → receiver's-rack queue was full (hierarchical
+    /// topologies only).
+    SpineDownlink,
 }
 
 /// Outcome of enqueueing a message on the network.
@@ -68,29 +78,61 @@ struct NodeLinks {
 /// A [`Network`] disassembled into shard-distributable pieces; produced by
 /// [`Network::split_links`] and consumed by [`Network::from_split`].
 pub struct SplitNet {
-    /// Link parameters (identical for every direction).
+    /// Link parameters (identical for every node-link direction).
     pub spec: LinkSpec,
     /// `ups[i]` is node `i`'s uplink.
     pub ups: Vec<DirLink>,
     /// `downs[i]` is node `i`'s downlink.
     pub downs: Vec<DirLink>,
+    /// Node → rack map (all zeros for the star).
+    pub rack_of: Vec<usize>,
+    /// Rack-switch → spine links, one per rack (empty for the star).
+    /// Owned by the coordinator together with the downlinks: inter-switch
+    /// reservations happen in serial delivery order.
+    pub switch_ups: Vec<DirLink>,
+    /// Spine → rack-switch links, one per rack (empty for the star).
+    pub switch_downs: Vec<DirLink>,
+    /// Inter-switch link parameters.
+    pub switch_spec: LinkSpec,
     /// Lifetime delivery counter.
     pub deliveries: u64,
     /// Lifetime payload-byte counter.
     pub payload_bytes: u64,
 }
 
-/// A switched full-duplex star network.
+/// One hop of a store-and-forward path through the fabric.
+#[derive(Debug, Clone, Copy)]
+enum PathLink {
+    /// Sender NIC → its rack switch (or the star switch).
+    NodeUp(usize),
+    /// Rack switch → spine.
+    RackUp(usize),
+    /// Spine → destination rack switch.
+    SpineDown(usize),
+    /// Rack switch (or star switch) → receiver NIC.
+    NodeDown(usize),
+}
+
+/// A switched full-duplex network: one star switch, or rack switches
+/// uplinked to a spine.
 pub struct Network {
     spec: LinkSpec,
     nodes: Vec<NodeLinks>,
+    /// Node → rack (all zeros for the star).
+    rack_of: Vec<usize>,
+    /// Rack-switch → spine, one per rack; empty for the star.
+    switch_ups: Vec<DirLink>,
+    /// Spine → rack-switch, one per rack; empty for the star.
+    switch_downs: Vec<DirLink>,
+    /// Inter-switch link parameters (equal to `spec` unless configured).
+    switch_spec: LinkSpec,
     /// Lifetime counters.
     deliveries: u64,
     payload_bytes: u64,
 }
 
 impl Network {
-    /// Build a network of `n` nodes with identical links.
+    /// Build a single-switch star of `n` nodes with identical links.
     pub fn new(n: usize, spec: LinkSpec) -> Self {
         let nodes = (0..n)
             .map(|_| NodeLinks {
@@ -101,17 +143,45 @@ impl Network {
         Network {
             spec,
             nodes,
+            rack_of: vec![0; n],
+            switch_ups: Vec::new(),
+            switch_downs: Vec::new(),
+            switch_spec: spec,
             deliveries: 0,
             payload_bytes: 0,
         }
     }
 
-    /// Add one more node; returns its id.
+    /// Build a multi-switch network from a resolved placement: every node
+    /// gets a full-duplex link to its rack switch, every rack switch a
+    /// full-duplex `switch_spec` link to the spine. A 1-rack placement
+    /// degenerates to [`Network::new`] exactly — no spine links exist and
+    /// every send takes the two-hop star path.
+    pub fn hierarchical(placement: &Placement, spec: LinkSpec, switch_spec: LinkSpec) -> Self {
+        let mut net = Network::new(placement.len(), spec);
+        if !placement.is_star() {
+            net.rack_of = (0..placement.len())
+                .map(|i| placement.rack_of(NodeId(i)))
+                .collect();
+            net.switch_ups = (0..placement.n_racks())
+                .map(|_| DirLink::new(switch_spec))
+                .collect();
+            net.switch_downs = (0..placement.n_racks())
+                .map(|_| DirLink::new(switch_spec))
+                .collect();
+            net.switch_spec = switch_spec;
+        }
+        net
+    }
+
+    /// Add one more node; returns its id. The node joins the last rack
+    /// (for the star: the only one).
     pub fn add_node(&mut self) -> NodeId {
         self.nodes.push(NodeLinks {
             up: DirLink::new(self.spec),
             down: DirLink::new(self.spec),
         });
+        self.rack_of.push(self.rack_of.last().copied().unwrap_or(0));
         NodeId(self.nodes.len() - 1)
     }
 
@@ -152,6 +222,10 @@ impl Network {
             spec: self.spec,
             ups,
             downs,
+            rack_of: self.rack_of,
+            switch_ups: self.switch_ups,
+            switch_downs: self.switch_downs,
+            switch_spec: self.switch_spec,
             deliveries: self.deliveries,
             payload_bytes: self.payload_bytes,
         }
@@ -168,6 +242,10 @@ impl Network {
                 .zip(parts.downs)
                 .map(|(up, down)| NodeLinks { up, down })
                 .collect(),
+            rack_of: parts.rack_of,
+            switch_ups: parts.switch_ups,
+            switch_downs: parts.switch_downs,
+            switch_spec: parts.switch_spec,
             deliveries: parts.deliveries,
             payload_bytes: parts.payload_bytes,
         }
@@ -210,67 +288,74 @@ impl Network {
                 dropped: None,
             };
         }
-        // Packet-pipelined store-and-forward: the switch forwards packets
-        // as they arrive, so a multi-packet message's uplink and downlink
-        // serializations overlap. The downlink can start once the first
-        // packet is through and cannot finish before the last packet has
-        // both arrived and been re-serialized.
+        // Packet-pipelined store-and-forward over the resolved path: each
+        // switch forwards packets as they arrive, so consecutive links'
+        // serializations overlap. On every link, transmission starts no
+        // earlier than the first packet's arrival (head constraint) and
+        // finishes no earlier than the last byte's arrival plus one more
+        // packet serialization (tail constraint). The star path is the
+        // two-link instance of the same loop — the arithmetic per hop is
+        // exactly the pre-hierarchy star code.
         let wire_len = self.spec.wire_bytes(bytes) as u64;
         let first_pkt = bytes.min(self.spec.mtu_payload);
-        let up = &mut self.nodes[from.0].up;
-        if class == TrafficClass::Bulk && !up.admit(now, wire_len) {
-            return Delivery {
-                deliver_at: now,
-                queued: SimDur::ZERO,
-                wire: SimDur::ZERO,
-                dropped: Some(DropDir::Uplink),
-            };
-        }
-        let t_up = up.tx_time_now(bytes);
-        let t_up_first = up.tx_time_now(first_pkt);
-        let (up_start, up_finish) = match class {
-            TrafficClass::Bulk => up.reserve(now, t_up),
-            // Priority lane: serialize immediately, leave the bulk
-            // horizon untouched.
-            TrafficClass::Priority => (now, now + t_up),
+        let (r_from, r_to) = (self.rack_of[from.0], self.rack_of[to.0]);
+        let node_lat = self.spec.latency;
+        let sw_lat = self.switch_spec.latency;
+        let mut path = [(PathLink::NodeUp(from.0), node_lat, DropDir::Uplink); 4];
+        let hops = if r_from == r_to {
+            path[1] = (PathLink::NodeDown(to.0), node_lat, DropDir::Downlink);
+            2
+        } else {
+            path[1] = (PathLink::RackUp(r_from), sw_lat, DropDir::RackUplink);
+            path[2] = (PathLink::SpineDown(r_to), sw_lat, DropDir::SpineDownlink);
+            path[3] = (PathLink::NodeDown(to.0), node_lat, DropDir::Downlink);
+            4
         };
-        up.account(now, bytes);
-        if class == TrafficClass::Bulk {
-            up.occupy(up_finish, wire_len);
-        }
-        let head_at_switch = up_start + t_up_first + self.spec.latency;
 
-        let down = &mut self.nodes[to.0].down;
-        if class == TrafficClass::Bulk && !down.admit(now, wire_len) {
-            return Delivery {
-                deliver_at: now,
-                queued: SimDur::ZERO,
-                wire: SimDur::ZERO,
-                dropped: Some(DropDir::Downlink),
+        let mut queued = SimDur::ZERO;
+        // Earliest start on the next link (first packet's arrival) and
+        // arrival time of the message's last byte there.
+        let mut head = now;
+        let mut tail = now;
+        for &(sel, latency, drop_dir) in &path[..hops] {
+            let link = match sel {
+                PathLink::NodeUp(i) => &mut self.nodes[i].up,
+                PathLink::RackUp(r) => &mut self.switch_ups[r],
+                PathLink::SpineDown(r) => &mut self.switch_downs[r],
+                PathLink::NodeDown(i) => &mut self.nodes[i].down,
             };
-        }
-        let t_down = down.tx_time_now(bytes);
-        let t_down_first = down.tx_time_now(first_pkt);
-        let tail_constraint = up_finish + self.spec.latency + t_down_first;
-        let (down_start, down_finish) = match class {
-            TrafficClass::Bulk => {
-                let (start, finish0) = down.reserve(head_at_switch, t_down);
-                let finish = finish0.max(tail_constraint);
-                down.extend_busy(finish);
-                (start, finish)
+            if class == TrafficClass::Bulk && !link.admit(now, wire_len) {
+                return Delivery {
+                    deliver_at: now,
+                    queued: SimDur::ZERO,
+                    wire: SimDur::ZERO,
+                    dropped: Some(drop_dir),
+                };
             }
-            TrafficClass::Priority => {
-                let finish = (head_at_switch + t_down).max(tail_constraint);
-                (head_at_switch, finish)
+            let t_all = link.tx_time_now(bytes);
+            let t_first = link.tx_time_now(first_pkt);
+            let tail_constraint = tail + t_first;
+            let (start, finish) = match class {
+                TrafficClass::Bulk => {
+                    let (start, finish0) = link.reserve(head, t_all);
+                    let finish = finish0.max(tail_constraint);
+                    link.extend_busy(finish);
+                    (start, finish)
+                }
+                // Priority lane: serialize immediately, leave the bulk
+                // horizon untouched.
+                TrafficClass::Priority => ((head), (head + t_all).max(tail_constraint)),
+            };
+            link.account(now, bytes);
+            if class == TrafficClass::Bulk {
+                link.occupy(finish, wire_len);
             }
-        };
-        down.account(now, bytes);
-        if class == TrafficClass::Bulk {
-            down.occupy(down_finish, wire_len);
+            queued += start - head;
+            head = start + t_first + latency;
+            tail = finish + latency;
         }
 
-        let deliver_at = down_finish + self.spec.latency;
-        let queued = (up_start - now) + (down_start - head_at_switch);
+        let deliver_at = tail;
         let wire = deliver_at.since(now) - queued;
         Delivery {
             deliver_at,
@@ -288,12 +373,18 @@ impl Network {
         self.nodes[from.0].up.backlog(now) + self.nodes[to.0].down.backlog(now)
     }
 
-    /// Add fluid background load along the path `from` → `to`.
+    /// Add fluid background load along the path `from` → `to` (including
+    /// the inter-switch links when the path crosses racks).
     pub(crate) fn add_background(&mut self, from: NodeId, to: NodeId, bps: f64) {
         self.check(from);
         self.check(to);
         self.nodes[from.0].up.add_background(bps);
         self.nodes[to.0].down.add_background(bps);
+        let (rf, rt) = (self.rack_of[from.0], self.rack_of[to.0]);
+        if rf != rt {
+            self.switch_ups[rf].add_background(bps);
+            self.switch_downs[rt].add_background(bps);
+        }
     }
 
     /// Remove fluid background load along the path `from` → `to`.
@@ -302,6 +393,11 @@ impl Network {
         self.check(to);
         self.nodes[from.0].up.remove_background(bps);
         self.nodes[to.0].down.remove_background(bps);
+        let (rf, rt) = (self.rack_of[from.0], self.rack_of[to.0]);
+        if rf != rt {
+            self.switch_ups[rf].remove_background(bps);
+            self.switch_downs[rt].remove_background(bps);
+        }
     }
 
     /// Mutable access to both directions of a node's link at once.
@@ -345,29 +441,78 @@ impl Network {
         self.payload_bytes
     }
 
-    /// Total messages tail-dropped by bounded link queues, both directions
-    /// of every node.
+    /// Number of racks (1 for the star).
+    pub fn n_racks(&self) -> usize {
+        if self.switch_ups.is_empty() {
+            1
+        } else {
+            self.switch_ups.len()
+        }
+    }
+
+    /// True when the fabric has a spine tier (more than one rack).
+    pub fn is_hierarchical(&self) -> bool {
+        !self.switch_ups.is_empty()
+    }
+
+    /// Which rack a node's link lands in (0 for the star).
+    pub fn rack_of_node(&self, id: NodeId) -> usize {
+        self.check(id);
+        self.rack_of[id.0]
+    }
+
+    /// Shared access to a rack's switch → spine link.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a star network (no spine tier) or an unknown rack.
+    pub fn switch_uplink(&self, rack: usize) -> &DirLink {
+        &self.switch_ups[rack]
+    }
+
+    /// Shared access to the spine → rack-switch link (see
+    /// [`Network::switch_uplink`] for panics).
+    pub fn switch_downlink(&self, rack: usize) -> &DirLink {
+        &self.switch_downs[rack]
+    }
+
+    /// Messages tail-dropped on the spine tier only (rack uplinks +
+    /// downlinks); 0 by definition on a star.
+    pub fn spine_drops(&self) -> u64 {
+        self.switch_ups
+            .iter()
+            .chain(&self.switch_downs)
+            .map(DirLink::drops)
+            .sum()
+    }
+
+    /// Total messages tail-dropped by bounded link queues, every direction
+    /// of every node plus the inter-switch links.
     pub fn link_drops(&self) -> u64 {
         self.nodes
             .iter()
             .map(|n| n.up.drops() + n.down.drops())
-            .sum()
+            .sum::<u64>()
+            + self.spine_drops()
     }
 
-    /// Largest queue-depth high-water mark across every link direction, as
-    /// `(messages, wire bytes)` (the two maxima may come from different
-    /// links).
+    /// Largest queue-depth high-water mark across every link direction
+    /// (inter-switch links included), as `(messages, wire bytes)` (the two
+    /// maxima may come from different links).
     pub fn queue_hwm(&self) -> (usize, u64) {
+        let switches = || self.switch_ups.iter().chain(&self.switch_downs);
         let msgs = self
             .nodes
             .iter()
             .map(|n| n.up.hwm_msgs().max(n.down.hwm_msgs()))
+            .chain(switches().map(DirLink::hwm_msgs))
             .max()
             .unwrap_or(0);
         let bytes = self
             .nodes
             .iter()
             .map(|n| n.up.hwm_bytes().max(n.down.hwm_bytes()))
+            .chain(switches().map(DirLink::hwm_bytes))
             .max()
             .unwrap_or(0);
         (msgs, bytes)
@@ -501,6 +646,79 @@ mod tests {
         let d2 = n.send(SimTime::ZERO, NodeId(2), NodeId(0), 1_000_000);
         assert_eq!(d1.dropped, None);
         assert_eq!(d2.dropped, Some(DropDir::Downlink));
+        assert_eq!(n.link_drops(), 1);
+    }
+
+    fn rack_net(sizes: &[usize]) -> Network {
+        let placement = crate::topology::TopologySpec::RackList {
+            sizes: sizes.to_vec(),
+        }
+        .resolve(sizes.iter().sum());
+        Network::hierarchical(
+            &placement,
+            LinkSpec::fast_ethernet(),
+            LinkSpec::fast_ethernet(),
+        )
+    }
+
+    #[test]
+    fn one_rack_hierarchy_is_the_star() {
+        // The degenerate case must build the exact star: no spine links,
+        // identical delivery math.
+        let mut star = net(4);
+        let mut hier = rack_net(&[4]);
+        assert!(!hier.is_hierarchical());
+        assert_eq!(hier.n_racks(), 1);
+        for (from, to, bytes) in [(0, 1, 100), (2, 3, 1_000_000), (1, 2, 5000)] {
+            let a = star.send(SimTime::ZERO, NodeId(from), NodeId(to), bytes);
+            let b = hier.send(SimTime::ZERO, NodeId(from), NodeId(to), bytes);
+            assert_eq!(a, b, "{from}->{to} {bytes}B");
+        }
+    }
+
+    #[test]
+    fn cross_rack_pays_four_hops() {
+        let mut n = rack_net(&[2, 2]);
+        assert!(n.is_hierarchical());
+        assert_eq!(n.rack_of_node(NodeId(3)), 1);
+        let intra = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        // A different sender, so the inter-rack probe sees idle links.
+        let inter = n.send(SimTime::ZERO, NodeId(1), NodeId(2), 1000);
+        // Two extra serializations + two extra propagation delays.
+        let extra_us = 2.0 * 1078.0 * 8.0 / 100.0 + 60.0;
+        let got = inter.latency(SimTime::ZERO).as_micros_f64()
+            - intra.latency(SimTime::ZERO).as_micros_f64();
+        assert!((got - extra_us).abs() < 2.0, "extra {got} vs {extra_us}");
+        assert_eq!(inter.queued, SimDur::ZERO);
+    }
+
+    #[test]
+    fn spine_contention_is_modeled() {
+        let mut n = rack_net(&[2, 2]);
+        // Two senders in rack 0 to rack 1: distinct node links, shared
+        // rack uplink — the second message queues at the spine tier.
+        let d1 = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(1), NodeId(3), 1_000_000);
+        assert_eq!(d1.queued, SimDur::ZERO);
+        assert!(d2.queued > SimDur::from_millis(40), "queued {}", d2.queued);
+        assert!(n.switch_uplink(0).messages() == 2);
+        assert_eq!(n.switch_downlink(1).messages(), 2);
+    }
+
+    #[test]
+    fn spine_queue_drops_are_attributed() {
+        let placement = crate::topology::TopologySpec::Racks { rack_size: 2 }.resolve(4);
+        let spec = LinkSpec::fast_ethernet().with_queue(2, u64::MAX);
+        let mut n = Network::hierarchical(&placement, LinkSpec::fast_ethernet(), spec);
+        // Node links keep their wide default queues; the rack uplink holds
+        // at most two queued messages, so the third sender sheds there.
+        let d1 = n.send(SimTime::ZERO, NodeId(0), NodeId(2), 1_000_000);
+        let d2 = n.send(SimTime::ZERO, NodeId(1), NodeId(3), 1_000_000);
+        let d3 = n.send(SimTime::ZERO, NodeId(0), NodeId(3), 1_000_000);
+        assert_eq!(d1.dropped, None);
+        assert_eq!(d2.dropped, None);
+        assert_eq!(d3.dropped, Some(DropDir::RackUplink));
+        assert_eq!(n.spine_drops(), 1);
         assert_eq!(n.link_drops(), 1);
     }
 

@@ -279,6 +279,72 @@ fn compiled_filters_are_bit_identical() {
 }
 
 #[test]
+fn hierarchical_racks_are_bit_identical() {
+    // Three racks of three with the full fault lifecycle aimed at the
+    // aggregation tier: rack 1's aggregator crashes (its rack-mates'
+    // failure detectors evict it from the rack channels *and* the spine
+    // digest channel), a partition between two other racks' aggregators
+    // destroys digests on the wire, and the revival restores exactly the
+    // placement's channel set. Every piece — cross-rack 4-hop wire math,
+    // digest folds, rack-whole sharding — must replay bit-identically.
+    let cfg = || {
+        ClusterConfig::new(9)
+            .racks(3)
+            .failure_bounds(SimDur::from_secs(2), SimDur::from_secs(4))
+    };
+    let plan = FaultPlan::new(7)
+        .crash_at(SimTime::from_secs(3), NodeId(3))
+        .partition_at(SimTime::from_secs(4), NodeId(0), NodeId(6))
+        .heal_at(SimTime::from_secs(6), NodeId(0), NodeId(6))
+        .revive_at(SimTime::from_secs(8), NodeId(3));
+
+    // Vacuity guards on the serial run: the aggregation tier must be live.
+    let mut probe = ClusterSim::new(cfg());
+    probe.set_threads(1);
+    probe.start();
+    probe.apply_fault_plan(&plan);
+    probe.run_until(SimTime::from_secs(14));
+    let w = probe.world();
+    let sent: u64 = w.dmons.iter().map(|d| d.stats.digests_sent).sum();
+    let recv: u64 = w.dmons.iter().map(|d| d.stats.digests_received).sum();
+    assert!(sent > 0, "no digests sent — vacuous");
+    assert!(recv > 0, "no digests received — vacuous");
+    assert!(recv < sent, "the partition destroyed no digests — vacuous");
+    let serial = fingerprint(&probe);
+
+    for threads in [2, 4, 8] {
+        let par = run_one(cfg, |sim| sim.apply_fault_plan(&plan), 14, threads);
+        assert_eq!(serial, par, "hierarchical: threads={threads} diverged");
+    }
+}
+
+#[test]
+fn hierarchical_windows_run_parallel() {
+    // Rack-whole shard assignment must still let fault-free hierarchical
+    // runs spend most of their time in parallel windows.
+    let mut sim = ClusterSim::new(
+        ClusterConfig::new(8)
+            .racks(4)
+            .stagger(SimDur::from_micros(1)),
+    );
+    sim.set_threads(2);
+    sim.start();
+    sim.run_until(SimTime::from_secs(12));
+    let stats = sim.parallel_stats().expect("parallel driver");
+    assert!(
+        stats.windows_parallel > stats.windows_serial,
+        "parallel windows should dominate a fault-free hierarchical run: {stats:?}"
+    );
+    let recv: u64 = sim
+        .world()
+        .dmons
+        .iter()
+        .map(|d| d.stats.digests_received)
+        .sum();
+    assert!(recv > 0, "no digests crossed the spine");
+}
+
+#[test]
 fn parallel_windows_actually_run() {
     // Guard against the suite passing vacuously with every window falling
     // back to the serial path.
@@ -324,6 +390,9 @@ struct RandomScenario {
     stagger_us: u64,
     central: bool,
     event_pad: u32,
+    /// Rack size for a hierarchical topology (star when `None`; the
+    /// central-concentrator ablation always stays a star).
+    rack_size: Option<usize>,
     plan: Option<(u64, usize, usize)>,
     threads: usize,
     secs: u64,
@@ -335,6 +404,7 @@ fn scenario_strategy() -> impl Strategy<Value = RandomScenario> {
         prop_oneof![Just(1u64), Just(300), Just(1000)],
         any::<bool>(),
         prop_oneof![Just(0u32), Just(256)],
+        prop_oneof![Just(None), Just(Some(2usize)), Just(Some(3usize))],
         (any::<bool>(), any::<u64>(), 0usize..6, 0usize..6),
         2usize..9,
         6u64..10,
@@ -345,6 +415,7 @@ fn scenario_strategy() -> impl Strategy<Value = RandomScenario> {
                 stagger_us,
                 central,
                 event_pad,
+                rack_size,
                 (with_plan, seed, crash, partner),
                 threads,
                 secs,
@@ -353,6 +424,7 @@ fn scenario_strategy() -> impl Strategy<Value = RandomScenario> {
                 stagger_us,
                 central,
                 event_pad,
+                rack_size: if central { None } else { rack_size },
                 plan: with_plan.then_some((seed, crash, partner)),
                 threads,
                 secs,
@@ -366,6 +438,9 @@ fn run_random(s: &RandomScenario, threads: usize) -> Fingerprint {
         .event_pad(s.event_pad);
     if s.central {
         cfg = cfg.topology(Topology::Central(NodeId(0)));
+    }
+    if let Some(rack_size) = s.rack_size {
+        cfg = cfg.racks(rack_size);
     }
     let mut sim = ClusterSim::new(cfg);
     sim.set_threads(threads);
